@@ -1,0 +1,32 @@
+//! # fixd-baselines — the tools FixD is compared against
+//!
+//! The paper's §2 surveys existing techniques and §4 composes some of
+//! them; Figure 8 compares FixD against the stand-alone tools. This crate
+//! implements behavioral equivalents of those comparators over the same
+//! substrate, so every benchmark comparison in `fixd-bench` runs real
+//! code on both sides:
+//!
+//! * [`liblog`] — user-level logging + offline replay (Geels et al.,
+//!   USENIX ATC 2006): "assumes ... that all processes involved in the
+//!   distributed computation use the logging mechanism" (§2.3);
+//! * [`cmc`] — CMC-style model checking of real code from the *initial*
+//!   state, with generic checks (deadlocks) plus user invariants (§4.3);
+//! * [`flashback`] — Flashback-style checkpointing; where our Time
+//!   Machine uses COW pages, the baseline variant here takes **eager
+//!   full copies** (the "certain types of traditional checkpointing"
+//!   that §4.2 claims speculations beat);
+//! * [`restart`] — classic whole-system restart recovery (§3.4 option 1);
+//! * [`printf`] — the `printf` debugging the paper's introduction wants
+//!   to replace: format-everything, keep-everything logging.
+
+pub mod cmc;
+pub mod flashback;
+pub mod liblog;
+pub mod printf;
+pub mod restart;
+
+pub use cmc::Cmc;
+pub use flashback::FlashbackCheckpointer;
+pub use liblog::Liblog;
+pub use printf::PrintfLogger;
+pub use restart::restart_all;

@@ -1,0 +1,102 @@
+//! **Experiment F2** (paper Fig. 2, §4.2): checkpoint cost — speculation
+//! copy-on-write vs eager full-copy vs none.
+//!
+//! §4.2's claim under test: *"checkpoints generated using speculations
+//! introduce less overhead than certain types of traditional
+//! checkpointing."* Same checkpoint schedule (before every receive),
+//! three mechanisms, across state sizes. The bytes-held table at the end
+//! shows the memory side of the claim; restore latency is also measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fixd_baselines::FlashbackCheckpointer;
+use fixd_bench::gossip_world;
+use fixd_runtime::{EventKind, Pid};
+use fixd_timemachine::{CheckpointPolicy, TimeMachine, TimeMachineConfig};
+
+fn run_with_cow(n: usize, state: usize) -> usize {
+    let mut w = gossip_world(n, 3, state, false);
+    let mut tm = TimeMachine::new(
+        n,
+        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 256 },
+    );
+    tm.run(&mut w, 1_000_000);
+    tm.total_checkpoint_bytes()
+}
+
+fn run_with_eager(n: usize, state: usize) -> usize {
+    let mut w = gossip_world(n, 3, state, false);
+    let mut fb = FlashbackCheckpointer::new(n);
+    loop {
+        let Some(ev) = w.peek() else { break };
+        if let EventKind::Deliver { msg } = &ev.kind {
+            fb.take(&w, msg.dst);
+        }
+        if w.step().is_none() {
+            break;
+        }
+    }
+    fb.bytes_held()
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_checkpoint_overhead");
+    group.sample_size(15);
+    for &state in &[4 * 1024usize, 64 * 1024] {
+        group.bench_with_input(BenchmarkId::new("none", state), &state, |b, &s| {
+            b.iter(|| {
+                let mut w = gossip_world(4, 3, s, false);
+                w.run_to_quiescence(1_000_000)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cow_speculation", state), &state, |b, &s| {
+            b.iter(|| run_with_cow(4, s));
+        });
+        group.bench_with_input(BenchmarkId::new("eager_full_copy", state), &state, |b, &s| {
+            b.iter(|| run_with_eager(4, s));
+        });
+    }
+    group.finish();
+
+    // Restore (rollback) latency.
+    let mut group = c.benchmark_group("fig2_restore_latency");
+    group.sample_size(15);
+    for &state in &[4 * 1024usize, 64 * 1024] {
+        group.bench_with_input(BenchmarkId::new("cow_restore", state), &state, |b, &s| {
+            b.iter_batched(
+                || {
+                    let mut w = gossip_world(4, 3, s, false);
+                    let mut tm = TimeMachine::new(
+                        4,
+                        TimeMachineConfig {
+                            policy: CheckpointPolicy::EveryReceive,
+                            page_size: 256,
+                        },
+                    );
+                    tm.run(&mut w, 1_000_000);
+                    let target = tm.interval(Pid(1)).saturating_sub(2);
+                    (w, tm, target)
+                },
+                |(mut w, mut tm, target)| tm.rollback(&mut w, Pid(1), target).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    println!("\n--- F2 checkpoint bytes held (gossip n=4, checkpoint-before-every-receive) ---");
+    for &state in &[4 * 1024usize, 64 * 1024] {
+        let cow = run_with_cow(4, state);
+        let eager = run_with_eager(4, state);
+        println!(
+            "state {:>6} B : COW {:>9} B   eager {:>10} B   ratio {:>5.1}x",
+            state,
+            cow,
+            eager,
+            eager as f64 / cow as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_checkpointing);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! **Experiment F3** (paper Fig. 3, §2.1, §4.3): Investigator state-space
+//! exploration — growth with process count and search-order comparison.
+//!
+//! §2.1's claim under test: *"it is often prohibitively expensive,
+//! memory-wise, to model a moderately complex system of more than 5-10
+//! processes"*. The state-count table printed at the end shows the
+//! exponential wall; the criterion series time bounded exploration and
+//! time-to-first-violation per search order. Parallel exploration is
+//! included as the mitigation knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fixd_examples::token_ring::{mutex_monitor, RingNode};
+use fixd_investigator::{ExploreConfig, ModelD, NetModel, SearchOrder};
+use fixd_runtime::Program;
+
+fn factory(n: usize) -> impl Fn() -> Vec<Box<dyn Program>> + Send + Sync {
+    move || {
+        (0..n)
+            .map(|i| -> Box<dyn Program> {
+                if i == 2 {
+                    Box::new(RingNode::buggy(5))
+                } else {
+                    Box::new(RingNode::correct())
+                }
+            })
+            .collect()
+    }
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_state_space_growth");
+    group.sample_size(10);
+    for &n in &[3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("exhaust_bounded", n), &n, |b, &n| {
+            b.iter(|| {
+                ModelD::from_initial(1, NetModel::reliable(), fixd_bench::shouter_factory(n))
+                    .config(ExploreConfig {
+                        max_states: 30_000,
+                        stop_at_first_violation: false,
+                        max_violations: 10_000,
+                        ..ExploreConfig::default()
+                    })
+                    .run()
+                    .states
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_search_orders_first_violation");
+    group.sample_size(10);
+    for (name, order) in [
+        ("bfs", SearchOrder::Bfs),
+        ("dfs", SearchOrder::Dfs),
+        ("random", SearchOrder::Random { seed: 3 }),
+    ] {
+        group.bench_function(name, |b| {
+            let order = order.clone();
+            b.iter(|| {
+                ModelD::from_initial(1, NetModel::reliable(), factory(4))
+                    .invariant(mutex_monitor().invariant())
+                    .config(ExploreConfig {
+                        order: order.clone(),
+                        stop_at_first_violation: true,
+                        max_states: 2_000_000,
+                        ..ExploreConfig::default()
+                    })
+                    .run()
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation: sleep-set partial-order reduction on/off (DESIGN.md §5.6).
+    let mut group = c.benchmark_group("fig3_reduction_ablation");
+    group.sample_size(10);
+    for (name, use_reduction) in [("full", false), ("sleep_sets", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ModelD::from_initial(1, NetModel::reliable(), fixd_bench::shouter_factory(4))
+                    .config(ExploreConfig {
+                        order: SearchOrder::Dfs,
+                        use_reduction,
+                        max_states: 100_000,
+                        ..ExploreConfig::default()
+                    })
+                    .run()
+                    .transitions
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_parallel_workers");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", threads), &threads, |b, &t| {
+            b.iter(|| {
+                ModelD::from_initial(1, NetModel::reliable(), factory(4))
+                    .config(ExploreConfig {
+                        max_states: 30_000,
+                        ..ExploreConfig::default()
+                    })
+                    .run_parallel(t)
+                    .states
+            });
+        });
+    }
+    group.finish();
+
+    println!("\n--- F3 state-space growth (all-to-all broadcast, bounded at 200k states) ---");
+    for n in 3..=6 {
+        let report = ModelD::from_initial(1, NetModel::reliable(), fixd_bench::shouter_factory(n))
+            .config(ExploreConfig {
+                max_states: 200_000,
+                stop_at_first_violation: false,
+                max_violations: 10_000,
+                ..ExploreConfig::default()
+            })
+            .run();
+        println!(
+            "n={n}: {:>8} states {:>9} transitions{}",
+            report.states,
+            report.transitions,
+            if report.truncated { "  << truncated: the §2.1 wall" } else { "" }
+        );
+    }
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

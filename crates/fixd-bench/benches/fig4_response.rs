@@ -1,0 +1,111 @@
+//! **Experiment F4** (paper Fig. 4): the fault-response pipeline —
+//! detect → rollback → assemble → investigate — vs CMC-style
+//! whole-history checking of the same bug.
+//!
+//! Measures (a) the latency of each FixD response stage, and (b) the
+//! states explored from the restored checkpoint vs from the initial
+//! state. Expected shape: FixD's investigation is bounded by the
+//! neighborhood of the fault and explores orders of magnitude fewer
+//! states as runs grow longer; CMC's cost is fixed (whole space) and
+//! grows with the protocol, not with where the fault happened.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fixd_baselines::Cmc;
+use fixd_core::{Fixd, FixdConfig};
+use fixd_examples::kvstore;
+use fixd_investigator::{ExploreConfig, NetModel};
+use fixd_runtime::{Pid, World};
+
+/// Find a seed whose jitter manifests the kvstore gap, returning the
+/// world paused at the fault.
+fn manifest(ops: usize) -> (u64, World, Fixd, fixd_core::DetectedFault) {
+    let script = kvstore::script(ops, 5);
+    for seed in 0..200u64 {
+        let mut w = kvstore::kv_world(seed, script.clone(), (1, 80));
+        let mut fixd = Fixd::new(3, FixdConfig::seeded(seed)).monitor(kvstore::gap_monitor());
+        let out = fixd.supervise(&mut w, 100_000);
+        if let Some(fault) = out.fault {
+            return (seed, w, fixd, fault);
+        }
+    }
+    panic!("no seed manifests the reordering bug");
+}
+
+fn bench_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_fixd_response");
+    group.sample_size(10);
+
+    group.bench_function("detect_to_fault", |b| {
+        b.iter(|| manifest(12).0);
+    });
+
+    group.bench_function("respond_rollback_assemble", |b| {
+        b.iter_batched(
+            || manifest(12),
+            |(_, mut w, mut fixd, fault)| fixd.respond(&mut w, &fault).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("investigate_from_checkpoint", |b| {
+        b.iter_batched(
+            || {
+                let (_, mut w, mut fixd, fault) = manifest(12);
+                let out = fixd.respond(&mut w, &fault).unwrap();
+                (fixd, out.state)
+            },
+            |(fixd, state)| fixd.investigate(state),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("cmc_from_initial", |b| {
+        let script = kvstore::script(6, 5); // smaller: whole space explodes
+        b.iter(|| {
+            let s = script.clone();
+            Cmc::new(1, NetModel::reliable(), move || {
+                vec![
+                    Box::new(kvstore::Client { script: s.clone() }) as Box<dyn fixd_runtime::Program>,
+                    Box::new(kvstore::Primary::default()),
+                    Box::new(kvstore::BackupV1::default()),
+                ]
+            })
+            .invariant(kvstore::gap_monitor().invariant())
+            .config(ExploreConfig { max_states: 50_000, ..ExploreConfig::default() })
+            .run()
+        });
+    });
+    group.finish();
+
+    println!("\n--- F4 states explored: from-checkpoint vs from-initial ---");
+    let (seed, mut w, mut fixd, fault) = manifest(12);
+    let report = fixd.diagnose(&mut w, fault).unwrap();
+    println!(
+        "FixD (seed {seed}): {} states, reproduced={}, line breadth={}",
+        report.states_explored,
+        report.reproduced(),
+        report.recovery_line.iter().filter(|&&l| l != u64::MAX).count()
+    );
+    let _ = w.program::<kvstore::BackupV1>(Pid(2));
+    for ops in [4usize, 6, 8] {
+        let script = kvstore::script(ops, 5);
+        let cmc = Cmc::new(1, NetModel::reliable(), move || {
+            vec![
+                Box::new(kvstore::Client { script: script.clone() }) as Box<dyn fixd_runtime::Program>,
+                Box::new(kvstore::Primary::default()),
+                Box::new(kvstore::BackupV1::default()),
+            ]
+        })
+        .config(ExploreConfig { max_states: 500_000, ..ExploreConfig::default() })
+        .run();
+        println!(
+            "CMC  (ops={ops}) : {} states{}",
+            cmc.states,
+            if cmc.truncated { " (truncated)" } else { "" }
+        );
+    }
+}
+
+criterion_group!(benches, bench_response);
+criterion_main!(benches);

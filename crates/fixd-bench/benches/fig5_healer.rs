@@ -1,0 +1,89 @@
+//! **Experiment F5** (paper Fig. 5, §3.4): recovery strategies —
+//! restart-from-scratch vs dynamic-update-from-checkpoint.
+//!
+//! §3.4's claim under test: resuming from a checkpoint salvages
+//! *"computation that was correctly performed while executing the faulty
+//! program"*. The pipeline crunches `n` costly items; the bug fires near
+//! the end. Restart recomputes everything; update-from-checkpoint redoes
+//! only the poisoned suffix. Expected shape: restart recovery time grows
+//! linearly with completed work, update time stays roughly flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fixd_core::{Fixd, FixdConfig};
+use fixd_examples::pipeline;
+use fixd_healer::Patch;
+use fixd_runtime::Pid;
+
+const COST: u64 = 5_000;
+
+fn detect(n_items: u64) -> (fixd_runtime::World, Fixd, fixd_core::DetectedFault) {
+    let seed = 2;
+    let poison = n_items - 2; // bug fires near the end: most work done
+    let mut world = pipeline::pipeline_world(seed, n_items, COST, Some(poison));
+    let mut fixd = Fixd::new(2, FixdConfig::seeded(seed)).monitor(pipeline::results_monitor());
+    let out = fixd.supervise(&mut world, 1_000_000);
+    (world, fixd, out.fault.expect("poison detected"))
+}
+
+fn recover_by_update(mut world: fixd_runtime::World, mut fixd: Fixd) -> usize {
+    let patch = pipeline::cruncher_patch(COST);
+    fixd.heal_update(&mut world, Pid(1), &patch).expect("heal");
+    let end = fixd.supervise(&mut world, 1_000_000);
+    assert!(end.fault.is_none());
+    world.program::<pipeline::Cruncher>(Pid(1)).unwrap().results.len()
+}
+
+fn recover_by_restart(mut world: fixd_runtime::World, mut fixd: Fixd, n_items: u64) -> usize {
+    let patch = pipeline::cruncher_patch(COST);
+    fixd.heal_restart(&mut world, &patch, &[Pid(1)]);
+    let source = Patch::code_only("src", 1, 2, move || Box::new(pipeline::Source { n_items }));
+    fixd.heal_restart(&mut world, &source, &[Pid(0)]);
+    let end = fixd.supervise(&mut world, 1_000_000);
+    assert!(end.fault.is_none());
+    world.program::<pipeline::Cruncher>(Pid(1)).unwrap().results.len()
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_recovery_strategies");
+    group.sample_size(10);
+    for &n_items in &[16u64, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("update_from_checkpoint", n_items),
+            &n_items,
+            |b, &n| {
+                b.iter_batched(
+                    || detect(n),
+                    |(world, fixd, _fault)| recover_by_update(world, fixd),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("restart_from_scratch", n_items),
+            &n_items,
+            |b, &n| {
+                b.iter_batched(
+                    || detect(n),
+                    |(world, fixd, _fault)| recover_by_restart(world, fixd, n),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    println!("\n--- F5 salvage accounting (poison at n-2) ---");
+    for &n_items in &[16u64, 64, 256] {
+        let (mut world, mut fixd, _fault) = detect(n_items);
+        let patch = pipeline::cruncher_patch(COST);
+        let heal = fixd.heal_update(&mut world, Pid(1), &patch).unwrap();
+        println!(
+            "n={n_items:>4}: update salvages {:>4} events, discards {:>2}  (restart salvages 0, discards all)",
+            heal.salvaged_events, heal.discarded_events
+        );
+    }
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Experiment F6** (paper Fig. 6, §4.2): safe recovery lines under
+//! communication-induced checkpointing vs the domino effect under
+//! independent periodic checkpointing.
+//!
+//! Same gossip workload, same failure (the busiest process rolls back
+//! one checkpoint); the two policies differ in where checkpoints lie.
+//! Expected shape: CIC undoes a bounded, small number of events per
+//! rollback regardless of run length; sparse periodic checkpointing
+//! cascades — the longer the run between checkpoints, the more work the
+//! domino effect destroys. The criterion series also time the rollback
+//! operation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fixd_bench::gossip_world;
+use fixd_runtime::Pid;
+use fixd_timemachine::{CheckpointPolicy, RollbackReport, TimeMachine, TimeMachineConfig};
+
+fn run_and_rollback(n: usize, policy: CheckpointPolicy, steps: u64) -> RollbackReport {
+    let mut w = gossip_world(n, 13, 1024, false);
+    let mut tm = TimeMachine::new(n, TimeMachineConfig { policy, page_size: 256 });
+    tm.run(&mut w, steps);
+    // Fail the busiest process and roll back one checkpoint.
+    let fail = (0..n)
+        .map(|i| Pid(i as u32))
+        .max_by_key(|&p| tm.interval(p))
+        .unwrap();
+    let target = tm.interval(fail).saturating_sub(1);
+    tm.rollback(&mut w, fail, target).expect("rollback")
+}
+
+fn bench_recovery_lines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_rollback_latency");
+    group.sample_size(15);
+    for (name, policy) in [
+        ("cic_every_receive", CheckpointPolicy::EveryReceive),
+        ("periodic_sparse", CheckpointPolicy::Periodic { every: 30 }),
+    ] {
+        for &n in &[4usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, &n| {
+                    b.iter(|| run_and_rollback(n, policy, 400));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    println!("\n--- F6 rollback cascade: CIC vs periodic (gossip, fail busiest, -1 ckpt) ---");
+    println!("{:<10} {:>6} {:>16} {:>14} {:>12} {:>12}", "policy", "n", "events undone", "procs rolled", "purged", "replayed");
+    for &n in &[4usize, 6, 8] {
+        for (name, policy) in [
+            ("CIC", CheckpointPolicy::EveryReceive),
+            ("periodic", CheckpointPolicy::Periodic { every: 30 }),
+        ] {
+            let r = run_and_rollback(n, policy, 400);
+            println!(
+                "{:<10} {:>6} {:>16} {:>14} {:>12} {:>12}",
+                name, n, r.events_undone, r.procs_rolled, r.msgs_purged, r.msgs_replayed
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_recovery_lines);
+criterion_main!(benches);

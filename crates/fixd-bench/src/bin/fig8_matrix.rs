@@ -1,0 +1,15 @@
+//! **Experiment F8** (paper Fig. 8): regenerate the characteristics
+//! matrix of techniques and tools.
+//!
+//! Run: `cargo run -p fixd-bench --bin fig8_matrix`
+
+fn main() {
+    println!("Figure 8. The characteristics of the techniques and tools discussed in this paper.");
+    println!();
+    print!("{}", fixd_core::render_matrix());
+    println!();
+    println!("(√ = provides the service, − = does not; sections and cell values");
+    println!(" reproduce the paper's Figure 8 exactly — see fixd-core::characteristics");
+    println!(" for the per-row rationale, including why a tool's row is not simply");
+    println!(" the union of its techniques' rows.)");
+}

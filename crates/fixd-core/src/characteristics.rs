@@ -1,0 +1,269 @@
+//! The characteristics matrix of Figure 8.
+//!
+//! "Figure 8 presents an overview of the characteristics of the
+//! techniques and tools discussed in this paper, both from the point of
+//! view of the type of service they provide (preventive, diagnostic, or
+//! treatment) to find and cure bugs, and of the generality of the service
+//! (comprehensive or just opportunistic)." (§5)
+//!
+//! The matrix here is data (regenerated programmatically by
+//! `fixd-bench`'s `fig8_matrix` binary) so the reproduction can print the
+//! table in the paper's exact layout and tests can assert its content.
+
+/// The five base mechanisms of the paper's comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Model Checking (MC)
+    ModelChecking,
+    /// Logging (L)
+    Logging,
+    /// Checkpoint & Rollback (CR)
+    CheckpointRollback,
+    /// Dynamic Updates (DU)
+    DynamicUpdates,
+    /// Speculations (S)
+    Speculations,
+}
+
+impl Technique {
+    /// The paper's abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Technique::ModelChecking => "MC",
+            Technique::Logging => "L",
+            Technique::CheckpointRollback => "CR",
+            Technique::DynamicUpdates => "DU",
+            Technique::Speculations => "S",
+        }
+    }
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::ModelChecking => "Model Checking (MC)",
+            Technique::Logging => "Logging (L)",
+            Technique::CheckpointRollback => "Checkpoint & Rollback (CR)",
+            Technique::DynamicUpdates => "Dynamic Updates (DU)",
+            Technique::Speculations => "Speculations (S)",
+        }
+    }
+}
+
+/// The five capability columns of Fig. 8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Finds bugs before they bite (verification).
+    pub preventive: bool,
+    /// Explains what went wrong after the fact.
+    pub diagnostic: bool,
+    /// Repairs the running system.
+    pub treatment: bool,
+    /// Covers the whole behavior space.
+    pub comprehensive: bool,
+    /// Covers only behaviors that happened to occur.
+    pub opportunistic: bool,
+}
+
+impl Capabilities {
+    /// Build from the five flags in column order.
+    pub const fn new(p: bool, d: bool, t: bool, c: bool, o: bool) -> Self {
+        Self { preventive: p, diagnostic: d, treatment: t, comprehensive: c, opportunistic: o }
+    }
+
+    /// Render as the paper's check/dash cells.
+    pub fn cells(&self) -> [&'static str; 5] {
+        let f = |b: bool| if b { "√" } else { "−" };
+        [
+            f(self.preventive),
+            f(self.diagnostic),
+            f(self.treatment),
+            f(self.comprehensive),
+            f(self.opportunistic),
+        ]
+    }
+
+    /// Union (a tool composed of several techniques).
+    pub fn union(self, other: Capabilities) -> Capabilities {
+        Capabilities {
+            preventive: self.preventive || other.preventive,
+            diagnostic: self.diagnostic || other.diagnostic,
+            treatment: self.treatment || other.treatment,
+            comprehensive: self.comprehensive || other.comprehensive,
+            opportunistic: self.opportunistic || other.opportunistic,
+        }
+    }
+}
+
+/// One row of Fig. 8.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixRow {
+    /// "Techniques" or "Tools" section.
+    pub section: &'static str,
+    pub name: String,
+    /// Mechanisms the row uses (tools only; empty for techniques).
+    pub uses: Vec<Technique>,
+    pub caps: Capabilities,
+}
+
+/// The capabilities of a base technique, exactly as Fig. 8 assigns them.
+pub fn technique_caps(t: Technique) -> Capabilities {
+    match t {
+        //                                   prev   diag   treat  compr  opport
+        Technique::ModelChecking => Capabilities::new(true, false, false, true, false),
+        Technique::Logging => Capabilities::new(false, true, false, false, true),
+        Technique::CheckpointRollback => Capabilities::new(false, false, false, false, true),
+        Technique::DynamicUpdates => Capabilities::new(false, false, true, false, false),
+        Technique::Speculations => Capabilities::new(false, false, true, false, true),
+    }
+}
+
+/// The full Fig. 8 matrix: five techniques, then the three tools.
+///
+/// Note the paper's deliberate subtlety, preserved here: a tool's row is
+/// **not** simply the union of its techniques' rows — e.g. liblog uses
+/// L & CR but its row matches L alone (its checkpointing serves replay,
+/// not recovery), and CMC uses MC but is scored opportunistic-only
+/// (it explores real code from states an execution reaches, without an
+/// abstract comprehensive model). FixD's composition is what achieves
+/// all five.
+pub fn matrix() -> Vec<MatrixRow> {
+    let techniques = [
+        Technique::ModelChecking,
+        Technique::Logging,
+        Technique::CheckpointRollback,
+        Technique::DynamicUpdates,
+        Technique::Speculations,
+    ];
+    let mut rows: Vec<MatrixRow> = techniques
+        .iter()
+        .map(|&t| MatrixRow {
+            section: "Techniques",
+            name: t.name().to_string(),
+            uses: vec![],
+            caps: technique_caps(t),
+        })
+        .collect();
+    rows.push(MatrixRow {
+        section: "Tools",
+        name: "liblog (L & CR)".to_string(),
+        uses: vec![Technique::Logging, Technique::CheckpointRollback],
+        caps: Capabilities::new(false, true, false, false, true),
+    });
+    rows.push(MatrixRow {
+        section: "Tools",
+        name: "CMC (MC)".to_string(),
+        uses: vec![Technique::ModelChecking],
+        caps: Capabilities::new(false, false, false, false, true),
+    });
+    rows.push(MatrixRow {
+        section: "Tools",
+        name: "FixD (M & L & S & DU)".to_string(),
+        uses: vec![
+            Technique::ModelChecking,
+            Technique::Logging,
+            Technique::Speculations,
+            Technique::DynamicUpdates,
+        ],
+        caps: Capabilities::new(true, true, true, true, true),
+    });
+    rows
+}
+
+/// Render the matrix as an aligned text table (the `fig8_matrix` output).
+pub fn render_matrix() -> String {
+    use std::fmt::Write;
+    let rows = matrix();
+    let headers = ["preventive", "diagnostic", "treatment", "comprehensive", "opportunistic"];
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(10) + 2;
+    let mut s = String::new();
+    let _ = write!(s, "{:name_w$}", "");
+    for h in headers {
+        let _ = write!(s, "{h:^15}");
+    }
+    let _ = writeln!(s);
+    let mut section = "";
+    for r in &rows {
+        if r.section != section {
+            section = r.section;
+            let _ = writeln!(s, "--- {section} ---");
+        }
+        let _ = write!(s, "{:name_w$}", r.name);
+        for c in r.caps.cells() {
+            let _ = write!(s, "{c:^15}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_rows_match_figure8() {
+        // Row order and cells exactly as the paper's Figure 8.
+        let rows = matrix();
+        let expect: Vec<(&str, [bool; 5])> = vec![
+            ("Model Checking (MC)", [true, false, false, true, false]),
+            ("Logging (L)", [false, true, false, false, true]),
+            ("Checkpoint & Rollback (CR)", [false, false, false, false, true]),
+            ("Dynamic Updates (DU)", [false, false, true, false, false]),
+            ("Speculations (S)", [false, false, true, false, true]),
+            ("liblog (L & CR)", [false, true, false, false, true]),
+            ("CMC (MC)", [false, false, false, false, true]),
+            ("FixD (M & L & S & DU)", [true, true, true, true, true]),
+        ];
+        assert_eq!(rows.len(), expect.len());
+        for (row, (name, caps)) in rows.iter().zip(expect) {
+            assert_eq!(row.name, name);
+            assert_eq!(
+                [
+                    row.caps.preventive,
+                    row.caps.diagnostic,
+                    row.caps.treatment,
+                    row.caps.comprehensive,
+                    row.caps.opportunistic
+                ],
+                caps,
+                "row {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixd_is_the_only_all_check_row() {
+        let all = Capabilities::new(true, true, true, true, true);
+        let full_rows: Vec<_> = matrix().into_iter().filter(|r| r.caps == all).collect();
+        assert_eq!(full_rows.len(), 1);
+        assert!(full_rows[0].name.starts_with("FixD"));
+    }
+
+    #[test]
+    fn union_composes() {
+        let mc = technique_caps(Technique::ModelChecking);
+        let du = technique_caps(Technique::DynamicUpdates);
+        let u = mc.union(du);
+        assert!(u.preventive && u.treatment && u.comprehensive);
+        assert!(!u.diagnostic);
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_sections() {
+        let text = render_matrix();
+        assert!(text.contains("--- Techniques ---"));
+        assert!(text.contains("--- Tools ---"));
+        assert!(text.contains("FixD"));
+        assert!(text.contains("liblog"));
+        assert!(text.contains("preventive"));
+        // FixD row has five checks.
+        let fixd_line = text.lines().find(|l| l.contains("FixD")).unwrap();
+        assert_eq!(fixd_line.matches('√').count(), 5);
+    }
+
+    #[test]
+    fn abbrevs() {
+        assert_eq!(Technique::ModelChecking.abbrev(), "MC");
+        assert_eq!(Technique::Speculations.abbrev(), "S");
+    }
+}

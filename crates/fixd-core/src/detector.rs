@@ -1,0 +1,249 @@
+//! Fault detection: invariant monitors over the running application.
+//!
+//! A [`Monitor`] is one user-specified invariant, usable in *both* FixD
+//! contexts: online, against the live [`World`] (detection); and offline,
+//! against the Investigator's [`WorldState`] (the same property drives
+//! the state-space search). Declaring it once keeps the two in sync —
+//! part of the "glue" this crate contributes.
+
+use std::sync::Arc;
+
+use fixd_investigator::{Invariant, WorldState};
+use fixd_runtime::{Pid, Program, VTime, World};
+
+/// A detected invariant violation in the live system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectedFault {
+    /// Which monitor fired.
+    pub monitor: String,
+    /// The process it implicates (local monitors; `None` for global).
+    pub pid: Option<Pid>,
+    /// Virtual time of detection.
+    pub at: VTime,
+    /// Executed events before detection.
+    pub after_steps: u64,
+}
+
+/// One invariant, with all the views FixD needs of it.
+#[derive(Clone)]
+pub struct Monitor {
+    pub name: String,
+    world_check: Arc<dyn Fn(&World) -> Option<Option<Pid>> + Send + Sync>,
+    program_check: Arc<dyn Fn(Pid, &dyn Program) -> bool + Send + Sync>,
+    model_invariant: Invariant<WorldState>,
+}
+
+impl Monitor {
+    /// A **local** invariant over every process of program type `P`:
+    /// `f(pid, program)` must hold everywhere. Violations implicate the
+    /// first failing process.
+    pub fn local<P: 'static>(
+        name: &str,
+        f: impl Fn(Pid, &P) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        let f = Arc::new(f);
+        let fw = Arc::clone(&f);
+        let fp = Arc::clone(&f);
+        let fm = Arc::clone(&f);
+        Self {
+            name: name.to_string(),
+            world_check: Arc::new(move |w: &World| {
+                for i in 0..w.num_procs() {
+                    let pid = Pid(i as u32);
+                    let ok = w.with_program(pid, |p| {
+                        p.as_any().downcast_ref::<P>().map_or(true, |t| fw(pid, t))
+                    });
+                    if !ok {
+                        return Some(Some(pid));
+                    }
+                }
+                None
+            }),
+            program_check: Arc::new(move |pid, p: &dyn Program| {
+                p.as_any().downcast_ref::<P>().map_or(true, |t| fp(pid, t))
+            }),
+            model_invariant: Invariant::for_program(name, move |pid, p: &P| fm(pid, p)),
+        }
+    }
+
+    /// A **global** invariant: `fw` over the live world, `fm` over the
+    /// Investigator's model state. The two closures must express the same
+    /// property; keeping them adjacent here is the API's nudge.
+    pub fn global(
+        name: &str,
+        fw: impl Fn(&World) -> bool + Send + Sync + 'static,
+        fm: impl Fn(&WorldState) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            world_check: Arc::new(move |w| if fw(w) { None } else { Some(None) }),
+            program_check: Arc::new(|_, _| true),
+            model_invariant: Invariant::new(name, fm),
+        }
+    }
+
+    /// A global invariant that also names the process to roll back when
+    /// it fires (the "process that detected the fault" of Fig. 4 — for a
+    /// global property, the process whose local anomaly triggered it).
+    pub fn global_implicating(
+        name: &str,
+        fw: impl Fn(&World) -> bool + Send + Sync + 'static,
+        implicate: impl Fn(&World) -> Pid + Send + Sync + 'static,
+        fm: impl Fn(&WorldState) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            world_check: Arc::new(move |w| if fw(w) { None } else { Some(Some(implicate(w))) }),
+            program_check: Arc::new(|_, _| true),
+            model_invariant: Invariant::new(name, fm),
+        }
+    }
+
+    /// Evaluate against the live world. `Some(pid)` = violated (with the
+    /// implicated process, if local).
+    pub fn violated_in(&self, world: &World) -> Option<Option<Pid>> {
+        (self.world_check)(world)
+    }
+
+    /// Evaluate against a single restored program (used when choosing a
+    /// rollback target; global monitors vacuously pass).
+    pub fn holds_for_program(&self, pid: Pid, p: &dyn Program) -> bool {
+        (self.program_check)(pid, p)
+    }
+
+    /// The Investigator-side invariant.
+    pub fn invariant(&self) -> Invariant<WorldState> {
+        self.model_invariant.clone()
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Monitor({})", self.name)
+    }
+}
+
+/// Evaluate all monitors; first violation wins.
+pub(crate) fn check_all(
+    monitors: &[Monitor],
+    world: &World,
+    after_steps: u64,
+) -> Option<DetectedFault> {
+    for m in monitors {
+        if let Some(pid) = m.violated_in(world) {
+            return Some(DetectedFault {
+                monitor: m.name.clone(),
+                pid,
+                at: world.now(),
+                after_steps,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixd_runtime::{Context, WorldConfig};
+
+    pub(crate) struct Counter {
+        pub n: u64,
+    }
+    impl Program for Counter {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.pid() == Pid(0) {
+                for _ in 0..5 {
+                    ctx.send(Pid(1), 1, vec![1]);
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context, _msg: &fixd_runtime::Message) {
+            self.n += 1;
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.n.to_le_bytes().to_vec()
+        }
+        fn restore(&mut self, b: &[u8]) {
+            self.n = u64::from_le_bytes(b.try_into().unwrap());
+        }
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(Counter { n: self.n })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn world() -> World {
+        let mut w = World::new(WorldConfig::seeded(1));
+        w.add_process(Box::new(Counter { n: 0 }));
+        w.add_process(Box::new(Counter { n: 0 }));
+        w
+    }
+
+    #[test]
+    fn local_monitor_fires_and_implicates() {
+        let m = Monitor::local::<Counter>("n<3", |_, c| c.n < 3);
+        let mut w = world();
+        assert_eq!(m.violated_in(&w), None);
+        w.run_to_quiescence(100);
+        assert_eq!(m.violated_in(&w), Some(Some(Pid(1))));
+    }
+
+    #[test]
+    fn global_monitor_fires_without_pid() {
+        let m = Monitor::global(
+            "total<4",
+            |w: &World| {
+                (0..w.num_procs())
+                    .map(|i| w.program::<Counter>(Pid(i as u32)).unwrap().n)
+                    .sum::<u64>()
+                    < 4
+            },
+            |s| {
+                (0..s.width())
+                    .map(|i| s.program::<Counter>(Pid(i as u32)).unwrap().n)
+                    .sum::<u64>()
+                    < 4
+            },
+        );
+        let mut w = world();
+        w.run_to_quiescence(100);
+        assert_eq!(m.violated_in(&w), Some(None));
+    }
+
+    #[test]
+    fn program_check_is_local_only() {
+        let local = Monitor::local::<Counter>("n<3", |_, c| c.n < 3);
+        let global = Monitor::global("x", |_| false, |_| false);
+        let good = Counter { n: 0 };
+        let bad = Counter { n: 10 };
+        assert!(local.holds_for_program(Pid(0), &good));
+        assert!(!local.holds_for_program(Pid(0), &bad));
+        assert!(global.holds_for_program(Pid(0), &bad), "global vacuous");
+    }
+
+    #[test]
+    fn check_all_reports_first_violation() {
+        let monitors = vec![
+            Monitor::local::<Counter>("n<100", |_, c| c.n < 100),
+            Monitor::local::<Counter>("n<3", |_, c| c.n < 3),
+        ];
+        let mut w = world();
+        w.run_to_quiescence(100);
+        let fault = check_all(&monitors, &w, 7).unwrap();
+        assert_eq!(fault.monitor, "n<3");
+        assert_eq!(fault.after_steps, 7);
+    }
+
+    #[test]
+    fn monitor_invariant_mirrors_world_check() {
+        let m = Monitor::local::<Counter>("n<3", |_, c| c.n < 3);
+        let inv = m.invariant();
+        assert_eq!(inv.name, "n<3");
+    }
+}

@@ -1,0 +1,381 @@
+//! Primary/backup replicated key-value store.
+//!
+//! A client streams PUTs to the primary; the primary applies them,
+//! assigns sequence numbers, and replicates to the backup. The **buggy**
+//! backup applies replication messages in arrival order — under a
+//! reordering network this leaves sequence gaps and stale values (the
+//! lost-update family). The **fixed** backup holds out-of-order messages
+//! and applies in sequence order. The patch between them migrates the
+//! backup's state (adds the hold-back buffer).
+
+use std::collections::BTreeMap;
+
+use fixd_core::Monitor;
+use fixd_healer::{migrate, Patch};
+use fixd_runtime::wire::{get_varint, put_varint};
+use fixd_runtime::{Context, Message, NetworkConfig, Pid, Program, World, WorldConfig};
+
+/// Client → primary: PUT key value.
+pub const PUT: u16 = 10;
+/// Primary → backup: REPLICATE seq key value.
+pub const REPL: u16 = 11;
+
+/// Scripted client: sends `(key, value)` PUTs to the primary (P1).
+pub struct Client {
+    pub script: Vec<(u8, u8)>,
+}
+
+impl Program for Client {
+    fn on_start(&mut self, ctx: &mut Context) {
+        for &(k, v) in &self.script {
+            ctx.send(Pid(1), PUT, vec![k, v]);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.script.iter().flat_map(|&(k, v)| [k, v]).collect()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.script = b.chunks(2).map(|c| (c[0], c[1])).collect();
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Client { script: self.script.clone() })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &'static str {
+        "kv-client"
+    }
+}
+
+/// The primary replica (P1). Applies PUTs, replicates to the backup (P2).
+#[derive(Default)]
+pub struct Primary {
+    pub store: BTreeMap<u8, u8>,
+    pub seq: u64,
+}
+
+impl Program for Primary {
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        if msg.tag == PUT {
+            let (k, v) = (msg.payload[0], msg.payload[1]);
+            self.store.insert(k, v);
+            self.seq += 1;
+            let mut p = vec![k, v];
+            put_varint(&mut p, self.seq);
+            ctx.send(Pid(2), REPL, p);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        encode_store(&self.store, self.seq, &[])
+    }
+    fn restore(&mut self, b: &[u8]) {
+        let (store, seq, _) = decode_store(b);
+        self.store = store;
+        self.seq = seq;
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Primary { store: self.store.clone(), seq: self.seq })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &'static str {
+        "kv-primary"
+    }
+}
+
+/// The backup replica (P2), **buggy**: applies in arrival order.
+#[derive(Default)]
+pub struct BackupV1 {
+    pub store: BTreeMap<u8, u8>,
+    /// Highest sequence number applied.
+    pub applied: u64,
+    /// Count of messages applied (== applied iff no gaps).
+    pub applied_count: u64,
+}
+
+impl Program for BackupV1 {
+    fn on_message(&mut self, _ctx: &mut Context, msg: &Message) {
+        if msg.tag == REPL {
+            let (k, v) = (msg.payload[0], msg.payload[1]);
+            let mut pos = 2;
+            let seq = get_varint(&msg.payload, &mut pos).unwrap_or(0);
+            // BUG: no ordering check — a stale (reordered) REPL
+            // overwrites a newer value, and gaps go unnoticed.
+            self.store.insert(k, v);
+            self.applied = self.applied.max(seq);
+            self.applied_count += 1;
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = encode_store(&self.store, self.applied, &[]);
+        put_varint(&mut b, self.applied_count);
+        b
+    }
+    fn restore(&mut self, b: &[u8]) {
+        let (store, applied, rest) = decode_store(b);
+        self.store = store;
+        self.applied = applied;
+        let mut pos = 0;
+        self.applied_count = get_varint(&rest, &mut pos).unwrap_or(0);
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(BackupV1 {
+            store: self.store.clone(),
+            applied: self.applied,
+            applied_count: self.applied_count,
+        })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &'static str {
+        "kv-backup-v1"
+    }
+}
+
+/// The backup replica, **fixed**: holds back out-of-order messages and
+/// applies strictly in sequence order.
+#[derive(Default)]
+pub struct BackupV2 {
+    pub store: BTreeMap<u8, u8>,
+    pub applied: u64,
+    pub applied_count: u64,
+    /// Held-back out-of-order messages: seq → (key, value).
+    pub pending: BTreeMap<u64, (u8, u8)>,
+}
+
+impl Program for BackupV2 {
+    fn on_message(&mut self, _ctx: &mut Context, msg: &Message) {
+        if msg.tag == REPL {
+            let (k, v) = (msg.payload[0], msg.payload[1]);
+            let mut pos = 2;
+            let seq = get_varint(&msg.payload, &mut pos).unwrap_or(0);
+            self.pending.insert(seq, (k, v));
+            // Drain in order.
+            while let Some(&(pk, pv)) = self.pending.get(&(self.applied + 1)) {
+                self.pending.remove(&(self.applied + 1));
+                self.store.insert(pk, pv);
+                self.applied += 1;
+                self.applied_count += 1;
+            }
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = encode_store(&self.store, self.applied, &[]);
+        put_varint(&mut b, self.applied_count);
+        put_varint(&mut b, self.pending.len() as u64);
+        for (&s, &(k, v)) in &self.pending {
+            put_varint(&mut b, s);
+            b.push(k);
+            b.push(v);
+        }
+        b
+    }
+    fn restore(&mut self, b: &[u8]) {
+        let (store, applied, rest) = decode_store(b);
+        self.store = store;
+        self.applied = applied;
+        let mut pos = 0;
+        self.applied_count = get_varint(&rest, &mut pos).unwrap_or(0);
+        let n = get_varint(&rest, &mut pos).unwrap_or(0);
+        self.pending.clear();
+        for _ in 0..n {
+            let s = get_varint(&rest, &mut pos).unwrap_or(0);
+            let k = rest[pos];
+            let v = rest[pos + 1];
+            pos += 2;
+            self.pending.insert(s, (k, v));
+        }
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(BackupV2 {
+            store: self.store.clone(),
+            applied: self.applied,
+            applied_count: self.applied_count,
+            pending: self.pending.clone(),
+        })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &'static str {
+        "kv-backup-v2"
+    }
+}
+
+fn encode_store(store: &BTreeMap<u8, u8>, seq: u64, extra: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(store.len() * 2 + 16);
+    put_varint(&mut b, seq);
+    put_varint(&mut b, store.len() as u64);
+    for (&k, &v) in store {
+        b.push(k);
+        b.push(v);
+    }
+    b.extend_from_slice(extra);
+    b
+}
+
+fn decode_store(b: &[u8]) -> (BTreeMap<u8, u8>, u64, Vec<u8>) {
+    let mut pos = 0;
+    let seq = get_varint(b, &mut pos).unwrap_or(0);
+    let n = get_varint(b, &mut pos).unwrap_or(0);
+    let mut store = BTreeMap::new();
+    for _ in 0..n {
+        store.insert(b[pos], b[pos + 1]);
+        pos += 2;
+    }
+    (store, seq, b[pos..].to_vec())
+}
+
+/// The consistency monitor: the backup must never have applied more
+/// messages than its highest sequence (a gap means a message was applied
+/// out of order). Works for both backup versions.
+pub fn gap_monitor() -> Monitor {
+    Monitor::global_implicating(
+        "backup-no-gaps",
+        |w| {
+            let v1_ok = w
+                .program::<BackupV1>(Pid(2))
+                .map_or(true, |b| b.applied == b.applied_count);
+            let v2_ok = w
+                .program::<BackupV2>(Pid(2))
+                .map_or(true, |b| b.applied == b.applied_count);
+            v1_ok && v2_ok
+        },
+        |_w| Pid(2), // the backup is where the gap materializes
+        |s| {
+            let v1_ok = s
+                .program::<BackupV1>(Pid(2))
+                .map_or(true, |b| b.applied == b.applied_count);
+            let v2_ok = s
+                .program::<BackupV2>(Pid(2))
+                .map_or(true, |b| b.applied == b.applied_count);
+            v1_ok && v2_ok
+        },
+    )
+}
+
+/// Build the 3-process world (client, primary, buggy backup) over a
+/// reordering network.
+pub fn kv_world(seed: u64, script: Vec<(u8, u8)>, jitter: (u64, u64)) -> World {
+    let mut cfg = WorldConfig::seeded(seed);
+    cfg.net = NetworkConfig::jittery(jitter.0, jitter.1);
+    let mut w = World::new(cfg);
+    w.add_process(Box::new(Client { script }));
+    w.add_process(Box::new(Primary::default()));
+    w.add_process(Box::new(BackupV1::default()));
+    w
+}
+
+/// The v1 → v2 patch: same store/applied state, empty hold-back buffer.
+pub fn backup_patch() -> Patch {
+    Patch::code_only("kv-backup-ordering-fix", 1, 2, || Box::new(BackupV2::default()))
+        .with_migration(migrate::from_fn(|old| {
+            // v1 layout: [store..., applied_count]; v2 appends pending=0.
+            let mut b = old.to_vec();
+            put_varint(&mut b, 0); // empty pending map
+            Ok(b)
+        }))
+}
+
+/// A deterministic client script of `n` puts.
+pub fn script(n: usize, seed: u64) -> Vec<(u8, u8)> {
+    let mut rng = fixd_runtime::DetRng::derive(seed, 0x4B);
+    (0..n).map(|_| (rng.below(16) as u8, rng.below(256) as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_network_hides_the_bug() {
+        let mut w = kv_world(1, vec![(1, 10), (2, 20), (1, 11)], (10, 10));
+        w.run_to_quiescence(10_000);
+        let monitor = gap_monitor();
+        assert!(monitor.violated_in(&w).is_none());
+        let b = w.program::<BackupV1>(Pid(2)).unwrap();
+        assert_eq!(b.store.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn reordering_network_exposes_the_gap() {
+        // Find a seed where jitter reorders the replication stream.
+        let monitor = gap_monitor();
+        let mut found = false;
+        for seed in 0..50 {
+            let mut w = kv_world(seed, (0..12).map(|i| (i as u8 % 4, i as u8)).collect(), (1, 80));
+            loop {
+                if w.step().is_none() {
+                    break;
+                }
+                if monitor.violated_in(&w).is_some() {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "some seed must reorder REPL messages");
+    }
+
+    #[test]
+    fn fixed_backup_tolerates_reordering() {
+        for seed in 0..20 {
+            let mut cfg = WorldConfig::seeded(seed);
+            cfg.net = NetworkConfig::jittery(1, 80);
+            let mut w = World::new(cfg);
+            w.add_process(Box::new(Client { script: (0..12).map(|i| (i as u8 % 4, i as u8)).collect() }));
+            w.add_process(Box::new(Primary::default()));
+            w.add_process(Box::new(BackupV2::default()));
+            w.run_to_quiescence(10_000);
+            let p = w.program::<Primary>(Pid(1)).unwrap().store.clone();
+            let b = w.program::<BackupV2>(Pid(2)).unwrap();
+            assert_eq!(b.store, p, "seed {seed}: fixed backup converges");
+            assert_eq!(b.applied, b.applied_count);
+        }
+    }
+
+    #[test]
+    fn patch_migrates_v1_state() {
+        let mut v1 = BackupV1::default();
+        v1.store.insert(3, 7);
+        v1.applied = 2;
+        v1.applied_count = 2;
+        let patch = backup_patch();
+        let new_prog = patch.instantiate(&v1.snapshot()).unwrap();
+        let v2 = new_prog.as_any().downcast_ref::<BackupV2>().unwrap();
+        assert_eq!(v2.store.get(&3), Some(&7));
+        assert_eq!(v2.applied, 2);
+        assert!(v2.pending.is_empty());
+    }
+
+    #[test]
+    fn snapshots_roundtrip() {
+        let mut v2 = BackupV2::default();
+        v2.store.insert(1, 2);
+        v2.applied = 3;
+        v2.applied_count = 3;
+        v2.pending.insert(5, (9, 9));
+        let mut w = BackupV2::default();
+        w.restore(&v2.snapshot());
+        assert_eq!(w.snapshot(), v2.snapshot());
+        assert_eq!(w.pending.get(&5), Some(&(9, 9)));
+    }
+}

@@ -1,0 +1,7 @@
+//! Example application protocols (see crate docs).
+
+pub mod kvstore;
+pub mod pipeline;
+pub mod token_ring;
+pub mod two_phase_commit;
+pub mod wal_counter;

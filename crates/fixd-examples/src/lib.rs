@@ -1,0 +1,28 @@
+//! # fixd-examples — example distributed applications
+//!
+//! Realistic application scenarios exercising the FixD public API,
+//! shared by the runnable examples (`examples/`), the cross-crate
+//! integration tests (`tests/`), and the benchmark harness
+//! (`fixd-bench`). Each app ships a **buggy** and a **fixed** version
+//! plus the patch between them, because the whole FixD loop —
+//! detect → roll back → investigate → heal — needs a bug to chase:
+//!
+//! * [`apps::token_ring`] — token-ring mutual exclusion; the buggy node
+//!   duplicates the token, eventually putting two processes in the
+//!   critical section at once (safety violation a global monitor
+//!   catches);
+//! * [`apps::kvstore`] — primary/backup replicated KV store; the buggy
+//!   backup applies replication messages out of order, creating sequence
+//!   gaps (the lost-update family of bugs);
+//! * [`apps::two_phase_commit`] — atomic commit; the buggy coordinator
+//!   commits after the *first* YES vote;
+//! * [`apps::pipeline`] — a source/cruncher work pipeline for measuring
+//!   salvaged computation under the Healer's two recovery strategies.
+
+pub mod apps;
+
+pub use apps::kvstore;
+pub use apps::pipeline;
+pub use apps::token_ring;
+pub use apps::two_phase_commit;
+pub use apps::wal_counter;

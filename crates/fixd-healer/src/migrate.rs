@@ -1,0 +1,141 @@
+//! State migration functions and combinators.
+//!
+//! A dynamic update replaces a program's code; its *state* must be carried
+//! across the version boundary. Migrations are byte-image transformers
+//! (`old snapshot → new snapshot`), composable and fallible: a migration
+//! that cannot prove the old state maps to a valid new state refuses, and
+//! the Healer falls back to deeper rollback or restart (paper §3.4:
+//! "this might not always be possible and restarting the program from
+//! scratch could be the only option").
+
+use std::sync::Arc;
+
+/// Why a migration refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The old state failed the migration's validity check.
+    Invalid(String),
+    /// The old state could not be decoded.
+    Malformed(String),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::Invalid(m) => write!(f, "state invalid for migration: {m}"),
+            MigrateError::Malformed(m) => write!(f, "malformed state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// A state migration: old snapshot bytes → new snapshot bytes.
+pub type Migration = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>, MigrateError> + Send + Sync>;
+
+/// The identity migration (layout unchanged between versions).
+pub fn identity() -> Migration {
+    Arc::new(|b: &[u8]| Ok(b.to_vec()))
+}
+
+/// Append fixed bytes (new trailing field with a default value).
+pub fn append(suffix: Vec<u8>) -> Migration {
+    Arc::new(move |b: &[u8]| {
+        let mut out = b.to_vec();
+        out.extend_from_slice(&suffix);
+        Ok(out)
+    })
+}
+
+/// Keep only the first `n` bytes (drop a trailing field).
+pub fn truncate(n: usize) -> Migration {
+    Arc::new(move |b: &[u8]| {
+        if b.len() < n {
+            return Err(MigrateError::Malformed(format!(
+                "state is {} bytes, expected at least {n}",
+                b.len()
+            )));
+        }
+        Ok(b[..n].to_vec())
+    })
+}
+
+/// Arbitrary transformer from a closure.
+pub fn from_fn(
+    f: impl Fn(&[u8]) -> Result<Vec<u8>, MigrateError> + Send + Sync + 'static,
+) -> Migration {
+    Arc::new(f)
+}
+
+/// Sequential composition: `second ∘ first`.
+pub fn compose(first: Migration, second: Migration) -> Migration {
+    Arc::new(move |b: &[u8]| {
+        let mid = first(b)?;
+        second(&mid)
+    })
+}
+
+/// Guard a migration with a validity predicate over the *old* state.
+pub fn guarded(
+    check: impl Fn(&[u8]) -> bool + Send + Sync + 'static,
+    why: &str,
+    inner: Migration,
+) -> Migration {
+    let why = why.to_string();
+    Arc::new(move |b: &[u8]| {
+        if !check(b) {
+            return Err(MigrateError::Invalid(why.clone()));
+        }
+        inner(b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = identity();
+        assert_eq!(m(b"abc").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn append_and_truncate() {
+        let a = append(vec![0, 0]);
+        assert_eq!(a(b"xy").unwrap(), vec![b'x', b'y', 0, 0]);
+        let t = truncate(1);
+        assert_eq!(t(b"xy").unwrap(), vec![b'x']);
+        assert!(matches!(t(b"").unwrap_err(), MigrateError::Malformed(_)));
+    }
+
+    #[test]
+    fn compose_applies_in_order() {
+        let m = compose(append(vec![1]), truncate(2));
+        assert_eq!(m(b"a").unwrap(), vec![b'a', 1]);
+        let m2 = compose(truncate(1), append(vec![9]));
+        assert_eq!(m2(b"ab").unwrap(), vec![b'a', 9]);
+    }
+
+    #[test]
+    fn guarded_refuses_invalid_states() {
+        let m = guarded(|b| !b.is_empty() && b[0] < 10, "counter too large", identity());
+        assert!(m(&[3]).is_ok());
+        let err = m(&[99]).unwrap_err();
+        assert!(matches!(err, MigrateError::Invalid(_)));
+        assert!(err.to_string().contains("counter too large"));
+    }
+
+    #[test]
+    fn from_fn_custom_transform() {
+        // u64 LE counter doubled in the new version's representation.
+        let m = from_fn(|b| {
+            let v = u64::from_le_bytes(
+                b.try_into().map_err(|_| MigrateError::Malformed("not a u64".into()))?,
+            );
+            Ok((v * 2).to_le_bytes().to_vec())
+        });
+        assert_eq!(m(&5u64.to_le_bytes()).unwrap(), 10u64.to_le_bytes().to_vec());
+        assert!(m(b"short").is_err());
+    }
+}

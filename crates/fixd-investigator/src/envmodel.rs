@@ -1,0 +1,87 @@
+//! Models of environment components.
+//!
+//! Paper §4.3: *"there will always be components of the system that will
+//! be outside the control of the FixD environment (such as the network
+//! itself, in the case of communicating processes); in the case of such
+//! components it may be necessary to have abstract models of their
+//! behavior, but perhaps many of these could be formally verified and
+//! included as part of the FixD tool itself."* And §4.5 (future work)
+//! asks for *"a set of general-purpose models ... of various components
+//! such as network communication or disk access"*.
+//!
+//! [`NetModel`] is that general-purpose network model: it decides which
+//! environment transitions (message loss, duplication, crashes) the
+//! Investigator explores in addition to the application's own actions.
+//! A reliable network model explores only delivery interleavings; a
+//! lossy model additionally explores every "this message never arrives"
+//! branch, etc.
+
+/// The network/environment model the Investigator explores under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetModel {
+    /// Explore message-loss branches (drop the head of any channel).
+    pub allow_loss: bool,
+    /// Explore duplication branches (re-enqueue the head of a channel).
+    pub allow_dup: bool,
+    /// Explore crash-stop branches for up to this many processes.
+    pub crash_budget: usize,
+}
+
+impl NetModel {
+    /// Reliable FIFO network, no faults: only delivery interleavings.
+    pub fn reliable() -> Self {
+        Self { allow_loss: false, allow_dup: false, crash_budget: 0 }
+    }
+
+    /// Fair-lossy network: any message may be lost.
+    pub fn lossy() -> Self {
+        Self { allow_loss: true, allow_dup: false, crash_budget: 0 }
+    }
+
+    /// At-least-once network: messages may be duplicated.
+    pub fn duplicating() -> Self {
+        Self { allow_loss: false, allow_dup: true, crash_budget: 0 }
+    }
+
+    /// Crash-stop fault model with a budget of `f` crashes.
+    pub fn crashy(f: usize) -> Self {
+        Self { allow_loss: false, allow_dup: false, crash_budget: f }
+    }
+
+    /// Everything at once (the adversarial environment).
+    pub fn adversarial(f: usize) -> Self {
+        Self { allow_loss: true, allow_dup: true, crash_budget: f }
+    }
+
+    /// Rough branching multiplier this model adds per state (diagnostic,
+    /// used in reports to explain state-count growth).
+    pub fn branching_hint(&self) -> usize {
+        1 + usize::from(self.allow_loss) + usize::from(self.allow_dup) + self.crash_budget.min(1)
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!NetModel::reliable().allow_loss);
+        assert!(NetModel::lossy().allow_loss);
+        assert!(NetModel::duplicating().allow_dup);
+        assert_eq!(NetModel::crashy(2).crash_budget, 2);
+        let adv = NetModel::adversarial(1);
+        assert!(adv.allow_loss && adv.allow_dup && adv.crash_budget == 1);
+    }
+
+    #[test]
+    fn branching_hint_monotone() {
+        assert!(NetModel::adversarial(1).branching_hint() > NetModel::reliable().branching_hint());
+    }
+}

@@ -1,0 +1,81 @@
+//! Trails: paths from the exploration root to a violating state.
+//!
+//! Paper §3.3: the Investigator provides *"the ability to \[return\] a set
+//! of trails that lead to invariant violations"*. A trail is the labelled
+//! path the engine reconstructs from its parent map; the Healer and the
+//! bug report hand it to the programmer.
+
+/// One path to a bad state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trail<L> {
+    /// Transition labels from the exploration root, in order.
+    pub labels: Vec<L>,
+    /// Name of the violated invariant ("deadlock" for deadlock trails).
+    pub violation: String,
+    /// Fingerprint of the violating state.
+    pub end_fingerprint: u64,
+    /// Depth (= `labels.len()`, kept explicit for truncated trails).
+    pub depth: usize,
+}
+
+impl<L> Trail<L> {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for a root violation (the initial state itself is bad).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Render with a label-naming function.
+    pub fn render(&self, name: impl Fn(&L) -> String) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "violation: {} (depth {})", self.violation, self.depth);
+        for (i, l) in self.labels.iter().enumerate() {
+            let _ = writeln!(s, "  {:>3}. {}", i + 1, name(l));
+        }
+        s
+    }
+
+    /// Map labels (e.g. to strings for storage in a report).
+    pub fn map_labels<M>(self, f: impl Fn(L) -> M) -> Trail<M> {
+        Trail {
+            labels: self.labels.into_iter().map(f).collect(),
+            violation: self.violation,
+            end_fingerprint: self.end_fingerprint,
+            depth: self.depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_len() {
+        let t = Trail {
+            labels: vec!["a", "b"],
+            violation: "mutex".to_string(),
+            end_fingerprint: 7,
+            depth: 2,
+        };
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.render(|l| l.to_string());
+        assert!(s.contains("violation: mutex (depth 2)"));
+        assert!(s.contains("1. a"));
+        assert!(s.contains("2. b"));
+    }
+
+    #[test]
+    fn map_labels_preserves_metadata() {
+        let t = Trail { labels: vec![1, 2], violation: "x".into(), end_fingerprint: 9, depth: 2 };
+        let m = t.map_labels(|l| format!("L{l}"));
+        assert_eq!(m.labels, vec!["L1", "L2"]);
+        assert_eq!(m.end_fingerprint, 9);
+    }
+}

@@ -1,0 +1,619 @@
+//! Model-checking *real programs*: the distributed application as a
+//! transition system.
+//!
+//! This is the heart of the ModelD design (§4.3): "the events in the
+//! system are mapped to actions \[...\] each event is a state transition
+//! within the model checker", executed against the **actual
+//! [`Program`] implementations** — not abstract models. The network is
+//! the one environment component FixD does not control, so it is replaced
+//! by a [`NetModel`] (swap real communication actions for modeled ones,
+//! exactly the action-swap §4.3 describes).
+//!
+//! State = every process's real state + FIFO channel contents + pending
+//! timers. Actions = start a process, deliver the head of a channel, fire
+//! a timer, plus whatever fault branches the [`NetModel`] enables.
+
+use std::collections::VecDeque;
+
+use fixd_runtime::wire::{fnv1a, fnv_mix};
+use fixd_runtime::{Message, Pid, Program, SoloHarness, TimerId};
+
+use crate::envmodel::NetModel;
+use crate::system::TransitionSystem;
+
+/// A transition of the distributed application under investigation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelAction {
+    /// Run a process's `on_start`.
+    Start { pid: Pid },
+    /// Deliver the head of channel `src → dst`.
+    Deliver { src: Pid, dst: Pid },
+    /// Fire the oldest pending timer of `pid`.
+    FireTimer { pid: Pid },
+    /// Environment model: lose the head of channel `src → dst`.
+    DropHead { src: Pid, dst: Pid },
+    /// Environment model: duplicate the head of channel `src → dst`.
+    DupHead { src: Pid, dst: Pid },
+    /// Environment model: crash-stop `pid`.
+    Crash { pid: Pid },
+}
+
+impl ModelAction {
+    /// Short human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            ModelAction::Start { pid } => format!("start {pid}"),
+            ModelAction::Deliver { src, dst } => format!("deliver {src}→{dst}"),
+            ModelAction::FireTimer { pid } => format!("timer {pid}"),
+            ModelAction::DropHead { src, dst } => format!("LOSE {src}→{dst}"),
+            ModelAction::DupHead { src, dst } => format!("DUP {src}→{dst}"),
+            ModelAction::Crash { pid } => format!("CRASH {pid}"),
+        }
+    }
+}
+
+/// Global state of the application under investigation.
+pub struct WorldState {
+    procs: Vec<Box<dyn Program>>,
+    harnesses: Vec<SoloHarness>,
+    /// FIFO channels, indexed `src * width + dst`.
+    channels: Vec<VecDeque<Message>>,
+    /// Pending timers per process, oldest first.
+    timers: Vec<VecDeque<TimerId>>,
+    started: Vec<bool>,
+    crashed: Vec<bool>,
+    crashes_used: usize,
+    /// Collected outputs (flat, for invariants over observable behavior).
+    outputs: Vec<(Pid, Vec<u8>)>,
+}
+
+impl Clone for WorldState {
+    fn clone(&self) -> Self {
+        Self {
+            procs: self.procs.iter().map(|p| p.clone_program()).collect(),
+            harnesses: self.harnesses.clone(),
+            channels: self.channels.clone(),
+            timers: self.timers.clone(),
+            started: self.started.clone(),
+            crashed: self.crashed.clone(),
+            crashes_used: self.crashes_used,
+            outputs: self.outputs.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorldState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorldState(n={}, mail={}, timers={})",
+            self.procs.len(),
+            self.channels.iter().map(VecDeque::len).sum::<usize>(),
+            self.timers.iter().map(VecDeque::len).sum::<usize>()
+        )
+    }
+}
+
+impl WorldState {
+    /// Number of processes.
+    pub fn width(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Typed view of a process's program (for invariants).
+    pub fn program<P: 'static>(&self, pid: Pid) -> Option<&P> {
+        self.procs.get(pid.idx())?.as_any().downcast_ref::<P>()
+    }
+
+    /// Messages queued on channel `src → dst`.
+    pub fn channel(&self, src: Pid, dst: Pid) -> &VecDeque<Message> {
+        &self.channels[src.idx() * self.procs.len() + dst.idx()]
+    }
+
+    /// Total undelivered messages.
+    pub fn mail_count(&self) -> usize {
+        self.channels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Has `pid` crashed (in this explored branch)?
+    pub fn is_crashed(&self, pid: Pid) -> bool {
+        self.crashed[pid.idx()]
+    }
+
+    /// Has `pid` started?
+    pub fn is_started(&self, pid: Pid) -> bool {
+        self.started[pid.idx()]
+    }
+
+    /// Outputs emitted along this branch, in order.
+    pub fn outputs(&self) -> &[(Pid, Vec<u8>)] {
+        &self.outputs
+    }
+
+    /// Pending timer count of `pid`.
+    pub fn timer_count(&self, pid: Pid) -> usize {
+        self.timers[pid.idx()].len()
+    }
+}
+
+/// The application + environment model as a [`TransitionSystem`].
+pub struct WorldModel {
+    width: usize,
+    seed: u64,
+    net: NetModel,
+    factory: std::sync::Arc<dyn Fn() -> Vec<Box<dyn Program>> + Send + Sync>,
+    init_from: Option<WorldState>,
+    /// Include clocks/RNG positions in fingerprints. Off by default:
+    /// states that differ only in clock values merge, which is what you
+    /// want unless programs branch on `ctx.random()`.
+    pub strict_fingerprint: bool,
+}
+
+impl WorldModel {
+    /// A model whose initial state is `factory()` (fresh programs,
+    /// nothing started). `seed` must match the production world if
+    /// trails are to be re-executed there.
+    pub fn new(
+        seed: u64,
+        net: NetModel,
+        factory: impl Fn() -> Vec<Box<dyn Program>> + Send + Sync + 'static,
+    ) -> Self {
+        let width = factory().len();
+        Self {
+            width,
+            seed,
+            net,
+            factory: std::sync::Arc::new(factory),
+            init_from: None,
+            strict_fingerprint: false,
+        }
+    }
+
+    /// Investigate **from a restored global state** rather than from
+    /// scratch — FixD's key advantage over CMC-style checking (Fig. 4:
+    /// the checkpoints the peer processes provide are assembled into this
+    /// state).
+    pub fn from_state(seed: u64, net: NetModel, state: WorldState) -> Self {
+        Self {
+            width: state.width(),
+            seed,
+            net,
+            factory: std::sync::Arc::new(Vec::new),
+            init_from: Some(state),
+            strict_fingerprint: false,
+        }
+    }
+
+    /// **Swap the environment model** mid-investigation (§4.3: "swap out
+    /// the real communication actions, replace those with models").
+    pub fn set_net(&mut self, net: NetModel) {
+        self.net = net;
+    }
+
+    /// Current environment model.
+    pub fn net(&self) -> NetModel {
+        self.net
+    }
+
+    /// Number of processes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Build a [`WorldState`] from restored programs + channel contents
+    /// (the assembly step of the Fig. 4 protocol).
+    pub fn assemble_state(
+        programs: Vec<Box<dyn Program>>,
+        harnesses: Vec<SoloHarness>,
+        inflight: Vec<Message>,
+        timers: Vec<(Pid, TimerId)>,
+    ) -> WorldState {
+        let n = programs.len();
+        assert_eq!(harnesses.len(), n);
+        let mut channels = vec![VecDeque::new(); n * n];
+        for m in inflight {
+            let idx = m.src.idx() * n + m.dst.idx();
+            channels[idx].push_back(m);
+        }
+        let mut tq = vec![VecDeque::new(); n];
+        for (pid, t) in timers {
+            tq[pid.idx()].push_back(t);
+        }
+        WorldState {
+            procs: programs,
+            harnesses,
+            channels,
+            timers: tq,
+            started: vec![true; n], // restored processes are mid-run
+            crashed: vec![false; n],
+            crashes_used: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    fn route_effects(&self, s: &mut WorldState, pid: Pid, effects: fixd_runtime::Effects) {
+        let n = s.procs.len();
+        for m in effects.sends {
+            if m.dst.idx() < n {
+                s.channels[m.src.idx() * n + m.dst.idx()].push_back(m);
+            }
+        }
+        for (t, _fire_at) in effects.timers_set {
+            s.timers[pid.idx()].push_back(t);
+        }
+        for t in effects.timers_cancelled {
+            s.timers[pid.idx()].retain(|x| *x != t);
+        }
+        for o in effects.outputs {
+            s.outputs.push((pid, o));
+        }
+        if effects.crashed {
+            s.crashed[pid.idx()] = true;
+            s.timers[pid.idx()].clear();
+        }
+    }
+}
+
+impl TransitionSystem for WorldModel {
+    type State = WorldState;
+    type Label = ModelAction;
+
+    fn initial(&self) -> WorldState {
+        if let Some(s) = &self.init_from {
+            return s.clone();
+        }
+        let procs = (self.factory)();
+        let n = procs.len();
+        WorldState {
+            harnesses: (0..n)
+                .map(|i| SoloHarness::new(Pid(i as u32), n, self.seed))
+                .collect(),
+            procs,
+            channels: vec![VecDeque::new(); n * n],
+            timers: vec![VecDeque::new(); n],
+            started: vec![false; n],
+            crashed: vec![false; n],
+            crashes_used: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    fn fingerprint(&self, s: &WorldState) -> u64 {
+        let mut h = FINGERPRINT_SEED;
+        for (i, p) in s.procs.iter().enumerate() {
+            h = fnv_mix(h, fnv1a(&p.snapshot()));
+            h = fnv_mix(h, u64::from(s.started[i]) | (u64::from(s.crashed[i]) << 1));
+            h = fnv_mix(h, s.timers[i].len() as u64);
+        }
+        for ch in &s.channels {
+            h = fnv_mix(h, ch.len() as u64);
+            for m in ch {
+                h = fnv_mix(h, m.content_fingerprint());
+            }
+        }
+        if self.strict_fingerprint {
+            for hs in &s.harnesses {
+                for &c in hs.vc().components() {
+                    h = fnv_mix(h, c);
+                }
+            }
+            for tq in &s.timers {
+                for t in tq {
+                    h = fnv_mix(h, t.0);
+                }
+            }
+        }
+        h
+    }
+
+    fn enabled(&self, s: &WorldState) -> Vec<ModelAction> {
+        let n = s.procs.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let pid = Pid(i as u32);
+            if !s.started[i] && !s.crashed[i] {
+                out.push(ModelAction::Start { pid });
+            }
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                let ch = &s.channels[src * n + dst];
+                if ch.is_empty() || s.crashed[dst] || !s.started[dst] {
+                    continue;
+                }
+                let (src, dst) = (Pid(src as u32), Pid(dst as u32));
+                out.push(ModelAction::Deliver { src, dst });
+                if self.net.allow_loss {
+                    out.push(ModelAction::DropHead { src, dst });
+                }
+                if self.net.allow_dup {
+                    out.push(ModelAction::DupHead { src, dst });
+                }
+            }
+        }
+        for i in 0..n {
+            if s.started[i] && !s.crashed[i] && !s.timers[i].is_empty() {
+                out.push(ModelAction::FireTimer { pid: Pid(i as u32) });
+            }
+        }
+        if s.crashes_used < self.net.crash_budget {
+            for i in 0..n {
+                if s.started[i] && !s.crashed[i] {
+                    out.push(ModelAction::Crash { pid: Pid(i as u32) });
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &WorldState, l: &ModelAction) -> WorldState {
+        let mut next = s.clone();
+        let n = next.procs.len();
+        match l {
+            ModelAction::Start { pid } => {
+                next.started[pid.idx()] = true;
+                let eff = {
+                    let (h, p) = (&mut next.harnesses[pid.idx()], &mut next.procs[pid.idx()]);
+                    h.start(p.as_mut())
+                };
+                self.route_effects(&mut next, *pid, eff);
+            }
+            ModelAction::Deliver { src, dst } => {
+                let msg = next.channels[src.idx() * n + dst.idx()]
+                    .pop_front()
+                    .expect("guard ensured nonempty channel");
+                let eff = {
+                    let (h, p) = (&mut next.harnesses[dst.idx()], &mut next.procs[dst.idx()]);
+                    h.deliver(p.as_mut(), &msg)
+                };
+                self.route_effects(&mut next, *dst, eff);
+            }
+            ModelAction::FireTimer { pid } => {
+                let t = next.timers[pid.idx()]
+                    .pop_front()
+                    .expect("guard ensured pending timer");
+                let eff = {
+                    let (h, p) = (&mut next.harnesses[pid.idx()], &mut next.procs[pid.idx()]);
+                    h.timer(p.as_mut(), t)
+                };
+                self.route_effects(&mut next, *pid, eff);
+            }
+            ModelAction::DropHead { src, dst } => {
+                next.channels[src.idx() * n + dst.idx()].pop_front();
+            }
+            ModelAction::DupHead { src, dst } => {
+                let ch = &mut next.channels[src.idx() * n + dst.idx()];
+                if let Some(head) = ch.front().cloned() {
+                    ch.push_back(head);
+                }
+            }
+            ModelAction::Crash { pid } => {
+                next.crashed[pid.idx()] = true;
+                next.crashes_used += 1;
+                next.timers[pid.idx()].clear();
+            }
+        }
+        next
+    }
+
+    fn label_name(&self, l: &ModelAction) -> String {
+        l.describe()
+    }
+
+    /// Conservative Mazurkiewicz independence: two actions commute if the
+    /// processes and channels they touch are disjoint. A `Deliver` touches
+    /// its channel, its destination process, and (through the sends the
+    /// handler performs) every channel out of the destination.
+    fn independent(&self, a: &ModelAction, b: &ModelAction) -> bool {
+        fn touched(l: &ModelAction) -> (Option<Pid>, Option<(Pid, Pid)>) {
+            match l {
+                ModelAction::Start { pid }
+                | ModelAction::FireTimer { pid }
+                | ModelAction::Crash { pid } => (Some(*pid), None),
+                ModelAction::Deliver { src, dst } => (Some(*dst), Some((*src, *dst))),
+                ModelAction::DropHead { src, dst } | ModelAction::DupHead { src, dst } => {
+                    (None, Some((*src, *dst)))
+                }
+            }
+        }
+        let (pa, ca) = touched(a);
+        let (pb, cb) = touched(b);
+        // Same channel touched => dependent.
+        if let (Some(x), Some(y)) = (ca, cb) {
+            if x == y {
+                return false;
+            }
+        }
+        // Same process runs a handler => dependent.
+        if let (Some(x), Some(y)) = (pa, pb) {
+            if x == y {
+                return false;
+            }
+        }
+        // A handler at p feeds channels (p, *): dependent with any action
+        // touching such a channel.
+        if let (Some(p), Some((s, _))) = (pa, cb) {
+            if p == s {
+                return false;
+            }
+        }
+        if let (Some(p), Some((s, _))) = (pb, ca) {
+            if p == s {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Stable basis for [`WorldModel`] fingerprints (distinct from other
+/// fingerprint domains in the workspace).
+const FINGERPRINT_SEED: u64 = 0x1995_0604_F1BD_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixd_runtime::Context;
+
+    /// Two-process increment protocol with a deliberate race: both update
+    /// a "replicated register" and echo; the register must converge.
+    struct Reg {
+        val: u8,
+        echoes: u8,
+    }
+    impl Program for Reg {
+        fn on_start(&mut self, ctx: &mut Context) {
+            // Both processes propose pid+1 as the value.
+            let proposal = ctx.pid().0 as u8 + 1;
+            self.val = proposal;
+            let other = Pid(1 - ctx.pid().0);
+            ctx.send(other, 1, vec![proposal]);
+        }
+        fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+            if msg.tag == 1 {
+                // last-writer-wins: the race makes final values diverge
+                // depending on interleaving.
+                self.val = msg.payload[0];
+                ctx.send(msg.src, 2, vec![self.val]);
+            } else {
+                self.echoes += 1;
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            vec![self.val, self.echoes]
+        }
+        fn restore(&mut self, b: &[u8]) {
+            self.val = b[0];
+            self.echoes = b[1];
+        }
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(Reg { val: self.val, echoes: self.echoes })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn model(net: NetModel) -> WorldModel {
+        WorldModel::new(7, net, || {
+            vec![
+                Box::new(Reg { val: 0, echoes: 0 }) as Box<dyn Program>,
+                Box::new(Reg { val: 0, echoes: 0 }),
+            ]
+        })
+    }
+
+    #[test]
+    fn initial_state_nothing_started() {
+        let m = model(NetModel::reliable());
+        let s = m.initial();
+        assert_eq!(s.width(), 2);
+        assert!(!s.is_started(Pid(0)));
+        assert_eq!(s.mail_count(), 0);
+        let enabled = m.enabled(&s);
+        assert_eq!(enabled.len(), 2, "only the two Start actions");
+    }
+
+    #[test]
+    fn apply_start_enqueues_mail() {
+        let m = model(NetModel::reliable());
+        let s0 = m.initial();
+        let s1 = m.apply(&s0, &ModelAction::Start { pid: Pid(0) });
+        assert!(s1.is_started(Pid(0)));
+        assert_eq!(s1.mail_count(), 1);
+        assert_eq!(s1.channel(Pid(0), Pid(1)).len(), 1);
+        // Source state untouched.
+        assert_eq!(s0.mail_count(), 0);
+    }
+
+    #[test]
+    fn deliver_requires_started_destination() {
+        let m = model(NetModel::reliable());
+        let s0 = m.initial();
+        let s1 = m.apply(&s0, &ModelAction::Start { pid: Pid(0) });
+        // P1 not started: no deliver to P1 enabled.
+        assert!(!m
+            .enabled(&s1)
+            .iter()
+            .any(|a| matches!(a, ModelAction::Deliver { dst, .. } if *dst == Pid(1))));
+        let s2 = m.apply(&s1, &ModelAction::Start { pid: Pid(1) });
+        assert!(m
+            .enabled(&s2)
+            .iter()
+            .any(|a| matches!(a, ModelAction::Deliver { dst, .. } if *dst == Pid(1))));
+    }
+
+    #[test]
+    fn fingerprint_merges_equal_states() {
+        let m = model(NetModel::reliable());
+        let s0 = m.initial();
+        // Start P0 then P1 vs P1 then P0: both yield "both started, two
+        // proposals in flight" — but program states differ? No: each
+        // start only writes its own val. Same fingerprint expected.
+        let a = m.apply(&m.apply(&s0, &ModelAction::Start { pid: Pid(0) }), &ModelAction::Start { pid: Pid(1) });
+        let b = m.apply(&m.apply(&s0, &ModelAction::Start { pid: Pid(1) }), &ModelAction::Start { pid: Pid(0) });
+        assert_eq!(m.fingerprint(&a), m.fingerprint(&b));
+        assert_ne!(m.fingerprint(&a), m.fingerprint(&s0));
+    }
+
+    #[test]
+    fn lossy_model_adds_drop_actions() {
+        let m = model(NetModel::lossy());
+        let s = m.apply(&m.initial(), &ModelAction::Start { pid: Pid(0) });
+        let s = m.apply(&s, &ModelAction::Start { pid: Pid(1) });
+        let acts = m.enabled(&s);
+        assert!(acts.iter().any(|a| matches!(a, ModelAction::DropHead { .. })));
+        // Dropping removes the message.
+        let dropped = m.apply(&s, &ModelAction::DropHead { src: Pid(0), dst: Pid(1) });
+        assert_eq!(dropped.channel(Pid(0), Pid(1)).len(), 0);
+    }
+
+    #[test]
+    fn crash_budget_limits_crash_actions() {
+        let m = model(NetModel::crashy(1));
+        let s = m.apply(&m.initial(), &ModelAction::Start { pid: Pid(0) });
+        assert!(m.enabled(&s).iter().any(|a| matches!(a, ModelAction::Crash { .. })));
+        let s2 = m.apply(&s, &ModelAction::Crash { pid: Pid(0) });
+        assert!(s2.is_crashed(Pid(0)));
+        assert!(!m.enabled(&s2).iter().any(|a| matches!(a, ModelAction::Crash { .. })));
+    }
+
+    #[test]
+    fn independence_is_conservative() {
+        let m = model(NetModel::reliable());
+        let d01 = ModelAction::Deliver { src: Pid(0), dst: Pid(1) };
+        let d10 = ModelAction::Deliver { src: Pid(1), dst: Pid(0) };
+        // Delivery at P1 may send into channel (1,0): dependent.
+        assert!(!m.independent(&d01, &d10));
+        let t0 = ModelAction::FireTimer { pid: Pid(0) };
+        let c23 = ModelAction::Deliver { src: Pid(2), dst: Pid(3) };
+        assert!(m.independent(&t0, &c23));
+        assert!(!m.independent(&t0, &t0));
+    }
+
+    #[test]
+    fn assemble_state_places_mail_and_timers() {
+        let procs: Vec<Box<dyn Program>> = vec![
+            Box::new(Reg { val: 3, echoes: 0 }),
+            Box::new(Reg { val: 3, echoes: 0 }),
+        ];
+        let harnesses = vec![SoloHarness::new(Pid(0), 2, 7), SoloHarness::new(Pid(1), 2, 7)];
+        let msg = Message {
+            id: 1,
+            src: Pid(0),
+            dst: Pid(1),
+            tag: 1,
+            payload: vec![9],
+            sent_at: 0,
+            vc: fixd_runtime::VectorClock::new(2),
+            meta: fixd_runtime::MsgMeta::default(),
+        };
+        let s = WorldModel::assemble_state(procs, harnesses, vec![msg], vec![(Pid(0), TimerId(4))]);
+        assert!(s.is_started(Pid(0)), "restored processes are mid-run");
+        assert_eq!(s.channel(Pid(0), Pid(1)).len(), 1);
+        assert_eq!(s.timer_count(Pid(0)), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Logical clocks: Lamport scalar clocks and vector clocks.
+//!
+//! Vector clocks are the causality backbone of the reproduction: the Scroll
+//! uses them to merge per-process logs into a causally consistent total
+//! order (§3.1 of the paper), and the Time Machine uses them to reason
+//! about consistent cuts when assembling global checkpoints (§3.2, Fig. 6).
+
+use crate::Pid;
+
+/// A classic Lamport scalar clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LamportClock {
+    t: u64,
+}
+
+impl LamportClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self { t: 0 }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn time(&self) -> u64 {
+        self.t
+    }
+
+    /// Advance for a local event; returns the new timestamp.
+    #[inline]
+    pub fn tick(&mut self) -> u64 {
+        self.t += 1;
+        self.t
+    }
+
+    /// Merge an observed remote timestamp (receive rule), then tick.
+    /// Returns the new timestamp.
+    #[inline]
+    pub fn observe(&mut self, remote: u64) -> u64 {
+        self.t = self.t.max(remote);
+        self.tick()
+    }
+}
+
+/// Partial-order comparison result between two vector clocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Causality {
+    /// `a == b`.
+    Equal,
+    /// `a` happened strictly before `b`.
+    Before,
+    /// `b` happened strictly before `a`.
+    After,
+    /// Neither precedes the other.
+    Concurrent,
+}
+
+/// A fixed-width vector clock over the processes of a world.
+///
+/// The width is set at construction (the number of processes) and all
+/// operations require equal widths; mixing widths is a logic error and
+/// panics in debug builds.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    counts: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A zero clock of width `n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Construct from explicit components (test helper and codec target).
+    pub fn from_vec(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Component for process `p`.
+    #[inline]
+    pub fn get(&self, p: Pid) -> u64 {
+        self.counts.get(p.idx()).copied().unwrap_or(0)
+    }
+
+    /// Raw components.
+    #[inline]
+    pub fn components(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Increment the component of process `p` (local event rule).
+    #[inline]
+    pub fn tick(&mut self, p: Pid) -> u64 {
+        debug_assert!(p.idx() < self.counts.len(), "pid out of clock width");
+        self.counts[p.idx()] += 1;
+        self.counts[p.idx()]
+    }
+
+    /// Pointwise maximum with `other` (receive rule, without the tick).
+    pub fn merge(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width(), "vector clock width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// `self <= other` pointwise.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.width(), other.width(), "vector clock width mismatch");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Full causal comparison.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        let le = self.leq(other);
+        let ge = other.leq(self);
+        match (le, ge) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+
+    /// True iff the two clocks are causally unrelated.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.compare(other) == Causality::Concurrent
+    }
+
+    /// Sum of all components — a convenient monotone "event count" measure.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_tick_and_observe() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.observe(10), 11);
+        assert_eq!(c.observe(3), 12); // max(12-1=11? no: max(11,3)=11 then tick -> 12
+        assert_eq!(c.time(), 12);
+    }
+
+    #[test]
+    fn vc_tick_merge_order() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(Pid(0));
+        b.tick(Pid(1));
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        // b receives from a
+        b.merge(&a);
+        b.tick(Pid(1));
+        assert_eq!(a.compare(&b), Causality::Before);
+        assert_eq!(b.compare(&a), Causality::After);
+        let c = b.clone();
+        assert_eq!(b.compare(&c), Causality::Equal);
+    }
+
+    #[test]
+    fn vc_display_and_total() {
+        let v = VectorClock::from_vec(vec![1, 0, 2]);
+        assert_eq!(v.to_string(), "⟨1,0,2⟩");
+        assert_eq!(v.total(), 3);
+        assert_eq!(v.get(Pid(2)), 2);
+        assert_eq!(v.get(Pid(9)), 0, "out-of-range reads as 0");
+    }
+
+    #[test]
+    fn vc_leq_reflexive_and_antisymmetric_cases() {
+        let a = VectorClock::from_vec(vec![1, 2]);
+        let b = VectorClock::from_vec(vec![2, 2]);
+        assert!(a.leq(&a));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+}

@@ -1,0 +1,241 @@
+//! Events, messages, and the effects a program handler produces.
+//!
+//! Every observable thing that happens in a [`crate::World`] is an
+//! [`Event`]; every consequence of running a handler is captured in an
+//! [`Effects`] record. Together they are the vocabulary shared by the
+//! Scroll (which records them), the Time Machine (which checkpoints around
+//! them), and the Investigator (which enumerates them).
+
+use crate::clock::VectorClock;
+use crate::wire;
+use crate::{Pid, VTime};
+
+/// Identifier for a timer set by a program. Unique within a world run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// Metadata piggybacked on every message, used by the FixD components:
+///
+/// * `ckpt_index` — the sender's current checkpoint index, used by the
+///   Time Machine's communication-induced checkpointing (paper §4.2,
+///   Fig. 6) to track rollback dependencies;
+/// * `spec_id` — the speculation the sender was executing inside when it
+///   sent the message (`0` = none); receivers of speculative data are
+///   *absorbed* into the speculation;
+/// * `lamport` — sender's Lamport timestamp, used by the Scroll to impose
+///   a total order on messages (paper §2.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MsgMeta {
+    pub ckpt_index: u64,
+    pub spec_id: u64,
+    pub lamport: u64,
+}
+
+/// A message in flight between two processes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// Unique id within the world run (also unique across duplicates:
+    /// a duplicated delivery reuses the id so tooling can spot it).
+    pub id: u64,
+    pub src: Pid,
+    pub dst: Pid,
+    /// Application-level message kind.
+    pub tag: u16,
+    pub payload: Vec<u8>,
+    /// Virtual time at which the send happened.
+    pub sent_at: VTime,
+    /// Sender's vector clock at send time (after the send tick).
+    pub vc: VectorClock,
+    pub meta: MsgMeta,
+}
+
+impl Message {
+    /// Stable content fingerprint (ignores `id` and timing, so replayed or
+    /// re-executed sends of the same logical message match).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.payload.len() + 16);
+        wire::put_varint(&mut buf, u64::from(self.src.0));
+        wire::put_varint(&mut buf, u64::from(self.dst.0));
+        wire::put_varint(&mut buf, u64::from(self.tag));
+        wire::put_bytes(&mut buf, &self.payload);
+        wire::fnv1a(&buf)
+    }
+}
+
+/// A byte string a program emitted via [`crate::Context::output`] —
+/// the observable "result" channel of an application, used by tests and by
+/// the Healer benchmarks to compare salvaged computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Output {
+    pub pid: Pid,
+    pub at: VTime,
+    pub data: Vec<u8>,
+}
+
+/// What kind of thing happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A process's `on_start` handler ran.
+    Start { pid: Pid },
+    /// A message was delivered to its destination's `on_message` handler.
+    Deliver { msg: Message },
+    /// A message was dropped by the network or a fault (never delivered).
+    Drop { msg: Message },
+    /// A timer fired.
+    TimerFire { pid: Pid, timer: TimerId },
+    /// A process crashed (fault injection or self-crash).
+    Crash { pid: Pid },
+    /// A process was restarted by an external driver (e.g. the Healer).
+    Restart { pid: Pid },
+    /// A network partition changed.
+    PartitionChange { partition: crate::network::Partition },
+}
+
+impl EventKind {
+    /// The process this event primarily concerns (destination for
+    /// deliveries/drops).
+    pub fn pid(&self) -> Option<Pid> {
+        match self {
+            EventKind::Start { pid }
+            | EventKind::TimerFire { pid, .. }
+            | EventKind::Crash { pid }
+            | EventKind::Restart { pid } => Some(*pid),
+            EventKind::Deliver { msg } | EventKind::Drop { msg } => Some(msg.dst),
+            EventKind::PartitionChange { .. } => None,
+        }
+    }
+
+    /// Whether executing this event runs application code (a handler).
+    pub fn runs_handler(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Start { .. } | EventKind::Deliver { .. } | EventKind::TimerFire { .. }
+        )
+    }
+}
+
+/// A fully scheduled event: what happened, when, and in which global order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global sequence number (total order of execution in this run).
+    pub seq: u64,
+    /// Virtual time of execution.
+    pub at: VTime,
+    pub kind: EventKind,
+}
+
+/// Everything a single handler invocation did. Collected by
+/// [`crate::Context`], applied by the world after the handler returns, and
+/// recorded verbatim by the Scroll (these are exactly the "actions ... and
+/// their outcome" of paper §3.1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Effects {
+    /// Messages sent (already stamped with id/vc/meta).
+    pub sends: Vec<Message>,
+    /// Timers set: (id, fire-at absolute virtual time).
+    pub timers_set: Vec<(TimerId, VTime)>,
+    /// Timers cancelled.
+    pub timers_cancelled: Vec<TimerId>,
+    /// Random draws made by the handler, in order.
+    pub randoms: Vec<u64>,
+    /// Observable outputs emitted.
+    pub outputs: Vec<Vec<u8>>,
+    /// The handler asked to crash its own process.
+    pub crashed: bool,
+}
+
+impl Effects {
+    /// True if the handler did nothing observable.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+            && self.timers_set.is_empty()
+            && self.timers_cancelled.is_empty()
+            && self.randoms.is_empty()
+            && self.outputs.is_empty()
+            && !self.crashed
+    }
+
+    /// Stable fingerprint of the effects, used to validate replay fidelity:
+    /// a faithful replay must reproduce byte-identical effects.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, self.sends.len() as u64);
+        for m in &self.sends {
+            wire::put_varint(&mut buf, m.content_fingerprint());
+        }
+        wire::put_varint(&mut buf, self.timers_set.len() as u64);
+        for (t, at) in &self.timers_set {
+            wire::put_varint(&mut buf, t.0);
+            wire::put_varint(&mut buf, *at);
+        }
+        wire::put_u64s(&mut buf, &self.randoms);
+        wire::put_varint(&mut buf, self.outputs.len() as u64);
+        for o in &self.outputs {
+            wire::put_bytes(&mut buf, o);
+        }
+        buf.push(u8::from(self.crashed));
+        wire::fnv1a(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: u32, dst: u32, tag: u16, payload: &[u8]) -> Message {
+        Message {
+            id: 1,
+            src: Pid(src),
+            dst: Pid(dst),
+            tag,
+            payload: payload.to_vec(),
+            sent_at: 0,
+            vc: VectorClock::new(2),
+            meta: MsgMeta::default(),
+        }
+    }
+
+    #[test]
+    fn content_fingerprint_ignores_id_and_time() {
+        let a = msg(0, 1, 3, b"x");
+        let mut b = a.clone();
+        b.id = 99;
+        b.sent_at = 123;
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        let mut c = a.clone();
+        c.payload = b"y".to_vec();
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+    }
+
+    #[test]
+    fn event_kind_pid_extraction() {
+        let e = EventKind::Deliver { msg: msg(0, 1, 0, b"") };
+        assert_eq!(e.pid(), Some(Pid(1)));
+        assert!(e.runs_handler());
+        let c = EventKind::Crash { pid: Pid(2) };
+        assert_eq!(c.pid(), Some(Pid(2)));
+        assert!(!c.runs_handler());
+    }
+
+    #[test]
+    fn effects_fingerprint_sensitive_to_all_fields() {
+        let mut e = Effects::default();
+        let base = e.fingerprint();
+        assert!(e.is_empty());
+        e.randoms.push(7);
+        assert_ne!(e.fingerprint(), base);
+        assert!(!e.is_empty());
+        let with_rand = e.fingerprint();
+        e.crashed = true;
+        assert_ne!(e.fingerprint(), with_rand);
+    }
+
+    #[test]
+    fn effects_fingerprint_order_sensitive() {
+        let m1 = msg(0, 1, 1, b"a");
+        let m2 = msg(0, 1, 2, b"b");
+        let e1 = Effects { sends: vec![m1.clone(), m2.clone()], ..Default::default() };
+        let e2 = Effects { sends: vec![m2, m1], ..Default::default() };
+        assert_ne!(e1.fingerprint(), e2.fingerprint());
+    }
+}

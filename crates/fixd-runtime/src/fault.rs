@@ -1,0 +1,191 @@
+//! Declarative fault injection.
+//!
+//! A [`FaultPlan`] is a reproducible script of failures applied to a world:
+//! crash-stop faults at given virtual times, targeted message drops or
+//! corruption between specific pairs, and timed partitions. The
+//! reproduction band for this paper calls for "multi-process fault
+//! injection on one box"; this module is that capability, made
+//! deterministic so every FixD experiment can be replayed exactly.
+
+use crate::network::Partition;
+use crate::{Pid, VTime};
+
+/// A single injected fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Crash-stop `pid` at virtual time `at`.
+    CrashAt { pid: Pid, at: VTime },
+    /// Drop every message from `from` to `to` in the window `[start, end)`.
+    /// `None` endpoints match any process.
+    DropLink {
+        from: Option<Pid>,
+        to: Option<Pid>,
+        start: VTime,
+        end: VTime,
+    },
+    /// Flip one byte of every message matching the link/window.
+    CorruptLink {
+        from: Option<Pid>,
+        to: Option<Pid>,
+        start: VTime,
+        end: VTime,
+    },
+    /// Impose a partition at `at`, healed at `heal_at` (None = never).
+    PartitionAt {
+        at: VTime,
+        partition: Partition,
+        heal_at: Option<VTime>,
+    },
+}
+
+impl Fault {
+    fn link_matches(from: Option<Pid>, to: Option<Pid>, src: Pid, dst: Pid) -> bool {
+        from.map_or(true, |f| f == src) && to.map_or(true, |t| t == dst)
+    }
+}
+
+/// An ordered collection of faults to inject into a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault (builder style).
+    pub fn with(mut self, f: Fault) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// Crash `pid` at time `at` (builder shorthand).
+    pub fn crash(self, pid: Pid, at: VTime) -> Self {
+        self.with(Fault::CrashAt { pid, at })
+    }
+
+    /// Drop all `from → to` messages in `[start, end)` (builder shorthand).
+    pub fn drop_link(self, from: Pid, to: Pid, start: VTime, end: VTime) -> Self {
+        self.with(Fault::DropLink { from: Some(from), to: Some(to), start, end })
+    }
+
+    /// All faults in the plan.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Crash events the world should pre-schedule: `(pid, at)` pairs.
+    pub fn scheduled_crashes(&self) -> Vec<(Pid, VTime)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CrashAt { pid, at } => Some((*pid, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Partition changes the world should pre-schedule:
+    /// `(at, partition-to-apply)` pairs, including heals.
+    pub fn scheduled_partitions(&self, world_size: usize) -> Vec<(VTime, Partition)> {
+        let mut out = Vec::new();
+        for f in &self.faults {
+            if let Fault::PartitionAt { at, partition, heal_at } = f {
+                out.push((*at, partition.clone()));
+                if let Some(h) = heal_at {
+                    out.push((*h, Partition::none(world_size)));
+                }
+            }
+        }
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// Should a message `src → dst` sent at `now` be force-dropped?
+    pub fn should_drop(&self, src: Pid, dst: Pid, now: VTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::DropLink { from, to, start, end } => {
+                Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now)
+            }
+            _ => false,
+        })
+    }
+
+    /// Should a message `src → dst` sent at `now` be corrupted?
+    pub fn should_corrupt(&self, src: Pid, dst: Pid, now: VTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::CorruptLink { from, to, start, end } => {
+                Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now)
+            }
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_faults() {
+        let plan = FaultPlan::none()
+            .crash(Pid(1), 100)
+            .drop_link(Pid(0), Pid(2), 10, 20);
+        assert_eq!(plan.faults().len(), 2);
+        assert_eq!(plan.scheduled_crashes(), vec![(Pid(1), 100)]);
+    }
+
+    #[test]
+    fn drop_window_is_half_open() {
+        let plan = FaultPlan::none().drop_link(Pid(0), Pid(1), 10, 20);
+        assert!(!plan.should_drop(Pid(0), Pid(1), 9));
+        assert!(plan.should_drop(Pid(0), Pid(1), 10));
+        assert!(plan.should_drop(Pid(0), Pid(1), 19));
+        assert!(!plan.should_drop(Pid(0), Pid(1), 20));
+        assert!(!plan.should_drop(Pid(1), Pid(0), 15), "direction matters");
+    }
+
+    #[test]
+    fn wildcard_links() {
+        let plan = FaultPlan::none().with(Fault::DropLink {
+            from: None,
+            to: Some(Pid(3)),
+            start: 0,
+            end: VTime::MAX,
+        });
+        assert!(plan.should_drop(Pid(0), Pid(3), 5));
+        assert!(plan.should_drop(Pid(7), Pid(3), 5));
+        assert!(!plan.should_drop(Pid(3), Pid(0), 5));
+    }
+
+    #[test]
+    fn corrupt_separate_from_drop() {
+        let plan = FaultPlan::none().with(Fault::CorruptLink {
+            from: Some(Pid(0)),
+            to: Some(Pid(1)),
+            start: 0,
+            end: 100,
+        });
+        assert!(plan.should_corrupt(Pid(0), Pid(1), 50));
+        assert!(!plan.should_drop(Pid(0), Pid(1), 50));
+    }
+
+    #[test]
+    fn partition_schedule_includes_heal() {
+        let part = Partition::split(3, &[&[Pid(0)], &[Pid(1), Pid(2)]]);
+        let plan = FaultPlan::none().with(Fault::PartitionAt {
+            at: 50,
+            partition: part.clone(),
+            heal_at: Some(80),
+        });
+        let sched = plan.scheduled_partitions(3);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].0, 50);
+        assert_eq!(sched[0].1, part);
+        assert_eq!(sched[1].0, 80);
+        assert_eq!(sched[1].1, Partition::none(3));
+    }
+}

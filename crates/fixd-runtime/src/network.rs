@@ -1,0 +1,259 @@
+//! The simulated network: delivery policies, loss/duplication/corruption,
+//! and partitions.
+//!
+//! The network is one of the environment components the paper says is
+//! "outside the control of the FixD environment" (§4.3) and therefore must
+//! be *modeled* during investigation. Here it is the real (simulated)
+//! network during execution, and `fixd-investigator::envmodel` provides the
+//! corresponding model the Investigator swaps in.
+
+use crate::rng::DetRng;
+use crate::{Pid, VTime};
+
+/// How message latency is assigned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeliveryPolicy {
+    /// Constant latency; per-channel FIFO order is preserved.
+    Fifo { latency: VTime },
+    /// Uniform random latency in `[min, max]`; messages may reorder.
+    RandomDelay { min: VTime, max: VTime },
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy::Fifo { latency: 10 }
+    }
+}
+
+/// A static partition of processes into connectivity groups. Messages
+/// between different groups are dropped. `group_of[pid] == group id`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    group_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Fully connected world of `n` processes.
+    pub fn none(n: usize) -> Self {
+        Self { group_of: vec![0; n] }
+    }
+
+    /// Build from explicit groups; any pid not mentioned lands in group 0.
+    pub fn split(n: usize, groups: &[&[Pid]]) -> Self {
+        let mut group_of = vec![0u32; n];
+        for (g, members) in groups.iter().enumerate() {
+            for p in *members {
+                if p.idx() < n {
+                    group_of[p.idx()] = g as u32;
+                }
+            }
+        }
+        Self { group_of }
+    }
+
+    /// Can `a` currently talk to `b`?
+    pub fn connected(&self, a: Pid, b: Pid) -> bool {
+        match (self.group_of.get(a.idx()), self.group_of.get(b.idx())) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of processes covered.
+    pub fn width(&self) -> usize {
+        self.group_of.len()
+    }
+}
+
+/// Network behaviour knobs. All probabilities are per-message and decided
+/// with the world's deterministic network RNG stream.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    pub policy: DeliveryPolicy,
+    /// Probability a message is silently lost.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability one payload byte is flipped in transit.
+    pub corrupt_prob: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            policy: DeliveryPolicy::default(),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            corrupt_prob: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A lossy network with the given drop probability.
+    pub fn lossy(drop_prob: f64) -> Self {
+        Self { drop_prob, ..Self::default() }
+    }
+
+    /// A reordering network with latency jitter.
+    pub fn jittery(min: VTime, max: VTime) -> Self {
+        Self { policy: DeliveryPolicy::RandomDelay { min, max }, ..Self::default() }
+    }
+}
+
+/// One planned outcome for a sent message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeliveryOutcome {
+    /// Deliver at this absolute virtual time, possibly with a corrupted
+    /// payload (the corrupted bytes replace the original).
+    Deliver { at: VTime, corrupted_payload: Option<Vec<u8>> },
+    /// Dropped; the reason is recorded in the trace.
+    Drop { reason: DropReason },
+}
+
+/// Why a message never arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss per `drop_prob` or a fault-plan drop rule.
+    Loss,
+    /// Source and destination are in different partition groups.
+    Partitioned,
+    /// Destination process is crashed.
+    DestCrashed,
+}
+
+/// Counters describing what the network did during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub corrupted: u64,
+    pub payload_bytes: u64,
+}
+
+impl NetworkConfig {
+    /// Decide the fate of one message sent at `now`: zero, one, or two
+    /// delivery outcomes (two when duplicated). Deterministic given the
+    /// RNG stream state.
+    pub fn plan(
+        &self,
+        now: VTime,
+        payload: &[u8],
+        connected: bool,
+        rng: &mut DetRng,
+    ) -> Vec<DeliveryOutcome> {
+        if !connected {
+            return vec![DeliveryOutcome::Drop { reason: DropReason::Partitioned }];
+        }
+        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
+            return vec![DeliveryOutcome::Drop { reason: DropReason::Loss }];
+        }
+        let copies = if self.dup_prob > 0.0 && rng.chance(self.dup_prob) { 2 } else { 1 };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let delay = match self.policy {
+                DeliveryPolicy::Fifo { latency } => latency,
+                DeliveryPolicy::RandomDelay { min, max } => {
+                    if max > min {
+                        rng.range(min, max + 1)
+                    } else {
+                        min
+                    }
+                }
+            };
+            let corrupted_payload =
+                if self.corrupt_prob > 0.0 && !payload.is_empty() && rng.chance(self.corrupt_prob) {
+                    let mut p = payload.to_vec();
+                    let i = rng.below(p.len() as u64) as usize;
+                    p[i] ^= 0xFF;
+                    Some(p)
+                } else {
+                    None
+                };
+            out.push(DeliveryOutcome::Deliver { at: now.saturating_add(delay), corrupted_payload });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_membership() {
+        let p = Partition::split(4, &[&[Pid(0), Pid(1)], &[Pid(2), Pid(3)]]);
+        assert!(p.connected(Pid(0), Pid(1)));
+        assert!(p.connected(Pid(2), Pid(3)));
+        assert!(!p.connected(Pid(1), Pid(2)));
+        assert!(!p.connected(Pid(0), Pid(9)), "unknown pid is unreachable");
+        assert!(Partition::none(4).connected(Pid(0), Pid(3)));
+    }
+
+    #[test]
+    fn fifo_plan_constant_latency() {
+        let cfg = NetworkConfig::default();
+        let mut rng = DetRng::derive(1, 0);
+        let out = cfg.plan(100, b"x", true, &mut rng);
+        assert_eq!(
+            out,
+            vec![DeliveryOutcome::Deliver { at: 110, corrupted_payload: None }]
+        );
+    }
+
+    #[test]
+    fn partitioned_always_drops() {
+        let cfg = NetworkConfig::default();
+        let mut rng = DetRng::derive(1, 0);
+        let out = cfg.plan(0, b"x", false, &mut rng);
+        assert_eq!(out, vec![DeliveryOutcome::Drop { reason: DropReason::Partitioned }]);
+    }
+
+    #[test]
+    fn drop_prob_one_always_drops() {
+        let cfg = NetworkConfig::lossy(1.0);
+        let mut rng = DetRng::derive(1, 0);
+        for _ in 0..10 {
+            let out = cfg.plan(0, b"x", true, &mut rng);
+            assert_eq!(out, vec![DeliveryOutcome::Drop { reason: DropReason::Loss }]);
+        }
+    }
+
+    #[test]
+    fn dup_prob_one_duplicates() {
+        let cfg = NetworkConfig { dup_prob: 1.0, ..NetworkConfig::default() };
+        let mut rng = DetRng::derive(1, 0);
+        let out = cfg.plan(0, b"x", true, &mut rng);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let cfg = NetworkConfig { corrupt_prob: 1.0, ..NetworkConfig::default() };
+        let mut rng = DetRng::derive(1, 0);
+        let out = cfg.plan(0, b"abcd", true, &mut rng);
+        match &out[0] {
+            DeliveryOutcome::Deliver { corrupted_payload: Some(p), .. } => {
+                let diff = p.iter().zip(b"abcd").filter(|(a, b)| a != b).count();
+                assert_eq!(diff, 1);
+            }
+            other => panic!("expected corrupted delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_within_bounds() {
+        let cfg = NetworkConfig::jittery(5, 15);
+        let mut rng = DetRng::derive(3, 0);
+        for _ in 0..100 {
+            match &cfg.plan(1000, b"x", true, &mut rng)[0] {
+                DeliveryOutcome::Deliver { at, .. } => {
+                    assert!((1005..=1015).contains(at), "at={at}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The [`Program`] trait — a distributed application process as a real
+//! Rust state machine — and the [`Context`] handed to its handlers.
+//!
+//! The paper's central requirement (§4.3) is that FixD's tools operate on
+//! *actual implementations*, not abstract models. `Program` is that actual
+//! implementation: the same object is executed by the production runtime
+//! ([`crate::World`]), recorded by the Scroll, checkpointed by the Time
+//! Machine (via [`Program::snapshot`]/[`Program::restore`]), and explored
+//! by the Investigator (via [`Program::clone_program`]).
+
+use crate::clock::VectorClock;
+use crate::event::{Effects, Message, MsgMeta, TimerId};
+use crate::rng::DetRng;
+use crate::{Pid, VTime};
+
+/// A process of a distributed application.
+///
+/// Handlers are atomic: the runtime delivers one event, the handler runs to
+/// completion, and its [`Effects`] are applied afterwards. All
+/// nondeterminism available to a handler flows through [`Context`].
+///
+/// State snapshots are opaque byte images. They must be *complete*: after
+/// `restore(snapshot())` the program must behave identically. This is what
+/// makes checkpoint/rollback (§3.2) and model-checking state hashing (§4.3)
+/// possible without language-level reflection.
+///
+/// `Send + Sync` bounds: programs are plain data state machines (all
+/// mutation flows through `&mut self` handlers), and the Investigator
+/// shares read-only global states across exploration worker threads.
+pub trait Program: Send + Sync {
+    /// Called once when the process starts (or is restarted from scratch).
+    fn on_start(&mut self, _ctx: &mut Context) {}
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, _ctx: &mut Context, _msg: &Message) {}
+
+    /// Called when a timer set by this process fires.
+    fn on_timer(&mut self, _ctx: &mut Context, _timer: TimerId) {}
+
+    /// Complete, deterministic byte image of the process state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restore from a byte image produced by [`Program::snapshot`].
+    fn restore(&mut self, bytes: &[u8]);
+
+    /// Clone the process (state included) for branching exploration.
+    fn clone_program(&self) -> Box<dyn Program>;
+
+    /// Downcasting support so invariants and tests can inspect typed state.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Human-readable name for traces and reports.
+    fn name(&self) -> &'static str {
+        "program"
+    }
+}
+
+/// The capability surface a handler sees. Buffers all effects; the world
+/// applies them after the handler returns (so a crashing handler cannot
+/// leave half-applied network state behind).
+pub struct Context<'a> {
+    pid: Pid,
+    now: VTime,
+    world_width: usize,
+    rng: &'a mut DetRng,
+    vc: &'a mut VectorClock,
+    lamport: &'a mut u64,
+    next_msg_id: &'a mut u64,
+    next_timer_id: &'a mut u64,
+    meta_template: MsgMeta,
+    /// Collected effects of this handler run.
+    pub(crate) effects: Effects,
+}
+
+impl<'a> Context<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pid: Pid,
+        now: VTime,
+        world_width: usize,
+        rng: &'a mut DetRng,
+        vc: &'a mut VectorClock,
+        lamport: &'a mut u64,
+        next_msg_id: &'a mut u64,
+        next_timer_id: &'a mut u64,
+        meta_template: MsgMeta,
+    ) -> Self {
+        Self {
+            pid,
+            now,
+            world_width,
+            rng,
+            vc,
+            lamport,
+            next_msg_id,
+            next_timer_id,
+            meta_template,
+            effects: Effects::default(),
+        }
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Number of processes in the world (useful for broadcast loops).
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.world_width
+    }
+
+    /// Send a message. The message is stamped with a fresh id, the sender's
+    /// vector clock (ticked), Lamport timestamp, and the Time-Machine
+    /// metadata template (checkpoint index / speculation id).
+    pub fn send(&mut self, dst: Pid, tag: u16, payload: Vec<u8>) {
+        let id = *self.next_msg_id;
+        *self.next_msg_id += 1;
+        self.vc.tick(self.pid);
+        *self.lamport += 1;
+        let mut meta = self.meta_template;
+        meta.lamport = *self.lamport;
+        self.effects.sends.push(Message {
+            id,
+            src: self.pid,
+            dst,
+            tag,
+            payload,
+            sent_at: self.now,
+            vc: self.vc.clone(),
+            meta,
+        });
+    }
+
+    /// Broadcast to every other process.
+    pub fn broadcast(&mut self, tag: u16, payload: &[u8]) {
+        for i in 0..self.world_width {
+            let dst = Pid(i as u32);
+            if dst != self.pid {
+                self.send(dst, tag, payload.to_vec());
+            }
+        }
+    }
+
+    /// Arm a timer `delay` virtual time units from now.
+    pub fn set_timer(&mut self, delay: VTime) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.timers_set.push((id, self.now.saturating_add(delay)));
+        id
+    }
+
+    /// Cancel a previously set timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.timers_cancelled.push(id);
+    }
+
+    /// Draw a random `u64`. Recorded in the effects (the Scroll logs it as
+    /// a nondeterministic outcome, per §3.1).
+    pub fn random(&mut self) -> u64 {
+        let v = self.rng.next_u64();
+        self.effects.randoms.push(v);
+        v
+    }
+
+    /// Draw uniformly from `[0, n)`.
+    pub fn random_below(&mut self, n: u64) -> u64 {
+        let v = self.rng.below(n);
+        self.effects.randoms.push(v);
+        v
+    }
+
+    /// Emit an observable output (the application's "result" channel).
+    pub fn output(&mut self, data: Vec<u8>) {
+        self.effects.outputs.push(data);
+    }
+
+    /// Ask the runtime to crash this process after the handler returns
+    /// (models a local fail-stop fault detected by the application).
+    pub fn crash(&mut self) {
+        self.effects.crashed = true;
+    }
+
+    /// The process's current vector clock (read-only view).
+    pub fn vector_clock(&self) -> &VectorClock {
+        self.vc
+    }
+
+    pub(crate) fn into_effects(self) -> Effects {
+        self.effects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ctx(f: impl FnOnce(&mut Context)) -> Effects {
+        let mut rng = DetRng::derive(1, 0);
+        let mut vc = VectorClock::new(3);
+        let mut lamport = 0u64;
+        let mut next_msg = 10u64;
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            Pid(1),
+            500,
+            3,
+            &mut rng,
+            &mut vc,
+            &mut lamport,
+            &mut next_msg,
+            &mut next_timer,
+            MsgMeta { ckpt_index: 4, spec_id: 9, lamport: 0 },
+        );
+        f(&mut ctx);
+        ctx.into_effects()
+    }
+
+    #[test]
+    fn send_stamps_everything() {
+        let eff = run_ctx(|ctx| {
+            ctx.send(Pid(2), 5, b"hi".to_vec());
+            ctx.send(Pid(0), 6, b"yo".to_vec());
+        });
+        assert_eq!(eff.sends.len(), 2);
+        let m = &eff.sends[0];
+        assert_eq!(m.id, 10);
+        assert_eq!(m.src, Pid(1));
+        assert_eq!(m.dst, Pid(2));
+        assert_eq!(m.sent_at, 500);
+        assert_eq!(m.meta.ckpt_index, 4);
+        assert_eq!(m.meta.spec_id, 9);
+        assert_eq!(m.meta.lamport, 1);
+        assert_eq!(m.vc.get(Pid(1)), 1);
+        let m2 = &eff.sends[1];
+        assert_eq!(m2.id, 11);
+        assert_eq!(m2.meta.lamport, 2);
+        assert_eq!(m2.vc.get(Pid(1)), 2);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let eff = run_ctx(|ctx| ctx.broadcast(1, b"x"));
+        let dsts: Vec<Pid> = eff.sends.iter().map(|m| m.dst).collect();
+        assert_eq!(dsts, vec![Pid(0), Pid(2)]);
+    }
+
+    #[test]
+    fn timers_absolute_deadline() {
+        let eff = run_ctx(|ctx| {
+            let t = ctx.set_timer(100);
+            ctx.cancel_timer(t);
+        });
+        assert_eq!(eff.timers_set.len(), 1);
+        assert_eq!(eff.timers_set[0].1, 600);
+        assert_eq!(eff.timers_cancelled, vec![eff.timers_set[0].0]);
+    }
+
+    #[test]
+    fn randoms_recorded_in_order() {
+        let eff = run_ctx(|ctx| {
+            ctx.random();
+            ctx.random_below(5);
+        });
+        assert_eq!(eff.randoms.len(), 2);
+        assert!(eff.randoms[1] < 5);
+    }
+
+    #[test]
+    fn crash_and_output_flags() {
+        let eff = run_ctx(|ctx| {
+            ctx.output(b"result".to_vec());
+            ctx.crash();
+        });
+        assert!(eff.crashed);
+        assert_eq!(eff.outputs, vec![b"result".to_vec()]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Standard communication topologies for example applications and
+//! workload generators: who are a process's neighbors?
+
+use crate::Pid;
+
+/// A static neighbor relation over `n` processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<Vec<Pid>>,
+}
+
+impl Topology {
+    fn from_adj(adj: Vec<Vec<Pid>>) -> Self {
+        Self { n: adj.len(), adj }
+    }
+
+    /// Unidirectional ring: `i → (i+1) mod n`.
+    pub fn ring(n: usize) -> Self {
+        Self::from_adj(
+            (0..n)
+                .map(|i| vec![Pid(((i + 1) % n) as u32)])
+                .collect(),
+        )
+    }
+
+    /// Bidirectional ring.
+    pub fn bi_ring(n: usize) -> Self {
+        Self::from_adj(
+            (0..n)
+                .map(|i| {
+                    let next = Pid(((i + 1) % n) as u32);
+                    let prev = Pid(((i + n - 1) % n) as u32);
+                    if next == prev {
+                        vec![next]
+                    } else {
+                        vec![prev, next]
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Star: process 0 is the hub; every other process talks only to 0.
+    pub fn star(n: usize) -> Self {
+        Self::from_adj(
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        (1..n).map(|j| Pid(j as u32)).collect()
+                    } else {
+                        vec![Pid(0)]
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Complete graph.
+    pub fn clique(n: usize) -> Self {
+        Self::from_adj(
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| Pid(j as u32))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Line: `0 — 1 — … — n-1`.
+    pub fn line(n: usize) -> Self {
+        Self::from_adj(
+            (0..n)
+                .map(|i| {
+                    let mut v = Vec::new();
+                    if i > 0 {
+                        v.push(Pid((i - 1) as u32));
+                    }
+                    if i + 1 < n {
+                        v.push(Pid((i + 1) as u32));
+                    }
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// `rows × cols` grid with 4-neighborhood.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        Self::from_adj(
+            (0..n)
+                .map(|i| {
+                    let (r, c) = (i / cols, i % cols);
+                    let mut v = Vec::new();
+                    if r > 0 {
+                        v.push(Pid((i - cols) as u32));
+                    }
+                    if c > 0 {
+                        v.push(Pid((i - 1) as u32));
+                    }
+                    if c + 1 < cols {
+                        v.push(Pid((i + 1) as u32));
+                    }
+                    if r + 1 < rows {
+                        v.push(Pid((i + cols) as u32));
+                    }
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate empty topology.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbors of `p`.
+    pub fn neighbors(&self, p: Pid) -> &[Pid] {
+        self.adj.get(p.idx()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Is the (directed) edge `a → b` present?
+    pub fn has_edge(&self, a: Pid, b: Pid) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::ring(3);
+        assert_eq!(t.neighbors(Pid(2)), &[Pid(0)]);
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    fn bi_ring_two_neighbors_no_dup_for_pair() {
+        let t = Topology::bi_ring(2);
+        assert_eq!(t.neighbors(Pid(0)), &[Pid(1)], "n=2 dedups prev==next");
+        let t4 = Topology::bi_ring(4);
+        assert_eq!(t4.neighbors(Pid(0)), &[Pid(3), Pid(1)]);
+    }
+
+    #[test]
+    fn star_hub_and_spokes() {
+        let t = Topology::star(4);
+        assert_eq!(t.neighbors(Pid(0)).len(), 3);
+        assert_eq!(t.neighbors(Pid(2)), &[Pid(0)]);
+    }
+
+    #[test]
+    fn clique_complete() {
+        let t = Topology::clique(4);
+        assert_eq!(t.edge_count(), 12);
+        assert!(t.has_edge(Pid(1), Pid(3)));
+        assert!(!t.has_edge(Pid(1), Pid(1)));
+    }
+
+    #[test]
+    fn line_endpoints() {
+        let t = Topology::line(3);
+        assert_eq!(t.neighbors(Pid(0)), &[Pid(1)]);
+        assert_eq!(t.neighbors(Pid(1)), &[Pid(0), Pid(2)]);
+        assert_eq!(t.neighbors(Pid(2)), &[Pid(1)]);
+    }
+
+    #[test]
+    fn grid_corner_and_center() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.neighbors(Pid(0)).len(), 2);
+        assert_eq!(t.neighbors(Pid(4)).len(), 4);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn out_of_range_pid_has_no_neighbors() {
+        let t = Topology::ring(3);
+        assert!(t.neighbors(Pid(99)).is_empty());
+    }
+}

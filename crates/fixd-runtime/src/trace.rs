@@ -1,0 +1,170 @@
+//! Execution traces: the runtime's own record of what happened.
+//!
+//! Distinct from the Scroll: the trace is a debugging/diagnostic artifact
+//! of the simulator itself (complete, heavyweight), whereas the Scroll
+//! records only the nondeterministic actions needed for replay (paper
+//! §3.1). The Scroll's recorder consumes `StepRecord`s as they are
+//! produced.
+
+use crate::event::{Effects, Event, Output};
+use crate::{Pid, VTime};
+
+/// One executed event plus everything its handler did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepRecord {
+    pub event: Event,
+    pub effects: Effects,
+}
+
+/// A bounded in-memory trace of step records plus collected outputs.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    records: Vec<StepRecord>,
+    outputs: Vec<Output>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Unbounded trace.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Trace keeping at most `cap` most-recent records (ring semantics).
+    pub fn bounded(cap: usize) -> Self {
+        Self { capacity: Some(cap), ..Self::default() }
+    }
+
+    /// Append a record, evicting the oldest if at capacity.
+    pub fn push(&mut self, rec: StepRecord) {
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.remove(0);
+                self.dropped += 1;
+            }
+        }
+        self.records.push(rec);
+    }
+
+    /// Record an observable output.
+    pub fn push_output(&mut self, out: Output) {
+        self.outputs.push(out);
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// All outputs emitted by `pid`, in order.
+    pub fn outputs_of(&self, pid: Pid) -> Vec<&[u8]> {
+        self.outputs
+            .iter()
+            .filter(|o| o.pid == pid)
+            .map(|o| o.data.as_slice())
+            .collect()
+    }
+
+    /// All outputs, in emission order.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Records concerning `pid`, oldest first.
+    pub fn records_of(&self, pid: Pid) -> impl Iterator<Item = &StepRecord> {
+        self.records.iter().filter(move |r| r.event.kind.pid() == Some(pid))
+    }
+
+    /// Records in the virtual-time window `[start, end)`.
+    pub fn records_between(&self, start: VTime, end: VTime) -> impl Iterator<Item = &StepRecord> {
+        self.records
+            .iter()
+            .filter(move |r| (start..end).contains(&r.event.at))
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Human-readable rendering of the last `n` records (for reports).
+    pub fn render_tail(&self, n: usize) -> String {
+        use std::fmt::Write;
+        let start = self.records.len().saturating_sub(n);
+        let mut s = String::new();
+        for r in &self.records[start..] {
+            let _ = writeln!(
+                s,
+                "#{:<6} t={:<8} {:?}",
+                r.event.seq, r.event.at, r.event.kind
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn rec(seq: u64, at: VTime, pid: u32) -> StepRecord {
+        StepRecord {
+            event: Event { seq, at, kind: EventKind::Start { pid: Pid(pid) } },
+            effects: Effects::default(),
+        }
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        t.push(rec(0, 0, 0));
+        t.push(rec(1, 1, 0));
+        t.push(rec(2, 2, 0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.records()[0].event.seq, 1);
+    }
+
+    #[test]
+    fn filters_by_pid_and_time() {
+        let mut t = Trace::unbounded();
+        t.push(rec(0, 5, 0));
+        t.push(rec(1, 10, 1));
+        t.push(rec(2, 15, 0));
+        assert_eq!(t.records_of(Pid(0)).count(), 2);
+        assert_eq!(t.records_between(5, 15).count(), 2);
+    }
+
+    #[test]
+    fn outputs_by_pid() {
+        let mut t = Trace::unbounded();
+        t.push_output(Output { pid: Pid(0), at: 1, data: b"a".to_vec() });
+        t.push_output(Output { pid: Pid(1), at: 2, data: b"b".to_vec() });
+        t.push_output(Output { pid: Pid(0), at: 3, data: b"c".to_vec() });
+        assert_eq!(t.outputs_of(Pid(0)), vec![&b"a"[..], &b"c"[..]]);
+        assert_eq!(t.outputs().len(), 3);
+    }
+
+    #[test]
+    fn render_tail_is_bounded() {
+        let mut t = Trace::unbounded();
+        for i in 0..10 {
+            t.push(rec(i, i, 0));
+        }
+        let s = t.render_tail(3);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("#9"));
+    }
+}

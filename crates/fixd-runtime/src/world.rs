@@ -1,0 +1,1018 @@
+//! The [`World`]: a deterministic discrete-event simulation of a
+//! distributed application.
+//!
+//! A world hosts N [`Program`] processes, a simulated network, virtual
+//! time, and a fault plan. External *drivers* (the Scroll recorder, the
+//! Time Machine manager, the FixD detector) sit in a loop around
+//! [`World::peek`]/[`World::step`]:
+//!
+//! ```text
+//! while let Some(next) = world.peek() {
+//!     driver.before(&mut world, &next);   // e.g. checkpoint-before-receive
+//!     let record = world.step().unwrap();
+//!     driver.after(&mut world, &record);  // e.g. record in the Scroll
+//! }
+//! ```
+//!
+//! `peek` exposes the next event *before* it executes — exactly the hook
+//! the paper's communication-induced checkpointing needs ("each process
+//! saves a checkpoint before receiving a new message", Fig. 6).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::clock::VectorClock;
+use crate::event::{Effects, Event, EventKind, Message, MsgMeta, Output, TimerId};
+use crate::fault::FaultPlan;
+use crate::network::{DeliveryOutcome, NetStats, NetworkConfig, Partition};
+use crate::program::{Context, Program};
+use crate::rng::DetRng;
+use crate::trace::{StepRecord, Trace};
+use crate::wire;
+use crate::{Pid, VTime};
+
+/// Liveness of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcStatus {
+    Running,
+    Crashed,
+}
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Root seed; all randomness in the run derives from it.
+    pub seed: u64,
+    /// Network behaviour.
+    pub net: NetworkConfig,
+    /// Keep at most this many trace records (`None` = unbounded).
+    pub trace_cap: Option<usize>,
+    /// Virtual time at which `on_start` handlers run.
+    pub start_time: VTime,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self { seed: 0xF1BD, net: NetworkConfig::default(), trace_cap: None, start_time: 0 }
+    }
+}
+
+impl WorldConfig {
+    /// Config with a specific seed, defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// Everything needed to roll one process back: program state plus the
+/// runtime context that must travel with it (clocks, RNG position,
+/// delivery counters). Produced by [`World::checkpoint_process`], consumed
+/// by [`World::restore_checkpoint`]. The Time Machine stores these
+/// (de-duplicated into copy-on-write pages).
+#[derive(Clone, Debug)]
+pub struct ProcCheckpoint {
+    pub pid: Pid,
+    /// Opaque program snapshot ([`Program::snapshot`]).
+    pub state: Vec<u8>,
+    pub vc: VectorClock,
+    pub lamport: u64,
+    pub rng: DetRng,
+    pub delivered: u64,
+    pub meta: MsgMeta,
+    pub taken_at: VTime,
+    /// Per-process id counters (must roll back with the state so that
+    /// re-execution and replay mint identical ids).
+    pub next_msg_id: u64,
+    pub next_timer_id: u64,
+}
+
+impl ProcCheckpoint {
+    /// Stable fingerprint of the checkpointed state (program bytes + vc).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = wire::fnv1a(&self.state);
+        for &c in self.vc.components() {
+            h = wire::fnv_mix(h, c);
+        }
+        wire::fnv_mix(h, self.lamport)
+    }
+}
+
+/// A consistent snapshot of every process's state at one instant of the
+/// simulation (used by the detector and in tests).
+#[derive(Clone, Debug)]
+pub struct GlobalSnapshot {
+    pub at: VTime,
+    pub states: Vec<Vec<u8>>,
+    pub vcs: Vec<VectorClock>,
+    pub statuses: Vec<ProcStatus>,
+}
+
+impl GlobalSnapshot {
+    /// Order-dependent fingerprint over all process states.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xfeed_f00du64;
+        for s in &self.states {
+            h = wire::fnv_mix(h, wire::fnv1a(s));
+        }
+        h
+    }
+}
+
+/// Summary of a run segment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    pub steps: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub end_time: VTime,
+    /// True if the run ended because no events remained (vs. budget).
+    pub quiescent: bool,
+}
+
+struct ProcEntry {
+    program: Box<dyn Program>,
+    status: ProcStatus,
+    vc: VectorClock,
+    lamport: u64,
+    rng: DetRng,
+    meta_template: MsgMeta,
+    delivered: u64,
+    next_msg_id: u64,
+    next_timer_id: u64,
+}
+
+impl Clone for ProcEntry {
+    fn clone(&self) -> Self {
+        Self {
+            program: self.program.clone_program(),
+            status: self.status,
+            vc: self.vc.clone(),
+            lamport: self.lamport,
+            rng: self.rng.clone(),
+            meta_template: self.meta_template,
+            delivered: self.delivered,
+            next_msg_id: self.next_msg_id,
+            next_timer_id: self.next_timer_id,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct QueuedEvent {
+    at: VTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (at, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The deterministic distributed-system simulator. See module docs.
+pub struct World {
+    cfg: WorldConfig,
+    procs: Vec<ProcEntry>,
+    queue: BinaryHeap<QueuedEvent>,
+    staged: Option<QueuedEvent>,
+    cancelled_timers: HashSet<(u32, u64)>,
+    partition: Partition,
+    now: VTime,
+    sched_seq: u64,
+    exec_seq: u64,
+    net_rng: DetRng,
+    faults: FaultPlan,
+    trace: Trace,
+    stats: NetStats,
+    sealed: bool,
+}
+
+impl Clone for World {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            procs: self.procs.clone(),
+            queue: self.queue.clone(),
+            staged: self.staged.clone(),
+            cancelled_timers: self.cancelled_timers.clone(),
+            partition: self.partition.clone(),
+            now: self.now,
+            sched_seq: self.sched_seq,
+            exec_seq: self.exec_seq,
+            net_rng: self.net_rng.clone(),
+            faults: self.faults.clone(),
+            trace: self.trace.clone(),
+            stats: self.stats,
+            sealed: self.sealed,
+        }
+    }
+}
+
+impl World {
+    /// A fresh, empty world.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let net_rng = DetRng::derive(cfg.seed, u64::MAX);
+        let trace = match cfg.trace_cap {
+            Some(cap) => Trace::bounded(cap),
+            None => Trace::unbounded(),
+        };
+        Self {
+            partition: Partition::none(0),
+            now: cfg.start_time,
+            cfg,
+            procs: Vec::new(),
+            queue: BinaryHeap::new(),
+            staged: None,
+            cancelled_timers: HashSet::new(),
+            sched_seq: 0,
+            exec_seq: 0,
+            net_rng,
+            faults: FaultPlan::none(),
+            trace,
+            stats: NetStats::default(),
+            sealed: false,
+        }
+    }
+
+    /// Add a process. Must be called before the first `peek`/`step`.
+    /// Returns the new process's [`Pid`].
+    pub fn add_process(&mut self, program: Box<dyn Program>) -> Pid {
+        assert!(!self.sealed, "cannot add processes after the world started");
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(ProcEntry {
+            program,
+            status: ProcStatus::Running,
+            vc: VectorClock::new(0), // resized at seal
+            lamport: 0,
+            rng: DetRng::derive(self.cfg.seed, u64::from(pid.0)),
+            meta_template: MsgMeta::default(),
+            delivered: 0,
+            next_msg_id: 1,
+            next_timer_id: 1,
+        });
+        pid
+    }
+
+    /// Install a fault plan. Must be called before the first `peek`/`step`.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.sealed, "fault plan must be installed before the world starts");
+        self.faults = plan;
+    }
+
+    fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        let n = self.procs.len();
+        self.partition = Partition::none(n);
+        for e in &mut self.procs {
+            e.vc = VectorClock::new(n);
+        }
+        // Fault-plan events are scheduled before the start events so a
+        // fault configured at time t takes effect before application
+        // handlers that run at t (same-timestamp ties break by seq).
+        for (pid, at) in self.faults.scheduled_crashes() {
+            self.push_event(at, EventKind::Crash { pid });
+        }
+        for (at, partition) in self.faults.scheduled_partitions(n) {
+            self.push_event(at, EventKind::PartitionChange { partition });
+        }
+        let start = self.cfg.start_time;
+        for i in 0..n {
+            self.push_event(start, EventKind::Start { pid: Pid(i as u32) });
+        }
+    }
+
+    fn push_event(&mut self, at: VTime, kind: EventKind) {
+        let seq = self.sched_seq;
+        self.sched_seq += 1;
+        self.queue.push(QueuedEvent { at, seq, kind });
+    }
+
+    /// Pop queue entries until one that will actually execute is found.
+    fn next_valid(&mut self) -> Option<QueuedEvent> {
+        if let Some(staged) = self.staged.take() {
+            return Some(staged);
+        }
+        while let Some(qe) = self.queue.pop() {
+            match &qe.kind {
+                EventKind::TimerFire { pid, timer } => {
+                    if self.cancelled_timers.remove(&(pid.0, timer.0)) {
+                        continue; // cancelled: silent skip
+                    }
+                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                        continue; // timers die with the process
+                    }
+                    return Some(qe);
+                }
+                EventKind::Start { pid } => {
+                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                        continue;
+                    }
+                    return Some(qe);
+                }
+                EventKind::Deliver { msg } => {
+                    if self.procs[msg.dst.idx()].status == ProcStatus::Crashed {
+                        // Surface as an observable drop.
+                        return Some(QueuedEvent {
+                            at: qe.at,
+                            seq: qe.seq,
+                            kind: EventKind::Drop { msg: msg.clone() },
+                        });
+                    }
+                    return Some(qe);
+                }
+                EventKind::Crash { pid } => {
+                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                        continue; // already dead
+                    }
+                    return Some(qe);
+                }
+                _ => return Some(qe),
+            }
+        }
+        None
+    }
+
+    /// Finalize world construction (clock widths, start events, fault
+    /// schedule) without executing anything. Called implicitly by
+    /// `peek`/`step`; call explicitly before taking checkpoints of a
+    /// world that has not stepped yet.
+    pub fn ensure_started(&mut self) {
+        self.seal();
+    }
+
+    /// The next event that will execute, without executing it. Idempotent:
+    /// repeated peeks return the same event until `step` consumes it.
+    pub fn peek(&mut self) -> Option<Event> {
+        self.seal();
+        let qe = self.next_valid()?;
+        let ev = Event { seq: self.exec_seq, at: qe.at, kind: qe.kind.clone() };
+        self.staged = Some(qe);
+        Some(ev)
+    }
+
+    /// Execute the next event. Returns `None` when the world is quiescent.
+    pub fn step(&mut self) -> Option<StepRecord> {
+        self.seal();
+        let qe = self.next_valid()?;
+        self.now = self.now.max(qe.at);
+        let seq = self.exec_seq;
+        self.exec_seq += 1;
+        let at = self.now;
+
+        let (kind, effects) = match qe.kind {
+            EventKind::Start { pid } => {
+                let eff = self.run_handler(pid, HandlerCall::Start);
+                (EventKind::Start { pid }, eff)
+            }
+            EventKind::Deliver { msg } => {
+                let pid = msg.dst;
+                {
+                    let e = &mut self.procs[pid.idx()];
+                    e.vc.tick(pid);
+                    let m = &msg.vc;
+                    e.vc.merge(m);
+                    e.lamport = e.lamport.max(msg.meta.lamport) + 1;
+                    e.delivered += 1;
+                }
+                self.stats.delivered += 1;
+                let eff = self.run_handler(pid, HandlerCall::Message(&msg.clone()));
+                (EventKind::Deliver { msg }, eff)
+            }
+            EventKind::Drop { msg } => {
+                self.stats.dropped += 1;
+                (EventKind::Drop { msg }, Effects::default())
+            }
+            EventKind::TimerFire { pid, timer } => {
+                let eff = self.run_handler(pid, HandlerCall::Timer(timer));
+                (EventKind::TimerFire { pid, timer }, eff)
+            }
+            EventKind::Crash { pid } => {
+                self.procs[pid.idx()].status = ProcStatus::Crashed;
+                (EventKind::Crash { pid }, Effects::default())
+            }
+            EventKind::Restart { pid } => (EventKind::Restart { pid }, Effects::default()),
+            EventKind::PartitionChange { partition } => {
+                self.partition = partition.clone();
+                (EventKind::PartitionChange { partition }, Effects::default())
+            }
+        };
+
+        let record = StepRecord { event: Event { seq, at, kind }, effects };
+        self.trace.push(record.clone());
+        Some(record)
+    }
+
+    fn run_handler(&mut self, pid: Pid, call: HandlerCall<'_>) -> Effects {
+        let n = self.procs.len();
+        let now = self.now;
+        let effects = {
+            let e = &mut self.procs[pid.idx()];
+            if matches!(call, HandlerCall::Start) {
+                e.vc.tick(pid);
+                e.lamport += 1;
+            }
+            let mut ctx = Context::new(
+                pid,
+                now,
+                n,
+                &mut e.rng,
+                &mut e.vc,
+                &mut e.lamport,
+                &mut e.next_msg_id,
+                &mut e.next_timer_id,
+                e.meta_template,
+            );
+            match call {
+                HandlerCall::Start => e.program.on_start(&mut ctx),
+                HandlerCall::Message(m) => e.program.on_message(&mut ctx, m),
+                HandlerCall::Timer(t) => e.program.on_timer(&mut ctx, t),
+            }
+            ctx.into_effects()
+        };
+        self.apply_effects(pid, &effects);
+        effects
+    }
+
+    fn apply_effects(&mut self, pid: Pid, effects: &Effects) {
+        for msg in &effects.sends {
+            self.route_message(msg.clone());
+        }
+        for (timer, fire_at) in &effects.timers_set {
+            self.push_event(*fire_at, EventKind::TimerFire { pid, timer: *timer });
+        }
+        for t in &effects.timers_cancelled {
+            self.cancelled_timers.insert((pid.0, t.0));
+        }
+        for data in &effects.outputs {
+            self.trace.push_output(Output { pid, at: self.now, data: data.clone() });
+        }
+        if effects.crashed {
+            self.procs[pid.idx()].status = ProcStatus::Crashed;
+            let seq = self.exec_seq;
+            self.exec_seq += 1;
+            self.trace.push(StepRecord {
+                event: Event { seq, at: self.now, kind: EventKind::Crash { pid } },
+                effects: Effects::default(),
+            });
+        }
+    }
+
+    fn route_message(&mut self, mut msg: Message) {
+        self.stats.sent += 1;
+        self.stats.payload_bytes += msg.payload.len() as u64;
+        // Fault-plan rules first (they are targeted and override chance).
+        if self.faults.should_drop(msg.src, msg.dst, self.now) {
+            self.push_event(self.now, EventKind::Drop { msg });
+            return;
+        }
+        if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
+            let i = (self.net_rng.next_u64() as usize) % msg.payload.len();
+            msg.payload[i] ^= 0xFF;
+            self.stats.corrupted += 1;
+        }
+        let connected = self.partition.connected(msg.src, msg.dst);
+        let outcomes = self.cfg.net.plan(self.now, &msg.payload, connected, &mut self.net_rng);
+        let mut first = true;
+        for outcome in outcomes {
+            match outcome {
+                DeliveryOutcome::Deliver { at, corrupted_payload } => {
+                    if !first {
+                        self.stats.duplicated += 1;
+                    }
+                    first = false;
+                    let mut m = msg.clone();
+                    if let Some(p) = corrupted_payload {
+                        m.payload = p;
+                        self.stats.corrupted += 1;
+                    }
+                    self.push_event(at, EventKind::Deliver { msg: m });
+                }
+                DeliveryOutcome::Drop { reason: _ } => {
+                    self.push_event(self.now, EventKind::Drop { msg: msg.clone() });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run helpers
+    // ------------------------------------------------------------------
+
+    /// Step until quiescent or `max_steps` executed.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> RunReport {
+        let d0 = self.stats.delivered;
+        let x0 = self.stats.dropped;
+        let mut steps = 0;
+        let mut quiescent = true;
+        while steps < max_steps {
+            if self.step().is_none() {
+                break;
+            }
+            steps += 1;
+        }
+        if steps == max_steps && self.peek().is_some() {
+            quiescent = false;
+        }
+        RunReport {
+            steps,
+            delivered: self.stats.delivered - d0,
+            dropped: self.stats.dropped - x0,
+            end_time: self.now,
+            quiescent,
+        }
+    }
+
+    /// Execute exactly `n` events (or fewer if quiescent first).
+    pub fn run_steps(&mut self, n: u64) -> RunReport {
+        self.run_to_quiescence(n)
+    }
+
+    /// Run while the next event's time is `< t`.
+    pub fn run_until(&mut self, t: VTime) -> RunReport {
+        let d0 = self.stats.delivered;
+        let x0 = self.stats.dropped;
+        let mut steps = 0;
+        loop {
+            match self.peek() {
+                Some(ev) if ev.at < t => {
+                    self.step();
+                    steps += 1;
+                }
+                _ => break,
+            }
+        }
+        RunReport {
+            steps,
+            delivered: self.stats.delivered - d0,
+            dropped: self.stats.dropped - x0,
+            end_time: self.now,
+            quiescent: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State access & rollback support
+    // ------------------------------------------------------------------
+
+    /// Number of processes.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The runtime's own complete trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Liveness of a process.
+    pub fn status(&self, pid: Pid) -> ProcStatus {
+        self.procs[pid.idx()].status
+    }
+
+    /// A process's current vector clock.
+    pub fn proc_vc(&self, pid: Pid) -> &VectorClock {
+        &self.procs[pid.idx()].vc
+    }
+
+    /// A process's delivered-message count.
+    pub fn delivered_count(&self, pid: Pid) -> u64 {
+        self.procs[pid.idx()].delivered
+    }
+
+    /// Typed read access to a process's program.
+    pub fn program<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.procs[pid.idx()].program.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed write access to a process's program (tests / fault setup).
+    pub fn program_mut<T: 'static>(&mut self, pid: Pid) -> Option<&mut T> {
+        self.procs[pid.idx()].program.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Run a closure over the untyped program (for generic drivers).
+    pub fn with_program<R>(&self, pid: Pid, f: impl FnOnce(&dyn Program) -> R) -> R {
+        f(self.procs[pid.idx()].program.as_ref())
+    }
+
+    /// Take a full per-process checkpoint (state + runtime context).
+    pub fn checkpoint_process(&self, pid: Pid) -> ProcCheckpoint {
+        let e = &self.procs[pid.idx()];
+        ProcCheckpoint {
+            pid,
+            state: e.program.snapshot(),
+            vc: e.vc.clone(),
+            lamport: e.lamport,
+            rng: e.rng.clone(),
+            delivered: e.delivered,
+            meta: e.meta_template,
+            taken_at: self.now,
+            next_msg_id: e.next_msg_id,
+            next_timer_id: e.next_timer_id,
+        }
+    }
+
+    /// Restore a process to a previously taken checkpoint. The caller (the
+    /// Time Machine) is responsible for global consistency — purging
+    /// in-flight messages that the restored past has not yet sent, and
+    /// rolling back communication partners.
+    pub fn restore_checkpoint(&mut self, ckpt: &ProcCheckpoint) {
+        let e = &mut self.procs[ckpt.pid.idx()];
+        e.program.restore(&ckpt.state);
+        e.vc = ckpt.vc.clone();
+        e.lamport = ckpt.lamport;
+        e.rng = ckpt.rng.clone();
+        e.delivered = ckpt.delivered;
+        e.meta_template = ckpt.meta;
+        e.next_msg_id = ckpt.next_msg_id;
+        e.next_timer_id = ckpt.next_timer_id;
+        e.status = ProcStatus::Running;
+        let seq = self.exec_seq;
+        self.exec_seq += 1;
+        self.trace.push(StepRecord {
+            event: Event { seq, at: self.now, kind: EventKind::Restart { pid: ckpt.pid } },
+            effects: Effects::default(),
+        });
+    }
+
+    /// Crash a process immediately (external fault injection).
+    pub fn crash_now(&mut self, pid: Pid) {
+        self.procs[pid.idx()].status = ProcStatus::Crashed;
+        let seq = self.exec_seq;
+        self.exec_seq += 1;
+        self.trace.push(StepRecord {
+            event: Event { seq, at: self.now, kind: EventKind::Crash { pid } },
+            effects: Effects::default(),
+        });
+    }
+
+    /// Mark a crashed process running again **without** restoring state
+    /// (used by restart-from-scratch strategies; pair with
+    /// [`World::replace_program`] or [`World::restore_checkpoint`]).
+    pub fn revive(&mut self, pid: Pid) {
+        self.procs[pid.idx()].status = ProcStatus::Running;
+    }
+
+    /// Replace a process's program wholesale (the Healer's dynamic update
+    /// entry point). Clocks and RNG position are preserved; the new
+    /// program's state must already be migrated.
+    pub fn replace_program(&mut self, pid: Pid, program: Box<dyn Program>) {
+        self.procs[pid.idx()].program = program;
+    }
+
+    /// Schedule a fresh `on_start` for `pid` at the current time (used
+    /// after revive/replace to boot the new code).
+    pub fn schedule_start(&mut self, pid: Pid) {
+        self.push_event(self.now, EventKind::Start { pid });
+    }
+
+    /// Set the Time-Machine metadata template stamped on `pid`'s future
+    /// sends (checkpoint index, speculation id).
+    pub fn set_meta_template(&mut self, pid: Pid, meta: MsgMeta) {
+        self.procs[pid.idx()].meta_template = meta;
+    }
+
+    /// Current metadata template of `pid`.
+    pub fn meta_template(&self, pid: Pid) -> MsgMeta {
+        self.procs[pid.idx()].meta_template
+    }
+
+    /// Remove queued events matching `pred` (e.g. in-flight messages made
+    /// orphan by a rollback). Returns how many were removed.
+    pub fn purge_events(&mut self, mut pred: impl FnMut(&EventKind) -> bool) -> usize {
+        let mut removed = 0;
+        if let Some(staged) = &self.staged {
+            if pred(&staged.kind) {
+                self.staged = None;
+                removed += 1;
+            }
+        }
+        let drained: Vec<QueuedEvent> = std::mem::take(&mut self.queue).into_vec();
+        let mut kept = BinaryHeap::with_capacity(drained.len());
+        for qe in drained {
+            if pred(&qe.kind) {
+                removed += 1;
+            } else {
+                kept.push(qe);
+            }
+        }
+        self.queue = kept;
+        removed
+    }
+
+    /// All messages currently in flight (queued `Deliver` events), in
+    /// scheduling order.
+    pub fn inflight_messages(&self) -> Vec<Message> {
+        let mut qes: Vec<&QueuedEvent> = self
+            .queue
+            .iter()
+            .chain(self.staged.iter())
+            .collect();
+        qes.sort_by_key(|qe| (qe.at, qe.seq));
+        qes.into_iter()
+            .filter_map(|qe| match &qe.kind {
+                EventKind::Deliver { msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Inject a message directly into the network (drivers use this to
+    /// re-send recorded messages during replay-style investigations).
+    pub fn inject_message(&mut self, msg: Message, deliver_at: VTime) {
+        self.push_event(deliver_at.max(self.now), EventKind::Deliver { msg });
+    }
+
+    /// All pending (not yet fired, not cancelled) timers:
+    /// `(pid, timer, fire_at)`, in scheduling order.
+    pub fn pending_timers(&self) -> Vec<(Pid, TimerId, VTime)> {
+        let mut qes: Vec<&QueuedEvent> = self.queue.iter().chain(self.staged.iter()).collect();
+        qes.sort_by_key(|qe| (qe.at, qe.seq));
+        qes.into_iter()
+            .filter_map(|qe| match &qe.kind {
+                EventKind::TimerFire { pid, timer }
+                    if !self.cancelled_timers.contains(&(pid.0, timer.0)) =>
+                {
+                    Some((*pid, *timer, qe.at))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Re-arm a timer (drivers use this when restoring a global
+    /// checkpoint that captured pending timers).
+    pub fn inject_timer(&mut self, pid: Pid, timer: TimerId, fire_at: VTime) {
+        self.push_event(fire_at.max(self.now), EventKind::TimerFire { pid, timer });
+    }
+
+    /// Snapshot every process (states, clocks, liveness) at this instant.
+    pub fn global_snapshot(&self) -> GlobalSnapshot {
+        GlobalSnapshot {
+            at: self.now,
+            states: self.procs.iter().map(|e| e.program.snapshot()).collect(),
+            vcs: self.procs.iter().map(|e| e.vc.clone()).collect(),
+            statuses: self.procs.iter().map(|e| e.status).collect(),
+        }
+    }
+
+    /// Current partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Outputs emitted by `pid` so far.
+    pub fn outputs_of(&self, pid: Pid) -> Vec<&[u8]> {
+        self.trace.outputs_of(pid)
+    }
+}
+
+enum HandlerCall<'a> {
+    Start,
+    Message(&'a Message),
+    Timer(TimerId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends `count` pings around a ring; each process counts receipts.
+    struct Ring {
+        received: u64,
+        hops: u64,
+    }
+
+    impl Program for Ring {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.pid() == Pid(0) {
+                let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+                ctx.send(next, 1, self.hops.to_le_bytes().to_vec());
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+            self.received += 1;
+            let hops = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+            if hops > 0 {
+                let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+                ctx.send(next, 1, (hops - 1).to_le_bytes().to_vec());
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            let mut b = self.received.to_le_bytes().to_vec();
+            b.extend_from_slice(&self.hops.to_le_bytes());
+            b
+        }
+        fn restore(&mut self, bytes: &[u8]) {
+            self.received = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            self.hops = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        }
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(Ring { received: self.received, hops: self.hops })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn name(&self) -> &'static str {
+            "ring"
+        }
+    }
+
+    fn ring_world(n: usize, hops: u64, seed: u64) -> World {
+        let mut w = World::new(WorldConfig::seeded(seed));
+        for _ in 0..n {
+            w.add_process(Box::new(Ring { received: 0, hops }));
+        }
+        w
+    }
+
+    #[test]
+    fn ring_delivers_exactly_hops_plus_one() {
+        let mut w = ring_world(4, 7, 1);
+        let report = w.run_to_quiescence(10_000);
+        assert!(report.quiescent);
+        assert_eq!(report.delivered, 8); // initial + 7 forwarded
+        let total: u64 = (0..4).map(|i| w.program::<Ring>(Pid(i)).unwrap().received).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let mut a = ring_world(5, 20, 42);
+        let mut b = ring_world(5, 20, 42);
+        a.run_to_quiescence(10_000);
+        b.run_to_quiescence(10_000);
+        assert_eq!(a.global_snapshot().fingerprint(), b.global_snapshot().fingerprint());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn peek_is_idempotent_and_matches_step() {
+        let mut w = ring_world(3, 2, 7);
+        let p1 = w.peek().unwrap();
+        let p2 = w.peek().unwrap();
+        assert_eq!(p1, p2);
+        let s = w.step().unwrap();
+        assert_eq!(s.event.kind, p1.kind);
+        assert_eq!(s.event.at, p1.at);
+    }
+
+    #[test]
+    fn vector_clocks_track_causality() {
+        let mut w = ring_world(3, 2, 7);
+        w.run_to_quiescence(1_000);
+        // P0 started the token; its send is causally before P1's state.
+        let vc1 = w.proc_vc(Pid(1));
+        assert!(vc1.get(Pid(0)) > 0, "P1 must have observed P0 events");
+    }
+
+    #[test]
+    fn crash_stops_handlers_and_drops_mail() {
+        let mut w = ring_world(3, 10, 7);
+        w.set_fault_plan(FaultPlan::none().crash(Pid(1), 15));
+        let report = w.run_to_quiescence(10_000);
+        assert!(report.quiescent);
+        assert_eq!(w.status(Pid(1)), ProcStatus::Crashed);
+        assert!(report.dropped > 0, "messages to the dead process drop");
+        assert!(report.delivered < 11, "token stops at the crash");
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip_exact() {
+        let mut w = ring_world(3, 6, 9);
+        w.run_steps(5);
+        let ck = w.checkpoint_process(Pid(1));
+        let before = ck.fingerprint();
+        w.run_to_quiescence(1_000);
+        let after_state = w.checkpoint_process(Pid(1)).fingerprint();
+        assert_ne!(before, after_state, "state advanced");
+        w.restore_checkpoint(&ck);
+        assert_eq!(w.checkpoint_process(Pid(1)).fingerprint(), before);
+        assert_eq!(w.status(Pid(1)), ProcStatus::Running);
+    }
+
+    #[test]
+    fn purge_events_removes_inflight() {
+        let mut w = ring_world(3, 50, 9);
+        w.run_steps(4);
+        let inflight = w.inflight_messages();
+        assert!(!inflight.is_empty());
+        let removed = w.purge_events(|k| matches!(k, EventKind::Deliver { .. }));
+        assert_eq!(removed, inflight.len());
+        assert!(w.inflight_messages().is_empty());
+    }
+
+    #[test]
+    fn lossy_network_drops_messages() {
+        let mut cfg = WorldConfig::seeded(3);
+        cfg.net = NetworkConfig::lossy(1.0);
+        let mut w = World::new(cfg);
+        for _ in 0..3 {
+            w.add_process(Box::new(Ring { received: 0, hops: 5 }));
+        }
+        let report = w.run_to_quiescence(1_000);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.dropped, 1, "the initial send is lost");
+    }
+
+    #[test]
+    fn fault_plan_drop_link_blocks_token() {
+        let mut w = ring_world(3, 10, 11);
+        w.set_fault_plan(FaultPlan::none().drop_link(Pid(0), Pid(1), 0, VTime::MAX));
+        let report = w.run_to_quiescence(1_000);
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn world_clone_diverges_independently() {
+        let mut w = ring_world(4, 20, 5);
+        w.run_steps(6);
+        let mut fork = w.clone();
+        let fp_w: u64 = {
+            w.run_to_quiescence(10_000);
+            w.global_snapshot().fingerprint()
+        };
+        let fp_f: u64 = {
+            fork.run_to_quiescence(10_000);
+            fork.global_snapshot().fingerprint()
+        };
+        assert_eq!(fp_w, fp_f, "same future from the same fork point");
+    }
+
+    #[test]
+    fn inject_message_is_delivered() {
+        let mut w = ring_world(2, 0, 1);
+        w.run_to_quiescence(100);
+        let msg = Message {
+            id: 999,
+            src: Pid(0),
+            dst: Pid(1),
+            tag: 1,
+            payload: 3u64.to_le_bytes().to_vec(),
+            sent_at: w.now(),
+            vc: VectorClock::new(2),
+            meta: MsgMeta::default(),
+        };
+        w.inject_message(msg, w.now() + 1);
+        let r = w.run_to_quiescence(100);
+        assert!(r.delivered >= 1);
+    }
+
+    #[test]
+    fn meta_template_propagates_to_sends() {
+        let mut w = ring_world(2, 3, 1);
+        // Seal happens on first peek; set template before any sends.
+        w.set_meta_template(Pid(0), MsgMeta { ckpt_index: 7, spec_id: 3, lamport: 0 });
+        w.peek();
+        w.step(); // P0 start -> send
+        let inflight = w.inflight_messages();
+        let from_p0: Vec<_> = inflight.iter().filter(|m| m.src == Pid(0)).collect();
+        assert!(!from_p0.is_empty());
+        assert_eq!(from_p0[0].meta.ckpt_index, 7);
+        assert_eq!(from_p0[0].meta.spec_id, 3);
+    }
+
+    #[test]
+    fn run_until_respects_time_bound() {
+        let mut w = ring_world(3, 100, 1);
+        w.run_until(35);
+        assert!(w.now() < 35);
+        assert!(w.peek().unwrap().at >= 35);
+    }
+
+    #[test]
+    fn replace_program_swaps_behavior() {
+        let mut w = ring_world(2, 1, 1);
+        w.run_to_quiescence(100);
+        let old = w.program::<Ring>(Pid(1)).unwrap().received;
+        w.replace_program(Pid(1), Box::new(Ring { received: 1000, hops: 0 }));
+        assert_eq!(w.program::<Ring>(Pid(1)).unwrap().received, 1000);
+        assert_ne!(old, 1000);
+    }
+}

@@ -1,0 +1,246 @@
+//! Binary codec for scroll entries.
+//!
+//! Compact, self-contained, versioned. Varint-based so small ids and
+//! clocks cost one byte; payloads are length-prefixed. The format is the
+//! reproduction's analogue of liblog's on-disk log (§4.1).
+
+use fixd_runtime::wire::{get_bytes, get_u64s, get_varint, put_bytes, put_u64s, put_varint};
+use fixd_runtime::{Message, MsgMeta, Pid, TimerId, VectorClock};
+
+use crate::entry::{EntryKind, ScrollEntry};
+
+/// Format version byte written at the head of every segment.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Encoding error (only produced on decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended early or a length field overran the buffer.
+    Truncated,
+    /// Unknown entry-kind tag.
+    BadTag(u8),
+    /// Unsupported format version.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated scroll data"),
+            CodecError::BadTag(t) => write!(f, "unknown entry tag {t}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported scroll format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+fn need<T>(v: Option<T>) -> Result<T> {
+    v.ok_or(CodecError::Truncated)
+}
+
+/// Encode a message (full fidelity: clocks and metadata included).
+pub fn encode_message(buf: &mut Vec<u8>, m: &Message) {
+    put_varint(buf, m.id);
+    put_varint(buf, u64::from(m.src.0));
+    put_varint(buf, u64::from(m.dst.0));
+    put_varint(buf, u64::from(m.tag));
+    put_bytes(buf, &m.payload);
+    put_varint(buf, m.sent_at);
+    put_u64s(buf, m.vc.components());
+    put_varint(buf, m.meta.ckpt_index);
+    put_varint(buf, m.meta.spec_id);
+    put_varint(buf, m.meta.lamport);
+}
+
+/// Decode a message written by [`encode_message`].
+pub fn decode_message(buf: &[u8], pos: &mut usize) -> Result<Message> {
+    let id = need(get_varint(buf, pos))?;
+    let src = Pid(need(get_varint(buf, pos))? as u32);
+    let dst = Pid(need(get_varint(buf, pos))? as u32);
+    let tag = need(get_varint(buf, pos))? as u16;
+    let payload = need(get_bytes(buf, pos))?.to_vec();
+    let sent_at = need(get_varint(buf, pos))?;
+    let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
+    let ckpt_index = need(get_varint(buf, pos))?;
+    let spec_id = need(get_varint(buf, pos))?;
+    let lamport = need(get_varint(buf, pos))?;
+    Ok(Message {
+        id,
+        src,
+        dst,
+        tag,
+        payload,
+        sent_at,
+        vc,
+        meta: MsgMeta { ckpt_index, spec_id, lamport },
+    })
+}
+
+/// Encode one scroll entry.
+pub fn encode_entry(buf: &mut Vec<u8>, e: &ScrollEntry) {
+    buf.push(e.kind.tag());
+    put_varint(buf, u64::from(e.pid.0));
+    put_varint(buf, e.local_seq);
+    put_varint(buf, e.at);
+    put_varint(buf, e.lamport);
+    put_u64s(buf, e.vc.components());
+    put_u64s(buf, &e.randoms);
+    put_varint(buf, e.effects_fp);
+    put_varint(buf, e.sends);
+    match &e.kind {
+        EntryKind::Deliver { msg } | EntryKind::DroppedMail { msg } => encode_message(buf, msg),
+        EntryKind::TimerFire { timer } => put_varint(buf, timer.0),
+        EntryKind::Start | EntryKind::Crash | EntryKind::Restart => {}
+    }
+}
+
+/// Decode one scroll entry.
+pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
+    let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    let pid = Pid(need(get_varint(buf, pos))? as u32);
+    let local_seq = need(get_varint(buf, pos))?;
+    let at = need(get_varint(buf, pos))?;
+    let lamport = need(get_varint(buf, pos))?;
+    let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
+    let randoms = need(get_u64s(buf, pos))?;
+    let effects_fp = need(get_varint(buf, pos))?;
+    let sends = need(get_varint(buf, pos))?;
+    let kind = match tag {
+        0 => EntryKind::Start,
+        1 => EntryKind::Deliver { msg: decode_message(buf, pos)? },
+        2 => EntryKind::TimerFire { timer: TimerId(need(get_varint(buf, pos))?) },
+        3 => EntryKind::Crash,
+        4 => EntryKind::Restart,
+        5 => EntryKind::DroppedMail { msg: decode_message(buf, pos)? },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(ScrollEntry { pid, local_seq, at, lamport, vc, kind, randoms, effects_fp, sends })
+}
+
+/// Encode a whole segment (version byte + count + entries).
+pub fn encode_segment(entries: &[ScrollEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + entries.len() * 32);
+    buf.push(FORMAT_VERSION);
+    put_varint(&mut buf, entries.len() as u64);
+    for e in entries {
+        encode_entry(&mut buf, e);
+    }
+    buf
+}
+
+/// Decode a whole segment written by [`encode_segment`].
+pub fn decode_segment(buf: &[u8]) -> Result<Vec<ScrollEntry>> {
+    let mut pos = 0usize;
+    let version = *buf.first().ok_or(CodecError::Truncated)?;
+    pos += 1;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let n = need(get_varint(buf, &mut pos))? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(decode_entry(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msg() -> Message {
+        Message {
+            id: 42,
+            src: Pid(1),
+            dst: Pid(2),
+            tag: 300,
+            payload: b"payload".to_vec(),
+            sent_at: 1234,
+            vc: VectorClock::from_vec(vec![3, 1, 0]),
+            meta: MsgMeta { ckpt_index: 2, spec_id: 0, lamport: 9 },
+        }
+    }
+
+    fn sample_entry(kind: EntryKind) -> ScrollEntry {
+        ScrollEntry {
+            pid: Pid(2),
+            local_seq: 17,
+            at: 888,
+            lamport: 10,
+            vc: VectorClock::from_vec(vec![3, 2, 5]),
+            kind,
+            randoms: vec![7, 0, u64::MAX],
+            effects_fp: 0xdeadbeef,
+            sends: 3,
+        }
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let m = sample_msg();
+        let mut buf = Vec::new();
+        encode_message(&mut buf, &m);
+        let mut pos = 0;
+        assert_eq!(decode_message(&buf, &mut pos).unwrap(), m);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn entry_roundtrip_all_kinds() {
+        let kinds = vec![
+            EntryKind::Start,
+            EntryKind::Deliver { msg: sample_msg() },
+            EntryKind::TimerFire { timer: TimerId(77) },
+            EntryKind::Crash,
+            EntryKind::Restart,
+            EntryKind::DroppedMail { msg: sample_msg() },
+        ];
+        for kind in kinds {
+            let e = sample_entry(kind);
+            let mut buf = Vec::new();
+            encode_entry(&mut buf, &e);
+            let mut pos = 0;
+            assert_eq!(decode_entry(&buf, &mut pos).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let entries = vec![
+            sample_entry(EntryKind::Start),
+            sample_entry(EntryKind::Deliver { msg: sample_msg() }),
+        ];
+        let buf = encode_segment(&entries);
+        assert_eq!(decode_segment(&buf).unwrap(), entries);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = encode_segment(&[]);
+        buf[0] = 99;
+        assert_eq!(decode_segment(&buf), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let entries = vec![sample_entry(EntryKind::Deliver { msg: sample_msg() })];
+        let buf = encode_segment(&entries);
+        for cutoff in [1usize, buf.len() / 2, buf.len() - 1] {
+            assert!(decode_segment(&buf[..cutoff]).is_err(), "cutoff {cutoff}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let e = sample_entry(EntryKind::Start);
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, &e);
+        buf[0] = 200;
+        let mut pos = 0;
+        assert_eq!(decode_entry(&buf, &mut pos), Err(CodecError::BadTag(200)));
+    }
+}

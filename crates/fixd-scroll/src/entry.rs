@@ -1,0 +1,132 @@
+//! Scroll entries: the recorded nondeterministic actions and their
+//! outcomes (paper §3.1).
+
+use fixd_runtime::{Message, Pid, TimerId, VTime, VectorClock};
+
+/// What kind of nondeterministic action an entry records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EntryKind {
+    /// The process's `on_start` ran.
+    Start,
+    /// A message arrived and `on_message` ran. The full message (including
+    /// sender clock and metadata) is the recorded *outcome* needed for
+    /// black-box replay.
+    Deliver { msg: Message },
+    /// A timer fired and `on_timer` ran.
+    TimerFire { timer: TimerId },
+    /// The process crashed.
+    Crash,
+    /// The process was rolled back / restarted by a driver.
+    Restart,
+    /// A message destined to this process was dropped (recorded only when
+    /// [`crate::RecordConfig::record_drops`] is set; diagnostic, not
+    /// needed for replay).
+    DroppedMail { msg: Message },
+}
+
+impl EntryKind {
+    /// Entries that drive a handler during replay.
+    pub fn is_replayable(&self) -> bool {
+        matches!(
+            self,
+            EntryKind::Start | EntryKind::Deliver { .. } | EntryKind::TimerFire { .. }
+        )
+    }
+
+    /// Numeric tag for the codec.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            EntryKind::Start => 0,
+            EntryKind::Deliver { .. } => 1,
+            EntryKind::TimerFire { .. } => 2,
+            EntryKind::Crash => 3,
+            EntryKind::Restart => 4,
+            EntryKind::DroppedMail { .. } => 5,
+        }
+    }
+}
+
+/// One recorded nondeterministic action of one process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScrollEntry {
+    /// Which process this entry belongs to.
+    pub pid: Pid,
+    /// Position in that process's scroll (0-based, dense).
+    pub local_seq: u64,
+    /// Virtual time of the action.
+    pub at: VTime,
+    /// The process's Lamport clock *after* the action — the total-order
+    /// key the paper's logging overview calls for (§2.2).
+    pub lamport: u64,
+    /// The process's vector clock *after* the action — the causality key
+    /// used for merge validation and consistent cuts.
+    pub vc: VectorClock,
+    /// The action itself.
+    pub kind: EntryKind,
+    /// Random draws the handler made, in order (recorded outcomes of the
+    /// process's internal nondeterminism).
+    pub randoms: Vec<u64>,
+    /// Fingerprint of the handler's full [`fixd_runtime::Effects`];
+    /// replay must reproduce it exactly.
+    pub effects_fp: u64,
+    /// Number of messages the handler sent (cheap stat used by F1).
+    pub sends: u64,
+}
+
+impl ScrollEntry {
+    /// Is this entry's action causally no later than `other`'s?
+    pub fn causally_leq(&self, other: &ScrollEntry) -> bool {
+        self.vc.leq(&other.vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: EntryKind) -> ScrollEntry {
+        ScrollEntry {
+            pid: Pid(0),
+            local_seq: 0,
+            at: 0,
+            lamport: 1,
+            vc: VectorClock::new(2),
+            kind,
+            randoms: vec![],
+            effects_fp: 0,
+            sends: 0,
+        }
+    }
+
+    #[test]
+    fn replayable_classification() {
+        assert!(entry(EntryKind::Start).kind.is_replayable());
+        assert!(entry(EntryKind::TimerFire { timer: TimerId(1) }).kind.is_replayable());
+        assert!(!entry(EntryKind::Crash).kind.is_replayable());
+        assert!(!entry(EntryKind::Restart).kind.is_replayable());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let kinds = [
+            EntryKind::Start,
+            EntryKind::Crash,
+            EntryKind::Restart,
+            EntryKind::TimerFire { timer: TimerId(0) },
+        ];
+        let mut tags: Vec<u8> = kinds.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), kinds.len());
+    }
+
+    #[test]
+    fn causal_ordering_via_vc() {
+        let mut a = entry(EntryKind::Start);
+        let mut b = entry(EntryKind::Start);
+        a.vc = VectorClock::from_vec(vec![1, 0]);
+        b.vc = VectorClock::from_vec(vec![1, 1]);
+        assert!(a.causally_leq(&b));
+        assert!(!b.causally_leq(&a));
+    }
+}

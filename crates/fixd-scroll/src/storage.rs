@@ -1,0 +1,159 @@
+//! The scroll store: per-process logs with size accounting and optional
+//! file persistence.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use fixd_runtime::Pid;
+
+use crate::codec::{self, CodecError};
+use crate::entry::ScrollEntry;
+
+/// In-memory store of per-process scrolls. The "common Scroll" of the
+/// paper is logically one log; physically (as in liblog) each process
+/// appends locally and the logs are merged on demand ([`crate::merge`]).
+#[derive(Clone, Debug, Default)]
+pub struct ScrollStore {
+    per_pid: Vec<Vec<ScrollEntry>>,
+}
+
+impl ScrollStore {
+    /// A store for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self { per_pid: vec![Vec::new(); n] }
+    }
+
+    /// Number of processes covered.
+    pub fn width(&self) -> usize {
+        self.per_pid.len()
+    }
+
+    /// Append an entry to its process's scroll. Enforces dense local
+    /// sequence numbers.
+    pub fn append(&mut self, e: ScrollEntry) {
+        let scroll = &mut self.per_pid[e.pid.idx()];
+        debug_assert_eq!(e.local_seq, scroll.len() as u64, "non-dense local_seq");
+        scroll.push(e);
+    }
+
+    /// The scroll of one process, oldest first.
+    pub fn scroll(&self, pid: Pid) -> &[ScrollEntry] {
+        self.per_pid.get(pid.idx()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total entries across all processes.
+    pub fn total_entries(&self) -> usize {
+        self.per_pid.iter().map(Vec::len).sum()
+    }
+
+    /// Entries of `pid` truncated to the first `n` (used when rolling a
+    /// process back: its scroll beyond the restored point is invalid).
+    pub fn truncate(&mut self, pid: Pid, n: usize) {
+        self.per_pid[pid.idx()].truncate(n);
+    }
+
+    /// Encode one process's scroll as a segment.
+    pub fn encode_segment(&self, pid: Pid) -> Vec<u8> {
+        codec::encode_segment(self.scroll(pid))
+    }
+
+    /// Total encoded size in bytes across all processes (the F1 "log
+    /// size" metric).
+    pub fn encoded_size(&self) -> usize {
+        (0..self.per_pid.len())
+            .map(|i| self.encode_segment(Pid(i as u32)).len())
+            .sum()
+    }
+
+    /// Persist all segments to `dir` as `scroll-<pid>.bin`.
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for i in 0..self.per_pid.len() {
+            let bytes = self.encode_segment(Pid(i as u32));
+            let mut f = std::fs::File::create(dir.join(format!("scroll-{i}.bin")))?;
+            f.write_all(&bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Load a store previously written by [`ScrollStore::save_dir`].
+    pub fn load_dir(dir: &Path, n: usize) -> std::io::Result<Result<Self, CodecError>> {
+        let mut store = ScrollStore::new(n);
+        for i in 0..n {
+            let mut bytes = Vec::new();
+            std::fs::File::open(dir.join(format!("scroll-{i}.bin")))?.read_to_end(&mut bytes)?;
+            match codec::decode_segment(&bytes) {
+                Ok(entries) => store.per_pid[i] = entries,
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+    use fixd_runtime::VectorClock;
+
+    fn entry(pid: u32, seq: u64) -> ScrollEntry {
+        ScrollEntry {
+            pid: Pid(pid),
+            local_seq: seq,
+            at: seq * 10,
+            lamport: seq + 1,
+            vc: VectorClock::from_vec(vec![seq + 1, 0]),
+            kind: EntryKind::Start,
+            randoms: vec![],
+            effects_fp: 0,
+            sends: 0,
+        }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut s = ScrollStore::new(2);
+        s.append(entry(0, 0));
+        s.append(entry(0, 1));
+        s.append(entry(1, 0));
+        assert_eq!(s.scroll(Pid(0)).len(), 2);
+        assert_eq!(s.scroll(Pid(1)).len(), 1);
+        assert_eq!(s.total_entries(), 3);
+        assert!(s.scroll(Pid(9)).is_empty());
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut s = ScrollStore::new(1);
+        for i in 0..5 {
+            s.append(entry(0, i));
+        }
+        s.truncate(Pid(0), 2);
+        assert_eq!(s.scroll(Pid(0)).len(), 2);
+    }
+
+    #[test]
+    fn encoded_size_grows_with_entries() {
+        let mut s = ScrollStore::new(1);
+        let empty = s.encoded_size();
+        for i in 0..10 {
+            s.append(entry(0, i));
+        }
+        assert!(s.encoded_size() > empty);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut s = ScrollStore::new(2);
+        s.append(entry(0, 0));
+        s.append(entry(1, 0));
+        s.append(entry(1, 1));
+        let dir = std::env::temp_dir().join(format!("fixd-scroll-test-{}", std::process::id()));
+        s.save_dir(&dir).unwrap();
+        let loaded = ScrollStore::load_dir(&dir, 2).unwrap().unwrap();
+        assert_eq!(loaded.scroll(Pid(0)), s.scroll(Pid(0)));
+        assert_eq!(loaded.scroll(Pid(1)), s.scroll(Pid(1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

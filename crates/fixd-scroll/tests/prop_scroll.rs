@@ -1,0 +1,195 @@
+//! Property-based tests for the Scroll: codec bijection, merge
+//! consistency, cut lattice properties, replay fidelity.
+
+use proptest::prelude::*;
+
+use fixd_runtime::{
+    Context, Message, MsgMeta, NetworkConfig, Pid, Program, TimerId, VectorClock, World,
+    WorldConfig,
+};
+use fixd_scroll::record::record_run;
+use fixd_scroll::{
+    codec, cut, merge_total_order, replay_process, EntryKind, Fidelity, RecordConfig, ScrollEntry,
+};
+
+/// Strategy for arbitrary messages.
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u64>(),
+        0u32..8,
+        0u32..8,
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..32),
+        any::<u64>(),
+        proptest::collection::vec(0u64..1000, 0..6),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(id, src, dst, tag, payload, sent_at, vc, ck, sp, lam)| Message {
+            id,
+            src: Pid(src),
+            dst: Pid(dst),
+            tag,
+            payload,
+            sent_at,
+            vc: VectorClock::from_vec(vc),
+            meta: MsgMeta { ckpt_index: ck, spec_id: sp, lamport: lam },
+        })
+}
+
+fn arb_kind() -> impl Strategy<Value = EntryKind> {
+    prop_oneof![
+        Just(EntryKind::Start),
+        Just(EntryKind::Crash),
+        Just(EntryKind::Restart),
+        any::<u64>().prop_map(|t| EntryKind::TimerFire { timer: TimerId(t) }),
+        arb_message().prop_map(|m| EntryKind::Deliver { msg: m }),
+        arb_message().prop_map(|m| EntryKind::DroppedMail { msg: m }),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = ScrollEntry> {
+    (
+        0u32..8,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(0u64..1000, 0..4),
+        arb_kind(),
+        proptest::collection::vec(any::<u64>(), 0..4),
+        any::<u64>(),
+        0u64..100,
+    )
+        .prop_map(|(pid, seq, at, lamport, vc, kind, randoms, fp, sends)| ScrollEntry {
+            pid: Pid(pid),
+            local_seq: seq,
+            at,
+            lamport,
+            vc: VectorClock::from_vec(vc),
+            kind,
+            randoms,
+            effects_fp: fp,
+            sends,
+        })
+}
+
+/// Ping-pong app used for recorded-run properties.
+struct Pong {
+    n: u64,
+    x: u64,
+}
+impl Program for Pong {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.send(Pid(1), 1, vec![(self.n % 13) as u8]);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        self.x = self.x.wrapping_add(ctx.random());
+        if msg.payload[0] > 0 {
+            let dst = Pid((ctx.pid().0 + 1) % ctx.world_size() as u32);
+            ctx.send(dst, 1, vec![msg.payload[0] - 1]);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = self.n.to_le_bytes().to_vec();
+        b.extend_from_slice(&self.x.to_le_bytes());
+        b
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.n = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        self.x = u64::from_le_bytes(b[8..16].try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Pong { n: self.n, x: self.x })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn run_world(n: usize, seed: u64, hops: u64, jitter: bool) -> (fixd_scroll::ScrollStore, World) {
+    let mut cfg = WorldConfig::seeded(seed);
+    if jitter {
+        cfg.net = NetworkConfig::jittery(1, 30);
+    }
+    let mut w = World::new(cfg);
+    for _ in 0..n {
+        w.add_process(Box::new(Pong { n: hops, x: 0 }));
+    }
+    let (store, _) = record_run(&mut w, RecordConfig::default(), 5_000);
+    (store, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The entry codec is a bijection.
+    #[test]
+    fn entry_codec_bijection(entries in proptest::collection::vec(arb_entry(), 0..12)) {
+        let buf = codec::encode_segment(&entries);
+        prop_assert_eq!(codec::decode_segment(&buf).unwrap(), entries);
+    }
+
+    /// Truncated segments never decode successfully (no silent garbage).
+    #[test]
+    fn truncation_always_detected(entries in proptest::collection::vec(arb_entry(), 1..6),
+                                  frac in 0.01f64..0.99) {
+        let buf = codec::encode_segment(&entries);
+        let cut_at = ((buf.len() as f64) * frac) as usize;
+        if cut_at < buf.len() {
+            prop_assert!(codec::decode_segment(&buf[..cut_at]).is_err());
+        }
+    }
+
+    /// Merged logs are always linear extensions of happens-before, under
+    /// FIFO and reordering networks alike.
+    #[test]
+    fn merge_causally_consistent(seed in 0u64..300, n in 2usize..5, hops in 1u64..10,
+                                 jitter in any::<bool>()) {
+        let (store, _) = run_world(n, seed, hops, jitter);
+        let merged = merge_total_order(&store);
+        prop_assert!(fixd_scroll::check_causal_consistency(&merged).is_ok());
+        prop_assert!(fixd_scroll::merge::check_send_before_receive(&merged).is_ok());
+    }
+
+    /// `latest_consistent_cut` always produces a consistent cut that
+    /// respects the limit.
+    #[test]
+    fn latest_cut_is_consistent(seed in 0u64..300, n in 2usize..5, hops in 2u64..10,
+                                pid in 0u32..2, limit in 0usize..6) {
+        let (store, _) = run_world(n, seed, hops, true);
+        let c = cut::latest_consistent_cut(&store, Pid(pid), limit);
+        prop_assert!(c.is_consistent(&store));
+        prop_assert!(c.count(Pid(pid)) <= limit.min(store.scroll(Pid(pid)).len()).max(limit.min(store.scroll(Pid(pid)).len())));
+        prop_assert!(c.count(Pid(pid)) <= limit);
+    }
+
+    /// Local replay from the scroll reproduces the recorded final state
+    /// exactly, for every process.
+    #[test]
+    fn replay_fidelity(seed in 0u64..200, n in 2usize..4, hops in 1u64..8) {
+        let (store, w) = run_world(n, seed, hops, false);
+        for i in 0..n {
+            let pid = Pid(i as u32);
+            let mut fresh = Pong { n: hops, x: 0 };
+            let out = replay_process(pid, n, seed, &mut fresh, store.scroll(pid));
+            prop_assert_eq!(&out.fidelity, &Fidelity::Exact, "P{} diverged", i);
+            prop_assert_eq!(out.final_state, w.checkpoint_process(pid).state);
+        }
+    }
+
+    /// The scroll records exactly the handler-running events: entry count
+    /// equals starts + deliveries + timer fires.
+    #[test]
+    fn scroll_counts_match_run(seed in 0u64..200, hops in 1u64..10) {
+        let (store, w) = run_world(3, seed, hops, false);
+        let delivered: u64 = (0..3).map(|i| w.delivered_count(Pid(i))).sum();
+        let expected = 3 /* starts */ + delivered as usize;
+        prop_assert_eq!(store.total_entries(), expected);
+    }
+}

@@ -1,0 +1,173 @@
+//! Garbage collection of Time-Machine history.
+//!
+//! Once a line of checkpoints is *stable* (e.g. every speculation that
+//! could roll past it has committed), older checkpoints, delivery-log
+//! entries, and dependency edges can never be needed again and are
+//! reclaimed. Checkpoint indices are stable identifiers (messages in the
+//! log refer to them), so collected checkpoints are tombstoned rather
+//! than renumbered.
+
+use fixd_runtime::Pid;
+
+use crate::cic::TimeMachine;
+use crate::dependency::NO_ROLLBACK;
+
+/// What one GC pass reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    pub checkpoints_dropped: usize,
+    pub log_entries_dropped: usize,
+    pub dep_edges_dropped: usize,
+    /// Checkpoint bytes held after the pass (COW-aware).
+    pub bytes_after: usize,
+}
+
+impl TimeMachine {
+    /// Collect history strictly below the `stable` line
+    /// (`stable[p]` = lowest checkpoint index of `p` that must stay
+    /// restorable; [`NO_ROLLBACK`] = collect everything but the latest).
+    pub fn gc(&mut self, stable: &[u64]) -> GcReport {
+        let mut report = GcReport::default();
+        for (i, store) in self.stores.iter_mut().enumerate() {
+            let keep_from = match stable.get(i).copied() {
+                Some(NO_ROLLBACK) | None => store.latest_index().unwrap_or(0),
+                Some(s) => s,
+            };
+            report.checkpoints_dropped += store.gc_before(keep_from);
+        }
+        let before_log = self.delivery_log.len();
+        let stores_ref = &self.stores;
+        self.delivery_log.retain(|rec| {
+            // Keep entries that a rollback to the stable line could still
+            // need to replay: receive interval at/above the receiver's
+            // stable point.
+            let dl = threshold(stable, rec.msg.dst, stores_ref);
+            rec.dst_interval >= dl
+        });
+        report.log_entries_dropped = before_log - self.delivery_log.len();
+
+        let before_edges = self.deps.len();
+        let stores = &self.stores;
+        let stable_vec: Vec<u64> = (0..stores.len())
+            .map(|i| threshold(stable, Pid(i as u32), stores))
+            .collect();
+        self.deps.retain_edges(|e| {
+            e.dst_interval >= stable_vec[e.dst.idx()] || e.src_interval >= stable_vec[e.src.idx()]
+        });
+        report.dep_edges_dropped = before_edges - self.deps.len();
+        report.bytes_after = self.total_checkpoint_bytes();
+        report
+    }
+}
+
+fn threshold(stable: &[u64], pid: Pid, stores: &[crate::checkpoint::CheckpointStore]) -> u64 {
+    match stable.get(pid.idx()).copied() {
+        Some(NO_ROLLBACK) | None => stores[pid.idx()].latest_index().unwrap_or(0),
+        Some(s) => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cic::{CheckpointPolicy, TimeMachineConfig};
+    use fixd_runtime::{Context, Program, World, WorldConfig};
+
+    struct Pump;
+    impl Program for Pump {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.pid() == Pid(0) {
+                ctx.send(Pid(1), 1, vec![20]);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context, msg: &fixd_runtime::Message) {
+            if msg.payload[0] > 0 {
+                let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+                ctx.send(next, 1, vec![msg.payload[0] - 1]);
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            vec![1, 2, 3, 4]
+        }
+        fn restore(&mut self, _b: &[u8]) {}
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(Pump)
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn setup() -> (World, TimeMachine) {
+        let mut w = World::new(WorldConfig::seeded(31));
+        w.add_process(Box::new(Pump));
+        w.add_process(Box::new(Pump));
+        let tm = TimeMachine::new(
+            2,
+            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 64 },
+        );
+        (w, tm)
+    }
+
+    #[test]
+    fn gc_reclaims_old_history() {
+        let (mut w, mut tm) = setup();
+        tm.run(&mut w, 10_000);
+        let ckpts_before = tm.total_checkpoints();
+        assert!(ckpts_before > 10);
+        let deps_before = tm.dependencies().len();
+        // Everything is stable: keep only the latest per process.
+        let stable = vec![NO_ROLLBACK, NO_ROLLBACK];
+        let report = tm.gc(&stable);
+        assert!(report.checkpoints_dropped > 0);
+        assert!(report.dep_edges_dropped > 0 || deps_before == 0);
+        assert!(report.log_entries_dropped > 0);
+    }
+
+    #[test]
+    fn gc_preserves_rollback_to_stable_point() {
+        let (mut w, mut tm) = setup();
+        tm.run(&mut w, 10_000);
+        let fail = Pid(1);
+        let keep = tm.interval(fail).saturating_sub(1);
+        let mut stable = vec![0u64, 0u64];
+        stable[fail.idx()] = keep;
+        stable[0] = 0; // keep all of P0
+        tm.gc(&stable);
+        // Rollback to the kept checkpoint must still work.
+        let report = tm.rollback(&mut w, fail, keep).unwrap();
+        assert!(report.procs_rolled >= 1);
+    }
+
+    #[test]
+    fn gc_below_stable_blocks_deep_rollback() {
+        let (mut w, mut tm) = setup();
+        tm.run(&mut w, 10_000);
+        let fail = Pid(1);
+        let keep = tm.interval(fail);
+        let stable = vec![keep, keep];
+        tm.gc(&stable);
+        if keep >= 2 {
+            let err = tm.rollback(&mut w, fail, 0).unwrap_err();
+            assert!(matches!(
+                err,
+                crate::recovery::RollbackError::CheckpointCollected { .. }
+                    | crate::recovery::RollbackError::NoSuchCheckpoint { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn gc_is_idempotent() {
+        let (mut w, mut tm) = setup();
+        tm.run(&mut w, 10_000);
+        let stable = vec![NO_ROLLBACK, NO_ROLLBACK];
+        tm.gc(&stable);
+        let second = tm.gc(&stable);
+        assert_eq!(second.checkpoints_dropped, 0);
+        assert_eq!(second.log_entries_dropped, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Recovery lines and rollback reports.
+
+pub use crate::dependency::NO_ROLLBACK;
+
+/// A computed recovery line: per process, the checkpoint index to restore
+/// ([`NO_ROLLBACK`] = keep current state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryLine {
+    line: Vec<u64>,
+}
+
+impl RecoveryLine {
+    /// Wrap a raw line vector.
+    pub fn new(line: Vec<u64>) -> Self {
+        Self { line }
+    }
+
+    /// The raw per-process targets.
+    pub fn targets(&self) -> &[u64] {
+        &self.line
+    }
+
+    /// Target for one process.
+    pub fn target(&self, pid: fixd_runtime::Pid) -> u64 {
+        self.line.get(pid.idx()).copied().unwrap_or(NO_ROLLBACK)
+    }
+
+    /// Does `pid` roll back under this line?
+    pub fn rolls_back(&self, pid: fixd_runtime::Pid) -> bool {
+        self.target(pid) != NO_ROLLBACK
+    }
+
+    /// Number of processes forced to roll back.
+    pub fn breadth(&self) -> usize {
+        self.line.iter().filter(|&&l| l != NO_ROLLBACK).count()
+    }
+}
+
+impl std::fmt::Display for RecoveryLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line[")?;
+        for (i, l) in self.line.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            if *l == NO_ROLLBACK {
+                write!(f, "-")?;
+            } else {
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// What a rollback did — the F6 measurements.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RollbackReport {
+    /// The applied recovery line.
+    pub line: Vec<u64>,
+    /// Processes restored.
+    pub procs_rolled: usize,
+    /// Handler events whose work was discarded (rollback depth).
+    pub events_undone: u64,
+    /// In-flight messages purged as orphans.
+    pub msgs_purged: usize,
+    /// Logged messages re-injected (sent before the line, received after).
+    pub msgs_replayed: usize,
+}
+
+/// Rollback failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RollbackError {
+    /// The requested checkpoint does not exist for the failed process.
+    NoSuchCheckpoint { pid: fixd_runtime::Pid, index: u64 },
+    /// A checkpoint required by the recovery line was garbage-collected.
+    CheckpointCollected { pid: fixd_runtime::Pid, index: u64 },
+}
+
+impl std::fmt::Display for RollbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollbackError::NoSuchCheckpoint { pid, index } => {
+                write!(f, "{pid} has no checkpoint {index}")
+            }
+            RollbackError::CheckpointCollected { pid, index } => {
+                write!(f, "{pid} checkpoint {index} was garbage-collected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RollbackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixd_runtime::Pid;
+
+    #[test]
+    fn line_accessors() {
+        let l = RecoveryLine::new(vec![2, NO_ROLLBACK, 0]);
+        assert_eq!(l.breadth(), 2);
+        assert!(l.rolls_back(Pid(0)));
+        assert!(!l.rolls_back(Pid(1)));
+        assert_eq!(l.target(Pid(2)), 0);
+        assert_eq!(l.target(Pid(9)), NO_ROLLBACK);
+        assert_eq!(l.to_string(), "line[2 - 0]");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RollbackError::NoSuchCheckpoint { pid: Pid(1), index: 4 };
+        assert!(e.to_string().contains("P1"));
+        let e = RollbackError::CheckpointCollected { pid: Pid(0), index: 2 };
+        assert!(e.to_string().contains("garbage-collected"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full FixD workflow (Figs. 4–5 of
+//! the paper) on the example applications, end to end — Scroll, Time
+//! Machine, Investigator, and Healer cooperating on one world.
+
+use fixd_baselines::{Cmc, Liblog};
+use fixd_core::{Fixd, FixdConfig};
+use fixd_examples::kvstore;
+use fixd_examples::pipeline;
+use fixd_examples::token_ring::{self, mutex_monitor, RingNode};
+use fixd_examples::two_phase_commit::{self as tpc, atomicity_monitor};
+use fixd_healer::{migrate, Patch};
+use fixd_investigator::{ExploreConfig, NetModel};
+use fixd_runtime::{NetworkConfig, Pid, Program, World, WorldConfig};
+
+/// The token-ring fix: clear the dup knob, keep all other state.
+fn ring_patch() -> Patch {
+    Patch::code_only("ring-no-dup", 1, 2, || Box::new(RingNode::correct()))
+        .with_migration(migrate::from_fn(|old| {
+            let mut b = old.to_vec();
+            if b.len() < 3 {
+                return Err(fixd_healer::MigrateError::Malformed("ring state".into()));
+            }
+            b[2] = 255; // dup_at = None
+            Ok(b)
+        }))
+}
+
+#[test]
+fn token_ring_full_loop() {
+    // Buggy node 2 duplicates/misroutes the token; mutual exclusion breaks.
+    let mut world = token_ring::ring_world(4, 1, Some((2, 5)));
+    let mut fixd = Fixd::new(4, FixdConfig::seeded(1)).monitor(mutex_monitor());
+
+    // Detect.
+    let out = fixd.supervise(&mut world, 10_000);
+    let fault = out.fault.expect("mutex violation detected");
+    assert_eq!(fault.monitor, "mutual-exclusion");
+
+    // Diagnose: rollback + investigate + report.
+    let report = fixd.diagnose(&mut world, fault).expect("diagnosis succeeds");
+    assert!(report.reproduced(), "investigator confirms the bug:\n{}", report.render());
+    assert!(!report.trails.is_empty());
+    assert!(report.render().contains("mutual-exclusion"));
+
+    // Heal the buggy node in place and resume.
+    let rolled_pid = Pid(2);
+    let heal = fixd.heal_update(&mut world, rolled_pid, &ring_patch()).expect("heal");
+    assert!(heal.procs_updated.contains(&rolled_pid));
+    let end = fixd.supervise(&mut world, 100_000);
+    assert!(end.fault.is_none(), "mutex holds after the fix");
+    assert!(end.quiescent);
+}
+
+#[test]
+fn kvstore_detect_heal_converge_many_seeds() {
+    let ops = kvstore::script(12, 5);
+    let mut healed_runs = 0;
+    for seed in 0..60u64 {
+        let mut world = kvstore::kv_world(seed, ops.clone(), (1, 80));
+        let mut fixd = Fixd::new(3, FixdConfig::seeded(seed)).monitor(kvstore::gap_monitor());
+        let out = fixd.supervise(&mut world, 20_000);
+        let Some(fault) = out.fault else { continue };
+        // Full loop on this seed.
+        let report = fixd.diagnose(&mut world, fault).expect("diagnose");
+        assert!(report.states_explored >= 1);
+        fixd.heal_update(&mut world, Pid(2), &kvstore::backup_patch()).expect("heal");
+        let end = fixd.supervise(&mut world, 100_000);
+        assert!(end.fault.is_none(), "seed {seed}: fixed backup violates again?");
+        assert!(end.quiescent, "seed {seed} should quiesce");
+        let primary = world.program::<kvstore::Primary>(Pid(1)).unwrap().store.clone();
+        let backup = world.program::<kvstore::BackupV2>(Pid(2)).unwrap();
+        assert_eq!(backup.store, primary, "seed {seed}: backup converges");
+        healed_runs += 1;
+    }
+    assert!(healed_runs >= 3, "expect several seeds to manifest the bug, got {healed_runs}");
+}
+
+#[test]
+fn fixd_beats_cmc_on_states_for_the_same_bug() {
+    let votes = vec![true, false, true];
+    // CMC: whole space from the initial state.
+    let cmc = Cmc::new(1, NetModel::reliable(), tpc::tpc_factory(votes.clone(), true))
+        .invariant(atomicity_monitor().invariant())
+        .config(ExploreConfig::default())
+        .run();
+    assert!(!cmc.violations.is_empty());
+
+    // FixD: find a manifesting schedule, then investigate from checkpoint.
+    let mut found = None;
+    for seed in 0..60u64 {
+        let mut cfg = WorldConfig::seeded(seed);
+        cfg.net = NetworkConfig::jittery(1, 60);
+        let mut w = World::new(cfg);
+        w.add_process(Box::new(tpc::Coordinator::buggy()));
+        for &v in &votes {
+            w.add_process(Box::new(tpc::Participant::new(v)));
+        }
+        let mut fixd = Fixd::new(4, FixdConfig::seeded(seed)).monitor(atomicity_monitor());
+        let out = fixd.supervise(&mut w, 10_000);
+        if let Some(fault) = out.fault {
+            found = Some((w, fixd, fault));
+            break;
+        }
+    }
+    let (mut world, mut fixd, fault) = found.expect("bug manifests on some seed");
+    let report = fixd.diagnose(&mut world, fault).expect("diagnose");
+    assert!(report.reproduced());
+    assert!(
+        report.states_explored < cmc.states,
+        "from-checkpoint ({}) must explore fewer states than CMC ({})",
+        report.states_explored,
+        cmc.states
+    );
+}
+
+#[test]
+fn scroll_supports_liblog_style_offline_replay_of_supervised_run() {
+    // Supervise a clean pipeline run with FixD, then replay the cruncher
+    // offline from FixD's own scroll.
+    let seed = 11;
+    let mut world = pipeline::pipeline_world(seed, 10, 50, None);
+    let mut fixd = Fixd::new(2, FixdConfig::seeded(seed)).monitor(pipeline::results_monitor());
+    let out = fixd.supervise(&mut world, 10_000);
+    assert!(out.quiescent && out.fault.is_none());
+
+    let scroll = fixd.scroll();
+    let mut fresh = pipeline::Cruncher::correct(50);
+    let outcome = fixd_scroll::replay_process(
+        Pid(1),
+        2,
+        seed,
+        &mut fresh,
+        scroll.scroll(Pid(1)),
+    );
+    assert_eq!(outcome.fidelity, fixd_scroll::Fidelity::Exact);
+    assert_eq!(fresh.results.len(), 10);
+    assert_eq!(
+        fresh.snapshot(),
+        world.checkpoint_process(Pid(1)).state,
+        "offline replay reconstructs the exact final state"
+    );
+}
+
+#[test]
+fn liblog_baseline_handles_the_same_world() {
+    let mut world = pipeline::pipeline_world(3, 8, 50, None);
+    let (ll, report) = Liblog::record(&mut world, 3, 10_000);
+    assert!(report.quiescent);
+    let trace = ll.global_trace();
+    fixd_scroll::check_causal_consistency(&trace).unwrap();
+    let mut fresh = pipeline::Cruncher::correct(50);
+    assert_eq!(ll.replay(Pid(1), &mut fresh), fixd_scroll::Fidelity::Exact);
+}
+
+#[test]
+fn pipeline_salvage_vs_restart_work_accounting() {
+    // Poison at item 12 of 16: update-from-checkpoint must salvage ~12
+    // items; restart salvages none.
+    const N_ITEMS: u64 = 16;
+    let n_items = N_ITEMS;
+    let poison = 12u64;
+    let run = |restart: bool| -> (u64, usize) {
+        let n_items = N_ITEMS;
+        let seed = 2;
+        let mut world = pipeline::pipeline_world(seed, n_items, 50, Some(poison));
+        let mut fixd = Fixd::new(2, FixdConfig::seeded(seed)).monitor(pipeline::results_monitor());
+        let out = fixd.supervise(&mut world, 100_000);
+        let fault = out.fault.expect("poison detected");
+        let patch = pipeline::cruncher_patch(50);
+        let salvaged = if restart {
+            // Restart strategy: both processes from scratch on new code.
+            // Cruncher first (discarding its stale mail), then the source
+            // (which re-sends the whole workload).
+            let r = fixd.heal_restart(&mut world, &patch, &[Pid(1)]);
+            let source_patch = Patch::code_only("src", 1, 2, move || {
+                Box::new(pipeline::Source { n_items })
+            });
+            fixd.heal_restart(&mut world, &source_patch, &[Pid(0)]);
+            r.salvaged_events
+        } else {
+            let _report = fixd.diagnose(&mut world, fault).expect("diagnose");
+            let r = fixd.heal_update(&mut world, Pid(1), &patch).expect("heal");
+            r.salvaged_events
+        };
+        let end = fixd.supervise(&mut world, 100_000);
+        assert!(end.fault.is_none());
+        let c = world.program::<pipeline::Cruncher>(Pid(1)).unwrap();
+        (salvaged, c.results.len())
+    };
+    let (salvaged_update, done_update) = run(false);
+    let (salvaged_restart, done_restart) = run(true);
+    assert_eq!(done_update as u64, n_items, "update path completes all items");
+    assert_eq!(done_restart as u64, n_items, "restart path completes all items");
+    assert_eq!(salvaged_restart, 0);
+    assert!(
+        salvaged_update >= poison,
+        "update salvages the pre-poison work: {salvaged_update}"
+    );
+}
+
+#[test]
+fn characteristics_matrix_is_fig8() {
+    let rows = fixd_core::matrix();
+    assert_eq!(rows.len(), 8);
+    let fixd_row = rows.iter().find(|r| r.name.contains("FixD")).unwrap();
+    assert!(fixd_row.caps.preventive && fixd_row.caps.opportunistic);
+    let text = fixd_core::render_matrix();
+    assert!(text.contains("liblog"));
+}
+
+#[test]
+fn deterministic_supervision_across_identical_runs() {
+    let run = || {
+        let mut world = token_ring::ring_world(5, 9, Some((3, 7)));
+        let mut fixd = Fixd::new(5, FixdConfig::seeded(9)).monitor(mutex_monitor());
+        let out = fixd.supervise(&mut world, 10_000);
+        (out.steps, out.fault.map(|f| (f.monitor, f.at)), fixd.scroll().total_entries())
+    };
+    assert_eq!(run(), run());
+}
