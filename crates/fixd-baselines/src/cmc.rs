@@ -30,8 +30,7 @@ impl Cmc {
         net: NetModel,
         factory: impl Fn() -> Vec<Box<dyn Program>> + Send + Sync + 'static,
     ) -> Self {
-        let md = ModelD::from_initial(seed, net, factory)
-            .invariant(Self::leak_check());
+        let md = ModelD::from_initial(seed, net, factory).invariant(Self::leak_check());
         Self { md }
     }
 
@@ -63,7 +62,10 @@ impl Cmc {
     /// Set exploration limits.
     pub fn config(mut self, cfg: ExploreConfig) -> Self {
         // CMC reports deadlocks: force detection on.
-        let cfg = ExploreConfig { detect_deadlocks: true, ..cfg };
+        let cfg = ExploreConfig {
+            detect_deadlocks: true,
+            ..cfg
+        };
         self.md = self.md.config(cfg);
         self
     }
@@ -118,7 +120,9 @@ mod tests {
             self.served = u64::from_le_bytes(b.try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Server { served: self.served })
+            Box::new(Server {
+                served: self.served,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -129,7 +133,10 @@ mod tests {
     }
 
     fn factory() -> Vec<Box<dyn Program>> {
-        vec![Box::new(Client) as Box<dyn Program>, Box::new(Server { served: 0 })]
+        vec![
+            Box::new(Client) as Box<dyn Program>,
+            Box::new(Server { served: 0 }),
+        ]
     }
 
     #[test]
@@ -149,7 +156,10 @@ mod tests {
             .config(ExploreConfig::default())
             .run();
         assert!(
-            report.violations.iter().any(|t| t.violation == "no-leaked-mail"),
+            report
+                .violations
+                .iter()
+                .any(|t| t.violation == "no-leaked-mail"),
             "{}",
             report.summary()
         );
@@ -159,7 +169,7 @@ mod tests {
     fn user_invariants_compose() {
         let report = Cmc::new(1, NetModel::reliable(), factory)
             .invariant(Invariant::new("server-never-serves", |s: &WorldState| {
-                s.program::<Server>(Pid(1)).map_or(true, |sv| sv.served == 0)
+                s.program::<Server>(Pid(1)).is_none_or(|sv| sv.served == 0)
             }))
             .config(ExploreConfig::default())
             .run();

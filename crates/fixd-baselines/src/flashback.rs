@@ -19,7 +19,10 @@ pub struct FlashbackCheckpointer {
 impl FlashbackCheckpointer {
     /// A checkpointer for `n` processes.
     pub fn new(n: usize) -> Self {
-        Self { checkpoints: vec![Vec::new(); n], bytes_copied: 0 }
+        Self {
+            checkpoints: vec![Vec::new(); n],
+            bytes_copied: 0,
+        }
     }
 
     /// Take an eager full checkpoint of `pid`. Returns its index.
@@ -34,7 +37,9 @@ impl FlashbackCheckpointer {
     /// Restore `pid` to checkpoint `index`, discarding later checkpoints.
     pub fn restore(&mut self, world: &mut World, pid: Pid, index: u64) -> bool {
         let v = &mut self.checkpoints[pid.idx()];
-        let Some(ck) = v.get(index as usize) else { return false };
+        let Some(ck) = v.get(index as usize) else {
+            return false;
+        };
         world.restore_checkpoint(ck);
         v.truncate(index as usize + 1);
         true
@@ -68,7 +73,9 @@ impl FlashbackCheckpointer {
 
     /// Virtual time of a checkpoint.
     pub fn taken_at(&self, pid: Pid, index: u64) -> Option<VTime> {
-        self.checkpoints[pid.idx()].get(index as usize).map(|c| c.taken_at)
+        self.checkpoints[pid.idx()]
+            .get(index as usize)
+            .map(|c| c.taken_at)
     }
 }
 
@@ -98,7 +105,9 @@ mod tests {
             self.data = b.to_vec();
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Blob { data: self.data.clone() })
+            Box::new(Blob {
+                data: self.data.clone(),
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -110,8 +119,12 @@ mod tests {
 
     fn world() -> World {
         let mut w = World::new(WorldConfig::seeded(2));
-        w.add_process(Box::new(Blob { data: vec![0; 4096] }));
-        w.add_process(Box::new(Blob { data: vec![0; 4096] }));
+        w.add_process(Box::new(Blob {
+            data: vec![0; 4096],
+        }));
+        w.add_process(Box::new(Blob {
+            data: vec![0; 4096],
+        }));
         w
     }
 

@@ -42,7 +42,11 @@ impl Liblog {
             quiescent: steps < max_steps,
         };
         (
-            Self { store: rec.into_store(), seed, width: world.num_procs() },
+            Self {
+                store: rec.into_store(),
+                seed,
+                width: world.num_procs(),
+            },
             report,
         )
     }

@@ -26,7 +26,10 @@ impl PrintfLogger {
     pub fn observe(&mut self, world: &World, step: &StepRecord) {
         let line = match &step.event.kind {
             EventKind::Start { pid } => {
-                format!("[t={} seq={}] {pid}: started", step.event.at, step.event.seq)
+                format!(
+                    "[t={} seq={}] {pid}: started",
+                    step.event.at, step.event.seq
+                )
             }
             EventKind::Deliver { msg } => format!(
                 "[t={} seq={}] {}: received tag={} ({} bytes) from {} (sent t={}), now vc={}",
@@ -48,13 +51,22 @@ impl PrintfLogger {
                 step.event.at, step.event.seq, timer.0
             ),
             EventKind::Crash { pid } => {
-                format!("[t={} seq={}] {pid}: CRASHED", step.event.at, step.event.seq)
+                format!(
+                    "[t={} seq={}] {pid}: CRASHED",
+                    step.event.at, step.event.seq
+                )
             }
             EventKind::Restart { pid } => {
-                format!("[t={} seq={}] {pid}: restarted", step.event.at, step.event.seq)
+                format!(
+                    "[t={} seq={}] {pid}: restarted",
+                    step.event.at, step.event.seq
+                )
             }
             EventKind::PartitionChange { .. } => {
-                format!("[t={} seq={}] network: partition changed", step.event.at, step.event.seq)
+                format!(
+                    "[t={} seq={}] network: partition changed",
+                    step.event.at, step.event.seq
+                )
             }
         };
         // Also "print" every effect, as chatty handlers do.

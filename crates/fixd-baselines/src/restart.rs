@@ -47,7 +47,11 @@ pub fn restart_all(
         world.revive(pid);
         world.schedule_start(pid);
     }
-    RestartReport { procs_reset: n, msgs_discarded: msgs, timers_discarded: timers }
+    RestartReport {
+        procs_reset: n,
+        msgs_discarded: msgs,
+        timers_discarded: timers,
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +91,10 @@ mod tests {
     }
 
     fn factory() -> Vec<Box<dyn Program>> {
-        vec![Box::new(Work { done: 0 }) as Box<dyn Program>, Box::new(Work { done: 0 })]
+        vec![
+            Box::new(Work { done: 0 }) as Box<dyn Program>,
+            Box::new(Work { done: 0 }),
+        ]
     }
 
     #[test]

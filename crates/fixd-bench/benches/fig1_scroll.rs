@@ -73,7 +73,11 @@ fn bench_recording(c: &mut Criterion) {
         stats.summary()
     );
     println!("liblog          : {} B", ll.log_bytes());
-    println!("printf          : {} lines, {} B", printf.len(), printf.bytes());
+    println!(
+        "printf          : {} lines, {} B",
+        printf.len(),
+        printf.bytes()
+    );
 }
 
 criterion_group!(benches, bench_recording);

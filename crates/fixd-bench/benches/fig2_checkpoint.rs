@@ -18,7 +18,10 @@ fn run_with_cow(n: usize, state: usize) -> usize {
     let mut w = gossip_world(n, 3, state, false);
     let mut tm = TimeMachine::new(
         n,
-        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 256 },
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            page_size: 256,
+        },
     );
     tm.run(&mut w, 1_000_000);
     tm.total_checkpoint_bytes()
@@ -27,8 +30,7 @@ fn run_with_cow(n: usize, state: usize) -> usize {
 fn run_with_eager(n: usize, state: usize) -> usize {
     let mut w = gossip_world(n, 3, state, false);
     let mut fb = FlashbackCheckpointer::new(n);
-    loop {
-        let Some(ev) = w.peek() else { break };
+    while let Some(ev) = w.peek() {
         if let EventKind::Deliver { msg } = &ev.kind {
             fb.take(&w, msg.dst);
         }
@@ -49,12 +51,20 @@ fn bench_checkpointing(c: &mut Criterion) {
                 w.run_to_quiescence(1_000_000)
             });
         });
-        group.bench_with_input(BenchmarkId::new("cow_speculation", state), &state, |b, &s| {
-            b.iter(|| run_with_cow(4, s));
-        });
-        group.bench_with_input(BenchmarkId::new("eager_full_copy", state), &state, |b, &s| {
-            b.iter(|| run_with_eager(4, s));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cow_speculation", state),
+            &state,
+            |b, &s| {
+                b.iter(|| run_with_cow(4, s));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eager_full_copy", state),
+            &state,
+            |b, &s| {
+                b.iter(|| run_with_eager(4, s));
+            },
+        );
     }
     group.finish();
 

@@ -123,7 +123,11 @@ fn bench_exploration(c: &mut Criterion) {
             "n={n}: {:>8} states {:>9} transitions{}",
             report.states,
             report.transitions,
-            if report.truncated { "  << truncated: the §2.1 wall" } else { "" }
+            if report.truncated {
+                "  << truncated: the §2.1 wall"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -66,13 +66,17 @@ fn bench_response(c: &mut Criterion) {
             let s = script.clone();
             Cmc::new(1, NetModel::reliable(), move || {
                 vec![
-                    Box::new(kvstore::Client { script: s.clone() }) as Box<dyn fixd_runtime::Program>,
+                    Box::new(kvstore::Client { script: s.clone() })
+                        as Box<dyn fixd_runtime::Program>,
                     Box::new(kvstore::Primary::default()),
                     Box::new(kvstore::BackupV1::default()),
                 ]
             })
             .invariant(kvstore::gap_monitor().invariant())
-            .config(ExploreConfig { max_states: 50_000, ..ExploreConfig::default() })
+            .config(ExploreConfig {
+                max_states: 50_000,
+                ..ExploreConfig::default()
+            })
             .run()
         });
     });
@@ -85,19 +89,28 @@ fn bench_response(c: &mut Criterion) {
         "FixD (seed {seed}): {} states, reproduced={}, line breadth={}",
         report.states_explored,
         report.reproduced(),
-        report.recovery_line.iter().filter(|&&l| l != u64::MAX).count()
+        report
+            .recovery_line
+            .iter()
+            .filter(|&&l| l != u64::MAX)
+            .count()
     );
     let _ = w.program::<kvstore::BackupV1>(Pid(2));
     for ops in [4usize, 6, 8] {
         let script = kvstore::script(ops, 5);
         let cmc = Cmc::new(1, NetModel::reliable(), move || {
             vec![
-                Box::new(kvstore::Client { script: script.clone() }) as Box<dyn fixd_runtime::Program>,
+                Box::new(kvstore::Client {
+                    script: script.clone(),
+                }) as Box<dyn fixd_runtime::Program>,
                 Box::new(kvstore::Primary::default()),
                 Box::new(kvstore::BackupV1::default()),
             ]
         })
-        .config(ExploreConfig { max_states: 500_000, ..ExploreConfig::default() })
+        .config(ExploreConfig {
+            max_states: 500_000,
+            ..ExploreConfig::default()
+        })
         .run();
         println!(
             "CMC  (ops={ops}) : {} states{}",

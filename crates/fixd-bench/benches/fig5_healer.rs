@@ -31,7 +31,11 @@ fn recover_by_update(mut world: fixd_runtime::World, mut fixd: Fixd) -> usize {
     fixd.heal_update(&mut world, Pid(1), &patch).expect("heal");
     let end = fixd.supervise(&mut world, 1_000_000);
     assert!(end.fault.is_none());
-    world.program::<pipeline::Cruncher>(Pid(1)).unwrap().results.len()
+    world
+        .program::<pipeline::Cruncher>(Pid(1))
+        .unwrap()
+        .results
+        .len()
 }
 
 fn recover_by_restart(mut world: fixd_runtime::World, mut fixd: Fixd, n_items: u64) -> usize {
@@ -41,7 +45,11 @@ fn recover_by_restart(mut world: fixd_runtime::World, mut fixd: Fixd, n_items: u
     fixd.heal_restart(&mut world, &source, &[Pid(0)]);
     let end = fixd.supervise(&mut world, 1_000_000);
     assert!(end.fault.is_none());
-    world.program::<pipeline::Cruncher>(Pid(1)).unwrap().results.len()
+    world
+        .program::<pipeline::Cruncher>(Pid(1))
+        .unwrap()
+        .results
+        .len()
 }
 
 fn bench_recovery(c: &mut Criterion) {

@@ -18,7 +18,13 @@ use fixd_timemachine::{CheckpointPolicy, RollbackReport, TimeMachine, TimeMachin
 
 fn run_and_rollback(n: usize, policy: CheckpointPolicy, steps: u64) -> RollbackReport {
     let mut w = gossip_world(n, 13, 1024, false);
-    let mut tm = TimeMachine::new(n, TimeMachineConfig { policy, page_size: 256 });
+    let mut tm = TimeMachine::new(
+        n,
+        TimeMachineConfig {
+            policy,
+            page_size: 256,
+        },
+    );
     tm.run(&mut w, steps);
     // Fail the busiest process and roll back one checkpoint.
     let fail = (0..n)
@@ -37,19 +43,18 @@ fn bench_recovery_lines(c: &mut Criterion) {
         ("periodic_sparse", CheckpointPolicy::Periodic { every: 30 }),
     ] {
         for &n in &[4usize, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, &n| {
-                    b.iter(|| run_and_rollback(n, policy, 400));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| run_and_rollback(n, policy, 400));
+            });
         }
     }
     group.finish();
 
     println!("\n--- F6 rollback cascade: CIC vs periodic (gossip, fail busiest, -1 ckpt) ---");
-    println!("{:<10} {:>6} {:>16} {:>14} {:>12} {:>12}", "policy", "n", "events undone", "procs rolled", "purged", "replayed");
+    println!(
+        "{:<10} {:>6} {:>16} {:>14} {:>12} {:>12}",
+        "policy", "n", "events undone", "procs rolled", "purged", "replayed"
+    );
     for &n in &[4usize, 6, 8] {
         for (name, policy) in [
             ("CIC", CheckpointPolicy::EveryReceive),

@@ -32,13 +32,19 @@ fn f1_scroll() {
     println!("==============================================================");
     println!("F1 (Fig. 1): Scroll recording overhead and log size");
     println!("==============================================================");
-    println!("{:<10} {:>8} {:>10} {:>12} {:>12}", "mode", "n", "time", "entries", "bytes");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12}",
+        "mode", "n", "time", "entries", "bytes"
+    );
     for &n in &[4usize, 8] {
         let (report, t_bare) = time_it(|| {
             let mut w = gossip_world(n, 7, 256, false);
             w.run_to_quiescence(1_000_000)
         });
-        println!("{:<10} {:>8} {:>10.2?} {:>12} {:>12}", "bare", n, t_bare, "-", "-");
+        println!(
+            "{:<10} {:>8} {:>10.2?} {:>12} {:>12}",
+            "bare", n, t_bare, "-", "-"
+        );
         let ((store, _), t_scroll) = time_it(|| {
             let mut w = gossip_world(n, 7, 256, false);
             record_run(&mut w, RecordConfig::default(), 1_000_000)
@@ -66,7 +72,11 @@ fn f1_scroll() {
         });
         println!(
             "{:<10} {:>8} {:>10.2?} {:>12} {:>12}",
-            "liblog", n, t_ll, ll.store().total_entries(), ll.log_bytes()
+            "liblog",
+            n,
+            t_ll,
+            ll.store().total_entries(),
+            ll.log_bytes()
         );
         let _ = report;
     }
@@ -85,7 +95,10 @@ fn f2_checkpoints() {
             let mut w = gossip_world(4, 3, state, false);
             let mut tm = TimeMachine::new(
                 4,
-                TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 256 },
+                TimeMachineConfig {
+                    policy: CheckpointPolicy::EveryReceive,
+                    page_size: 256,
+                },
             );
             tm.run(&mut w, 1_000_000);
             tm.total_checkpoint_bytes()
@@ -93,8 +106,7 @@ fn f2_checkpoints() {
         let (eager_bytes, t_eager) = time_it(|| {
             let mut w = gossip_world(4, 3, state, false);
             let mut fb = FlashbackCheckpointer::new(4);
-            loop {
-                let Some(ev) = w.peek() else { break };
+            while let Some(ev) = w.peek() {
                 if let EventKind::Deliver { msg } = &ev.kind {
                     fb.take(&w, msg.dst);
                 }
@@ -151,7 +163,11 @@ fn f3_investigator() {
             report.states,
             report.transitions,
             t,
-            if report.truncated { "  << the §2.1 wall" } else { "" }
+            if report.truncated {
+                "  << the §2.1 wall"
+            } else {
+                ""
+            }
         );
     }
     println!("time to first mutual-exclusion violation (n=4):");
@@ -199,7 +215,10 @@ fn f3_investigator() {
     for threads in [1usize, 2, 4] {
         let (states, t) = time_it(|| {
             ModelD::from_initial(1, NetModel::reliable(), ring_factory(4))
-                .config(ExploreConfig { max_states: 30_000, ..ExploreConfig::default() })
+                .config(ExploreConfig {
+                    max_states: 30_000,
+                    ..ExploreConfig::default()
+                })
                 .run_parallel(threads)
                 .states
         });
@@ -229,9 +248,7 @@ fn f4_response() {
     let (outcome, t_respond) = time_it(|| fixd.respond(&mut w, &fault).unwrap());
     println!(
         "respond (rollback+assemble): {:.2?}; line breadth {}, {} replayed",
-        t_respond,
-        outcome.rollback.procs_rolled,
-        outcome.rollback.msgs_replayed
+        t_respond, outcome.rollback.procs_rolled, outcome.rollback.msgs_replayed
     );
     let (inv_report, t_inv) = time_it(|| fixd.investigate(outcome.state));
     println!(
@@ -250,7 +267,10 @@ fn f4_response() {
                     Box::new(kvstore::BackupV1::default()),
                 ]
             })
-            .config(ExploreConfig { max_states: 500_000, ..ExploreConfig::default() })
+            .config(ExploreConfig {
+                max_states: 500_000,
+                ..ExploreConfig::default()
+            })
             .run()
         });
         println!(
@@ -280,8 +300,7 @@ fn f5_healer() {
     for &n_items in &[16u64, 64, 256] {
         let detect = || {
             let mut world = pipeline::pipeline_world(2, n_items, COST, Some(n_items - 2));
-            let mut fixd =
-                Fixd::new(2, FixdConfig::seeded(2)).monitor(pipeline::results_monitor());
+            let mut fixd = Fixd::new(2, FixdConfig::seeded(2)).monitor(pipeline::results_monitor());
             let out = fixd.supervise(&mut world, 1_000_000);
             (world, fixd, out.fault.expect("detected"))
         };
@@ -295,19 +314,13 @@ fn f5_healer() {
         let (mut world2, mut fixd2, _) = detect();
         let (_, t_restart) = time_it(|| {
             fixd2.heal_restart(&mut world2, &patch, &[Pid(1)]);
-            let src = Patch::code_only("src", 1, 2, move || {
-                Box::new(pipeline::Source { n_items })
-            });
+            let src = Patch::code_only("src", 1, 2, move || Box::new(pipeline::Source { n_items }));
             fixd2.heal_restart(&mut world2, &src, &[Pid(0)]);
             fixd2.supervise(&mut world2, 1_000_000);
         });
         println!(
             "{:>6} {:>16.2?} {:>16.2?} {:>10} {:>10}",
-            n_items,
-            t_update,
-            t_restart,
-            salvaged,
-            n_items
+            n_items, t_update, t_restart, salvaged, n_items
         );
     }
 }
@@ -326,7 +339,13 @@ fn f6_recovery_lines() {
             ("periodic", CheckpointPolicy::Periodic { every: 30 }),
         ] {
             let mut w = gossip_world(n, 13, 1024, false);
-            let mut tm = TimeMachine::new(n, TimeMachineConfig { policy, page_size: 256 });
+            let mut tm = TimeMachine::new(
+                n,
+                TimeMachineConfig {
+                    policy,
+                    page_size: 256,
+                },
+            );
             tm.run(&mut w, 400);
             let fail = (0..n)
                 .map(|i| Pid(i as u32))
@@ -355,7 +374,11 @@ fn f7_modeld() {
         "guarded-command engine over real 2PC code: {} states, {} violation(s) — {}",
         report.states,
         report.violations.len(),
-        if report.violations.is_empty() { "UNEXPECTED" } else { "bug found" }
+        if report.violations.is_empty() {
+            "UNEXPECTED"
+        } else {
+            "bug found"
+        }
     );
 }
 

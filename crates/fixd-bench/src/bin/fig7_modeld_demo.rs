@@ -5,10 +5,8 @@
 //!
 //! Run: `cargo run -p fixd-bench --bin fig7_modeld_demo`
 
-
 use fixd_investigator::{
-    Action, ExploreConfig, Explorer, GuardedSystemBuilder, Invariant, ModelD, NetModel,
-    SearchOrder,
+    Action, ExploreConfig, Explorer, GuardedSystemBuilder, Invariant, ModelD, NetModel, SearchOrder,
 };
 use fixd_runtime::{Context, Message, Pid, Program};
 
@@ -47,8 +45,18 @@ fn main() {
         ("dfs", SearchOrder::Dfs),
         ("random", SearchOrder::Random { seed: 7 }),
     ] {
-        let r = Explorer::new(&sys, ExploreConfig { order, ..ExploreConfig::default() }).run();
-        println!("  {name:<7}: {} states (same set, different order)", r.states);
+        let r = Explorer::new(
+            &sys,
+            ExploreConfig {
+                order,
+                ..ExploreConfig::default()
+            },
+        )
+        .run();
+        println!(
+            "  {name:<7}: {} states (same set, different order)",
+            r.states
+        );
     }
 
     println!("\n== checking a real implementation (the §4.3 example) ==");
@@ -89,9 +97,10 @@ fn main() {
             Box::new(Counter { n: 0 }),
         ]
     })
-    .invariant(Invariant::new("sum-bounded", |s: &fixd_investigator::WorldState| {
-        s.program::<Counter>(Pid(1)).map_or(true, |c| c.n <= 3)
-    }));
+    .invariant(Invariant::new(
+        "sum-bounded",
+        |s: &fixd_investigator::WorldState| s.program::<Counter>(Pid(1)).is_none_or(|c| c.n <= 3),
+    ));
     let r = md.run();
     println!("real-code check (FIFO env model): {}", r.summary());
 
@@ -102,9 +111,10 @@ fn main() {
             Box::new(Counter { n: 0 }),
         ]
     })
-    .invariant(Invariant::new("sum-bounded", |s: &fixd_investigator::WorldState| {
-        s.program::<Counter>(Pid(1)).map_or(true, |c| c.n <= 3)
-    }));
+    .invariant(Invariant::new(
+        "sum-bounded",
+        |s: &fixd_investigator::WorldState| s.program::<Counter>(Pid(1)).is_none_or(|c| c.n <= 3),
+    ));
     md2.set_net(NetModel::duplicating());
     let r2 = md2.run();
     println!("after env-model swap (duplicating net): {}", r2.summary());

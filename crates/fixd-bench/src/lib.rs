@@ -17,7 +17,10 @@ pub struct Gossiper {
 
 impl Gossiper {
     pub fn new(state_size: usize) -> Self {
-        Self { buf: vec![0; state_size], seen: 0 }
+        Self {
+            buf: vec![0; state_size],
+            seen: 0,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ impl Program for Gossiper {
         self.buf = b[8..].to_vec();
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Gossiper { buf: self.buf.clone(), seen: self.seen })
+        Box::new(Gossiper {
+            buf: self.buf.clone(),
+            seen: self.seen,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -67,7 +67,13 @@ pub struct Capabilities {
 impl Capabilities {
     /// Build from the five flags in column order.
     pub const fn new(p: bool, d: bool, t: bool, c: bool, o: bool) -> Self {
-        Self { preventive: p, diagnostic: d, treatment: t, comprehensive: c, opportunistic: o }
+        Self {
+            preventive: p,
+            diagnostic: d,
+            treatment: t,
+            comprehensive: c,
+            opportunistic: o,
+        }
     }
 
     /// Render as the paper's check/dash cells.
@@ -173,7 +179,13 @@ pub fn matrix() -> Vec<MatrixRow> {
 pub fn render_matrix() -> String {
     use std::fmt::Write;
     let rows = matrix();
-    let headers = ["preventive", "diagnostic", "treatment", "comprehensive", "opportunistic"];
+    let headers = [
+        "preventive",
+        "diagnostic",
+        "treatment",
+        "comprehensive",
+        "opportunistic",
+    ];
     let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(10) + 2;
     let mut s = String::new();
     let _ = write!(s, "{:name_w$}", "");
@@ -207,7 +219,10 @@ mod tests {
         let expect: Vec<(&str, [bool; 5])> = vec![
             ("Model Checking (MC)", [true, false, false, true, false]),
             ("Logging (L)", [false, true, false, false, true]),
-            ("Checkpoint & Rollback (CR)", [false, false, false, false, true]),
+            (
+                "Checkpoint & Rollback (CR)",
+                [false, false, false, false, true],
+            ),
             ("Dynamic Updates (DU)", [false, false, true, false, false]),
             ("Speculations (S)", [false, false, true, false, true]),
             ("liblog (L & CR)", [false, true, false, false, true]),

@@ -40,12 +40,18 @@ impl Default for FixdConfig {
 impl FixdConfig {
     /// Config with a specific seed, defaults otherwise.
     pub fn seeded(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// The Time Machine configuration slice.
     pub fn tm_config(&self) -> TimeMachineConfig {
-        TimeMachineConfig { policy: self.policy, page_size: self.page_size }
+        TimeMachineConfig {
+            policy: self.policy,
+            page_size: self.page_size,
+        }
     }
 }
 

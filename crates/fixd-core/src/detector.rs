@@ -24,12 +24,17 @@ pub struct DetectedFault {
     pub after_steps: u64,
 }
 
+/// Whole-world invariant check: `Some(culprit)` on violation.
+type WorldCheck = Arc<dyn Fn(&World) -> Option<Option<Pid>> + Send + Sync>;
+/// Per-process invariant check: `false` on violation.
+type ProgramCheck = Arc<dyn Fn(Pid, &dyn Program) -> bool + Send + Sync>;
+
 /// One invariant, with all the views FixD needs of it.
 #[derive(Clone)]
 pub struct Monitor {
     pub name: String,
-    world_check: Arc<dyn Fn(&World) -> Option<Option<Pid>> + Send + Sync>,
-    program_check: Arc<dyn Fn(Pid, &dyn Program) -> bool + Send + Sync>,
+    world_check: WorldCheck,
+    program_check: ProgramCheck,
     model_invariant: Invariant<WorldState>,
 }
 
@@ -51,7 +56,7 @@ impl Monitor {
                 for i in 0..w.num_procs() {
                     let pid = Pid(i as u32);
                     let ok = w.with_program(pid, |p| {
-                        p.as_any().downcast_ref::<P>().map_or(true, |t| fw(pid, t))
+                        p.as_any().downcast_ref::<P>().is_none_or(|t| fw(pid, t))
                     });
                     if !ok {
                         return Some(Some(pid));
@@ -60,7 +65,7 @@ impl Monitor {
                 None
             }),
             program_check: Arc::new(move |pid, p: &dyn Program| {
-                p.as_any().downcast_ref::<P>().map_or(true, |t| fp(pid, t))
+                p.as_any().downcast_ref::<P>().is_none_or(|t| fp(pid, t))
             }),
             model_invariant: Invariant::for_program(name, move |pid, p: &P| fm(pid, p)),
         }
@@ -93,7 +98,13 @@ impl Monitor {
     ) -> Self {
         Self {
             name: name.to_string(),
-            world_check: Arc::new(move |w| if fw(w) { None } else { Some(Some(implicate(w))) }),
+            world_check: Arc::new(move |w| {
+                if fw(w) {
+                    None
+                } else {
+                    Some(Some(implicate(w)))
+                }
+            }),
             program_check: Arc::new(|_, _| true),
             model_invariant: Invariant::new(name, fm),
         }

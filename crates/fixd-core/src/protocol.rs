@@ -50,7 +50,10 @@ pub fn choose_rollback_target(
         let state = ck.image.to_bytes();
         let mut candidate = world.with_program(fail, |p| p.clone_program());
         candidate.restore(&state);
-        if monitors.iter().all(|m| m.holds_for_program(fail, candidate.as_ref())) {
+        if monitors
+            .iter()
+            .all(|m| m.holds_for_program(fail, candidate.as_ref()))
+        {
             return idx;
         }
     }
@@ -78,7 +81,11 @@ pub fn respond(
     let target = choose_rollback_target(world, tm, monitors, fail);
     let rollback = tm.rollback(world, fail, target)?;
     let state = assemble_worldstate(world);
-    Ok(RespondOutcome { target, rollback, state })
+    Ok(RespondOutcome {
+        target,
+        rollback,
+        state,
+    })
 }
 
 #[cfg(test)]
@@ -125,7 +132,10 @@ mod tests {
         w.add_process(Box::new(Acc { sum: 0 }));
         let tm = TimeMachine::new(
             2,
-            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, ..Default::default() },
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                ..Default::default()
+            },
         );
         let monitors = vec![Monitor::local::<Acc>("sum<=10", |_, a| a.sum <= 10)];
         (w, tm, monitors)
@@ -156,7 +166,10 @@ mod tests {
         // mail (the offending message is back in flight, to be
         // investigated/processed under new code).
         assert_eq!(out.state.program::<Acc>(Pid(1)).unwrap().sum, 5);
-        assert!(out.state.mail_count() >= 1, "undone receives back in flight");
+        assert!(
+            out.state.mail_count() >= 1,
+            "undone receives back in flight"
+        );
         assert!(out.rollback.procs_rolled >= 1);
     }
 

@@ -75,7 +75,10 @@ impl BugReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "==================== FixD BUG REPORT ====================");
+        let _ = writeln!(
+            s,
+            "==================== FixD BUG REPORT ===================="
+        );
         let _ = writeln!(
             s,
             "fault     : invariant `{}` violated{} at t={} (after {} events)",
@@ -90,7 +93,13 @@ impl BugReport {
         let line: Vec<String> = self
             .recovery_line
             .iter()
-            .map(|&l| if l == u64::MAX { "-".into() } else { l.to_string() })
+            .map(|&l| {
+                if l == u64::MAX {
+                    "-".into()
+                } else {
+                    l.to_string()
+                }
+            })
             .collect();
         let _ = writeln!(s, "rollback  : recovery line [{}]", line.join(" "));
         let _ = writeln!(
@@ -106,7 +115,11 @@ impl BugReport {
             "verdict   : {} violating trail(s), {} deadlock(s){}",
             self.trails.len(),
             self.deadlocks.len(),
-            if self.reproduced() { " — fault REPRODUCED from checkpoint" } else { "" }
+            if self.reproduced() {
+                " — fault REPRODUCED from checkpoint"
+            } else {
+                ""
+            }
         );
         for (i, t) in self.trails.iter().enumerate() {
             let _ = writeln!(s, "---- trail #{} ----", i + 1);
@@ -120,7 +133,10 @@ impl BugReport {
             let _ = writeln!(s, "---- trace tail ----");
             let _ = write!(s, "{}", self.trace_tail);
         }
-        let _ = writeln!(s, "=========================================================");
+        let _ = writeln!(
+            s,
+            "========================================================="
+        );
         s
     }
 }
@@ -131,7 +147,12 @@ mod tests {
     use fixd_runtime::Pid;
 
     fn fault() -> DetectedFault {
-        DetectedFault { monitor: "inv".into(), pid: Some(Pid(1)), at: 42, after_steps: 10 }
+        DetectedFault {
+            monitor: "inv".into(),
+            pid: Some(Pid(1)),
+            at: 42,
+            after_steps: 10,
+        }
     }
 
     fn sample_report(trails: Vec<Trail<String>>) -> BugReport {

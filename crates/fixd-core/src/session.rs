@@ -39,7 +39,12 @@ impl Fixd {
     pub fn new(n: usize, cfg: FixdConfig) -> Self {
         Self {
             tm: TimeMachine::new(n, cfg.tm_config()),
-            scroll: ScrollRecorder::new(n, RecordConfig { record_drops: cfg.record_drops }),
+            scroll: ScrollRecorder::new(
+                n,
+                RecordConfig {
+                    record_drops: cfg.record_drops,
+                },
+            ),
             monitors: Vec::new(),
             healer: Healer::new(),
             steps: 0,
@@ -80,23 +85,41 @@ impl Fixd {
         let mut steps = 0u64;
         while steps < max_steps {
             let Some(ev) = world.peek() else {
-                return SuperviseOutcome { steps, fault: None, quiescent: true };
+                return SuperviseOutcome {
+                    steps,
+                    fault: None,
+                    quiescent: true,
+                };
             };
             self.tm.before_step(world, &ev);
             let Some(rec) = world.step() else {
-                return SuperviseOutcome { steps, fault: None, quiescent: true };
+                return SuperviseOutcome {
+                    steps,
+                    fault: None,
+                    quiescent: true,
+                };
             };
             self.tm.after_step(world, &rec);
             self.scroll.observe(world, &rec);
             steps += 1;
             self.steps += 1;
-            if self.steps % self.cfg.check_every == 0 {
+            // `check_every == 0` would make `is_multiple_of` always
+            // false and silently disable monitoring; treat it as 1.
+            if self.steps.is_multiple_of(self.cfg.check_every.max(1)) {
                 if let Some(fault) = check_all(&self.monitors, world, self.steps) {
-                    return SuperviseOutcome { steps, fault: Some(fault), quiescent: false };
+                    return SuperviseOutcome {
+                        steps,
+                        fault: Some(fault),
+                        quiescent: false,
+                    };
                 }
             }
         }
-        SuperviseOutcome { steps, fault: None, quiescent: false }
+        SuperviseOutcome {
+            steps,
+            fault: None,
+            quiescent: false,
+        }
     }
 
     /// Fig. 4 response: roll back to a checkpoint where the invariants
@@ -207,7 +230,8 @@ impl Fixd {
     /// Fig. 5 recovery, option 1: restart processes from scratch on the
     /// patched code.
     pub fn heal_restart(&mut self, world: &mut World, patch: &Patch, pids: &[Pid]) -> HealReport {
-        self.healer.restart_from_scratch(world, &self.tm, patch, pids)
+        self.healer
+            .restart_from_scratch(world, &self.tm, patch, pids)
     }
 
     /// Events executed under supervision so far.
@@ -314,7 +338,11 @@ mod tests {
         let (mut w, mut fixd) = setup();
         let fault = fixd.supervise(&mut w, 10_000).fault.unwrap();
         let report = fixd.diagnose(&mut w, fault).unwrap();
-        assert!(report.reproduced(), "investigator must rediscover the bug:\n{}", report.render());
+        assert!(
+            report.reproduced(),
+            "investigator must rediscover the bug:\n{}",
+            report.render()
+        );
         assert!(report.states_explored >= 2);
         let text = report.render();
         assert!(text.contains("no-regression"));

@@ -38,7 +38,9 @@ impl Program for Client {
         self.script = b.chunks(2).map(|c| (c[0], c[1])).collect();
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Client { script: self.script.clone() })
+        Box::new(Client {
+            script: self.script.clone(),
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -78,7 +80,10 @@ impl Program for Primary {
         self.seq = seq;
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Primary { store: self.store.clone(), seq: self.seq })
+        Box::new(Primary {
+            store: self.store.clone(),
+            seq: self.seq,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -250,20 +255,20 @@ pub fn gap_monitor() -> Monitor {
         |w| {
             let v1_ok = w
                 .program::<BackupV1>(Pid(2))
-                .map_or(true, |b| b.applied == b.applied_count);
+                .is_none_or(|b| b.applied == b.applied_count);
             let v2_ok = w
                 .program::<BackupV2>(Pid(2))
-                .map_or(true, |b| b.applied == b.applied_count);
+                .is_none_or(|b| b.applied == b.applied_count);
             v1_ok && v2_ok
         },
         |_w| Pid(2), // the backup is where the gap materializes
         |s| {
             let v1_ok = s
                 .program::<BackupV1>(Pid(2))
-                .map_or(true, |b| b.applied == b.applied_count);
+                .is_none_or(|b| b.applied == b.applied_count);
             let v2_ok = s
                 .program::<BackupV2>(Pid(2))
-                .map_or(true, |b| b.applied == b.applied_count);
+                .is_none_or(|b| b.applied == b.applied_count);
             v1_ok && v2_ok
         },
     )
@@ -283,19 +288,23 @@ pub fn kv_world(seed: u64, script: Vec<(u8, u8)>, jitter: (u64, u64)) -> World {
 
 /// The v1 → v2 patch: same store/applied state, empty hold-back buffer.
 pub fn backup_patch() -> Patch {
-    Patch::code_only("kv-backup-ordering-fix", 1, 2, || Box::new(BackupV2::default()))
-        .with_migration(migrate::from_fn(|old| {
-            // v1 layout: [store..., applied_count]; v2 appends pending=0.
-            let mut b = old.to_vec();
-            put_varint(&mut b, 0); // empty pending map
-            Ok(b)
-        }))
+    Patch::code_only("kv-backup-ordering-fix", 1, 2, || {
+        Box::new(BackupV2::default())
+    })
+    .with_migration(migrate::from_fn(|old| {
+        // v1 layout: [store..., applied_count]; v2 appends pending=0.
+        let mut b = old.to_vec();
+        put_varint(&mut b, 0); // empty pending map
+        Ok(b)
+    }))
 }
 
 /// A deterministic client script of `n` puts.
 pub fn script(n: usize, seed: u64) -> Vec<(u8, u8)> {
     let mut rng = fixd_runtime::DetRng::derive(seed, 0x4B);
-    (0..n).map(|_| (rng.below(16) as u8, rng.below(256) as u8)).collect()
+    (0..n)
+        .map(|_| (rng.below(16) as u8, rng.below(256) as u8))
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,7 +327,11 @@ mod tests {
         let monitor = gap_monitor();
         let mut found = false;
         for seed in 0..50 {
-            let mut w = kv_world(seed, (0..12).map(|i| (i as u8 % 4, i as u8)).collect(), (1, 80));
+            let mut w = kv_world(
+                seed,
+                (0..12).map(|i| (i as u8 % 4, i as u8)).collect(),
+                (1, 80),
+            );
             loop {
                 if w.step().is_none() {
                     break;
@@ -341,7 +354,9 @@ mod tests {
             let mut cfg = WorldConfig::seeded(seed);
             cfg.net = NetworkConfig::jittery(1, 80);
             let mut w = World::new(cfg);
-            w.add_process(Box::new(Client { script: (0..12).map(|i| (i as u8 % 4, i as u8)).collect() }));
+            w.add_process(Box::new(Client {
+                script: (0..12).map(|i| (i as u8 % 4, i as u8)).collect(),
+            }));
             w.add_process(Box::new(Primary::default()));
             w.add_process(Box::new(BackupV2::default()));
             w.run_to_quiescence(10_000);

@@ -43,7 +43,9 @@ impl Program for Source {
         self.n_items = u64::from_le_bytes(b.try_into().unwrap());
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Source { n_items: self.n_items })
+        Box::new(Source {
+            n_items: self.n_items,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -83,12 +85,20 @@ pub struct Cruncher {
 impl Cruncher {
     /// A correct cruncher.
     pub fn correct(cost: u64) -> Self {
-        Self { results: Vec::new(), cost, poison_at: None, scratch: vec![0; SCRATCH_SIZE] }
+        Self {
+            results: Vec::new(),
+            cost,
+            poison_at: None,
+            scratch: vec![0; SCRATCH_SIZE],
+        }
     }
 
     /// A cruncher that corrupts item `poison_at`.
     pub fn buggy(cost: u64, poison_at: u64) -> Self {
-        Self { poison_at: Some(poison_at), ..Self::correct(cost) }
+        Self {
+            poison_at: Some(poison_at),
+            ..Self::correct(cost)
+        }
     }
 }
 
@@ -175,11 +185,7 @@ impl Program for Cruncher {
 /// Correctness monitor: every recorded result matches the reference
 /// computation.
 pub fn results_monitor() -> Monitor {
-    let ok = |c: &Cruncher| {
-        c.results
-            .iter()
-            .all(|&(i, r)| r == crunch(i, c.cost))
-    };
+    let ok = |c: &Cruncher| c.results.iter().all(|&(i, r)| r == crunch(i, c.cost));
     Monitor::local::<Cruncher>("results-correct", move |_, c| ok(c))
 }
 
@@ -197,14 +203,16 @@ pub fn pipeline_world(seed: u64, n_items: u64, cost: u64, poison_at: Option<u64>
 /// The fix: stop poisoning. State layout is identical; the migration
 /// clears the poison flag.
 pub fn cruncher_patch(cost: u64) -> Patch {
-    Patch::code_only("cruncher-fix", 1, 2, move || Box::new(Cruncher::correct(cost)))
-        .with_migration(migrate::from_fn(|old| {
-            // Re-encode with poison flag cleared: decode then re-encode.
-            let mut c = Cruncher::correct(0);
-            c.restore(old);
-            c.poison_at = None;
-            Ok(c.snapshot())
-        }))
+    Patch::code_only("cruncher-fix", 1, 2, move || {
+        Box::new(Cruncher::correct(cost))
+    })
+    .with_migration(migrate::from_fn(|old| {
+        // Re-encode with poison flag cleared: decode then re-encode.
+        let mut c = Cruncher::correct(0);
+        c.restore(old);
+        c.poison_at = None;
+        Ok(c.snapshot())
+    }))
 }
 
 #[cfg(test)]
@@ -237,7 +245,11 @@ mod tests {
         let fired_at = fired_at.expect("poison must be detected");
         // Items 0..=4 crunched fine before detection.
         let c = w.program::<Cruncher>(Pid(1)).unwrap();
-        assert_eq!(c.results.len(), 6, "detected right at item 5 (after {fired_at} steps)");
+        assert_eq!(
+            c.results.len(),
+            6,
+            "detected right at item 5 (after {fired_at} steps)"
+        );
     }
 
     #[test]

@@ -30,13 +30,21 @@ pub struct RingNode {
 impl RingNode {
     /// A correct node.
     pub fn correct() -> Self {
-        Self { holding: false, entries: 0, rounds_left: 0, dup_at: None }
+        Self {
+            holding: false,
+            entries: 0,
+            rounds_left: 0,
+            dup_at: None,
+        }
     }
 
     /// A node that duplicates (and misroutes) the token when forwarding
     /// with `rounds == dup_at` remaining.
     pub fn buggy(dup_at: u8) -> Self {
-        Self { dup_at: Some(dup_at), ..Self::correct() }
+        Self {
+            dup_at: Some(dup_at),
+            ..Self::correct()
+        }
     }
 
     fn forward(&self, ctx: &mut Context, rounds: u8) {
@@ -87,7 +95,11 @@ impl Program for RingNode {
     }
 
     fn snapshot(&self) -> Vec<u8> {
-        let mut b = vec![u8::from(self.holding), self.rounds_left, self.dup_at.map_or(255, |d| d)];
+        let mut b = vec![
+            u8::from(self.holding),
+            self.rounds_left,
+            self.dup_at.map_or(255, |d| d),
+        ];
         b.extend_from_slice(&self.entries.to_le_bytes());
         b
     }
@@ -138,13 +150,19 @@ pub fn mutex_monitor() -> Monitor {
         "mutual-exclusion",
         |w| {
             (0..w.num_procs())
-                .filter(|&i| w.program::<RingNode>(Pid(i as u32)).map_or(false, |p| p.holding))
+                .filter(|&i| {
+                    w.program::<RingNode>(Pid(i as u32))
+                        .is_some_and(|p| p.holding)
+                })
                 .count()
                 <= 1
         },
         |s| {
             (0..s.width())
-                .filter(|&i| s.program::<RingNode>(Pid(i as u32)).map_or(false, |p| p.holding))
+                .filter(|&i| {
+                    s.program::<RingNode>(Pid(i as u32))
+                        .is_some_and(|p| p.holding)
+                })
                 .count()
                 <= 1
         },
@@ -163,9 +181,14 @@ mod tests {
             if w.step().is_none() {
                 break;
             }
-            assert!(monitor.violated_in(&w).is_none(), "mutex broken in correct ring");
+            assert!(
+                monitor.violated_in(&w).is_none(),
+                "mutex broken in correct ring"
+            );
         }
-        let total: u64 = (0..4).map(|i| w.program::<RingNode>(Pid(i)).unwrap().entries).sum();
+        let total: u64 = (0..4)
+            .map(|i| w.program::<RingNode>(Pid(i)).unwrap().entries)
+            .sum();
         assert_eq!(total, 13, "initial CS + 12 forwarded rounds");
     }
 

@@ -29,12 +29,20 @@ pub struct Coordinator {
 impl Coordinator {
     /// The buggy coordinator (commits on the first YES).
     pub fn buggy() -> Self {
-        Self { yes_votes: 0, no_votes: 0, decided: None, wait_for_all: false }
+        Self {
+            yes_votes: 0,
+            no_votes: 0,
+            decided: None,
+            wait_for_all: false,
+        }
     }
 
     /// The fixed coordinator.
     pub fn fixed() -> Self {
-        Self { wait_for_all: true, ..Self::buggy() }
+        Self {
+            wait_for_all: true,
+            ..Self::buggy()
+        }
     }
 
     fn participants(ctx: &Context) -> u8 {
@@ -131,7 +139,10 @@ pub struct Participant {
 impl Participant {
     /// A participant that will vote `yes`.
     pub fn new(yes: bool) -> Self {
-        Self { will_vote: yes, committed: None }
+        Self {
+            will_vote: yes,
+            committed: None,
+        }
     }
 }
 
@@ -162,7 +173,10 @@ impl Program for Participant {
         };
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Self { will_vote: self.will_vote, committed: self.committed })
+        Box::new(Self {
+            will_vote: self.will_vote,
+            committed: self.committed,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -182,20 +196,24 @@ pub fn atomicity_monitor() -> Monitor {
     Monitor::global(
         "2pc-atomicity",
         move |w| {
-            let any_no = (1..w.num_procs())
-                .any(|i| w.program::<Participant>(Pid(i as u32)).map_or(false, |p| !p.will_vote));
+            let any_no = (1..w.num_procs()).any(|i| {
+                w.program::<Participant>(Pid(i as u32))
+                    .is_some_and(|p| !p.will_vote)
+            });
             let committed = (1..w.num_procs()).any(|i| {
                 w.program::<Participant>(Pid(i as u32))
-                    .map_or(false, |p| p.committed == Some(true))
+                    .is_some_and(|p| p.committed == Some(true))
             });
             check(committed, any_no)
         },
         move |s| {
-            let any_no = (1..s.width())
-                .any(|i| s.program::<Participant>(Pid(i as u32)).map_or(false, |p| !p.will_vote));
+            let any_no = (1..s.width()).any(|i| {
+                s.program::<Participant>(Pid(i as u32))
+                    .is_some_and(|p| !p.will_vote)
+            });
             let committed = (1..s.width()).any(|i| {
                 s.program::<Participant>(Pid(i as u32))
-                    .map_or(false, |p| p.committed == Some(true))
+                    .is_some_and(|p| p.committed == Some(true))
             });
             check(committed, any_no)
         },
@@ -205,7 +223,11 @@ pub fn atomicity_monitor() -> Monitor {
 /// Build a 2PC world: coordinator + participants with the given votes.
 pub fn tpc_world(seed: u64, votes: &[bool], buggy: bool) -> World {
     let mut w = World::new(WorldConfig::seeded(seed));
-    w.add_process(Box::new(if buggy { Coordinator::buggy() } else { Coordinator::fixed() }));
+    w.add_process(Box::new(if buggy {
+        Coordinator::buggy()
+    } else {
+        Coordinator::fixed()
+    }));
     for &v in votes {
         w.add_process(Box::new(Participant::new(v)));
     }
@@ -213,7 +235,10 @@ pub fn tpc_world(seed: u64, votes: &[bool], buggy: bool) -> World {
 }
 
 /// Program factory for the Investigator (same topology, from scratch).
-pub fn tpc_factory(votes: Vec<bool>, buggy: bool) -> impl Fn() -> Vec<Box<dyn Program>> + Send + Sync {
+pub fn tpc_factory(
+    votes: Vec<bool>,
+    buggy: bool,
+) -> impl Fn() -> Vec<Box<dyn Program>> + Send + Sync {
     move || {
         let mut v: Vec<Box<dyn Program>> = vec![Box::new(if buggy {
             Coordinator::buggy()
@@ -234,12 +259,16 @@ pub fn coordinator_patch() -> Patch {
         .with_migration(migrate::from_fn(|old| {
             let mut b = old.to_vec();
             if b.len() != 4 {
-                return Err(fixd_healer::MigrateError::Malformed("coordinator state".into()));
+                return Err(fixd_healer::MigrateError::Malformed(
+                    "coordinator state".into(),
+                ));
             }
             b[3] = 1; // wait_for_all = true
             Ok(b)
         }))
-        .with_precondition(|old| old.len() == 4 && old[2] == 2 /* not yet decided */)
+        .with_precondition(
+            |old| old.len() == 4 && old[2] == 2, /* not yet decided */
+        )
 }
 
 #[cfg(test)]

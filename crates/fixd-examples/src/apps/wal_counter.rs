@@ -64,7 +64,12 @@ impl WalCounter {
             .read(b"counter")
             .map(|v| u64::from_le_bytes(v.try_into().unwrap_or_default()))
             .unwrap_or(0);
-        Self { value, sync_every, ops_since_sync: 0, disk }
+        Self {
+            value,
+            sync_every,
+            ops_since_sync: 0,
+            disk,
+        }
     }
 
     /// The disk handle (shared with the environment).
@@ -160,9 +165,7 @@ mod tests {
         w.run_to_quiescence(10_000);
         assert_eq!(w.program::<WalCounter>(Pid(1)).unwrap().value, 20);
         // Durable value trails by < sync_every.
-        let durable = u64::from_le_bytes(
-            disk.read(b"counter").unwrap().try_into().unwrap(),
-        );
+        let durable = u64::from_le_bytes(disk.read(b"counter").unwrap().try_into().unwrap());
         assert!(20 - durable < 4);
     }
 
@@ -193,9 +196,8 @@ mod tests {
         // The counter is dead; some increments were dropped.
         assert_eq!(w.status(Pid(1)), fixd_runtime::ProcStatus::Crashed);
         disk.crash(); // its unsynced buffer dies with it
-        let durable_at_crash = u64::from_le_bytes(
-            disk.read(b"counter").unwrap().try_into().unwrap(),
-        );
+        let durable_at_crash =
+            u64::from_le_bytes(disk.read(b"counter").unwrap().try_into().unwrap());
         // Heal by restart: the factory recovers from the WAL.
         let patch = recovery_patch(disk.clone(), 5);
         fixd.heal_restart(&mut w, &patch, &[Pid(1)]);

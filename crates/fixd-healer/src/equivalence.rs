@@ -118,7 +118,10 @@ mod tests {
             self.seen = u64::from_le_bytes(b[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(B { total: self.total, seen: self.seen })
+            Box::new(B {
+                total: self.total,
+                seen: self.seen,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -194,6 +197,13 @@ mod tests {
     fn empty_probe_set_is_vacuously_equivalent() {
         let mut old = A { total: 0 };
         let mut new = C;
-        assert!(behavioral_equivalence(Pid(1), 2, 3, &mut old, &mut new, &[]));
+        assert!(behavioral_equivalence(
+            Pid(1),
+            2,
+            3,
+            &mut old,
+            &mut new,
+            &[]
+        ));
     }
 }

@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn guarded_refuses_invalid_states() {
-        let m = guarded(|b| !b.is_empty() && b[0] < 10, "counter too large", identity());
+        let m = guarded(
+            |b| !b.is_empty() && b[0] < 10,
+            "counter too large",
+            identity(),
+        );
         assert!(m(&[3]).is_ok());
         let err = m(&[99]).unwrap_err();
         assert!(matches!(err, MigrateError::Invalid(_)));
@@ -131,11 +135,15 @@ mod tests {
         // u64 LE counter doubled in the new version's representation.
         let m = from_fn(|b| {
             let v = u64::from_le_bytes(
-                b.try_into().map_err(|_| MigrateError::Malformed("not a u64".into()))?,
+                b.try_into()
+                    .map_err(|_| MigrateError::Malformed("not a u64".into()))?,
             );
             Ok((v * 2).to_le_bytes().to_vec())
         });
-        assert_eq!(m(&5u64.to_le_bytes()).unwrap(), 10u64.to_le_bytes().to_vec());
+        assert_eq!(
+            m(&5u64.to_le_bytes()).unwrap(),
+            10u64.to_le_bytes().to_vec()
+        );
         assert!(m(b"short").is_err());
     }
 }

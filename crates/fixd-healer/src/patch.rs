@@ -12,6 +12,9 @@ use fixd_runtime::Program;
 
 use crate::migrate::{identity, Migration};
 
+/// Shared update-point safety predicate over an old-version snapshot.
+pub type Precondition = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
 /// A dynamic software update for one program type.
 #[derive(Clone)]
 pub struct Patch {
@@ -28,7 +31,7 @@ pub struct Patch {
     pub migration: Migration,
     /// Update-point safety check over the *old* state ("all invariants
     /// hold here, and the state is equivalent-translatable").
-    pub precondition: Option<Arc<dyn Fn(&[u8]) -> bool + Send + Sync>>,
+    pub precondition: Option<Precondition>,
 }
 
 impl Patch {
@@ -56,10 +59,7 @@ impl Patch {
     }
 
     /// Attach an update-point precondition.
-    pub fn with_precondition(
-        mut self,
-        p: impl Fn(&[u8]) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_precondition(mut self, p: impl Fn(&[u8]) -> bool + Send + Sync + 'static) -> Self {
         self.precondition = Some(Arc::new(p));
         self
     }
@@ -67,7 +67,7 @@ impl Patch {
     /// Does the precondition accept this old state? (Vacuously true when
     /// no precondition is attached.)
     pub fn applicable_to(&self, old_state: &[u8]) -> bool {
-        self.precondition.as_ref().map_or(true, |p| p(old_state))
+        self.precondition.as_ref().is_none_or(|p| p(old_state))
     }
 
     /// Build the new program with the migrated state installed.
@@ -139,7 +139,10 @@ mod tests {
             self.skipped = u64::from_le_bytes(b[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(V2 { n: self.n, skipped: self.skipped })
+            Box::new(V2 {
+                n: self.n,
+                skipped: self.skipped,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self

@@ -109,7 +109,10 @@ mod tests {
         w.add_process(Box::new(Talky));
         let tm = TimeMachine::new(
             2,
-            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, ..Default::default() },
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                ..Default::default()
+            },
         );
         (w, tm)
     }

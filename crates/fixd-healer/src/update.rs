@@ -153,7 +153,9 @@ impl Healer {
         invariants_hold: impl Fn(&World) -> bool,
     ) -> Result<HealReport, HealError> {
         // 1. Roll back to a consistent line.
-        let rollback = tm.rollback(world, fail, target).map_err(HealError::Rollback)?;
+        let rollback = tm
+            .rollback(world, fail, target)
+            .map_err(HealError::Rollback)?;
         // 2. Determine who gets the new code: rolled-back + requested.
         let mut targets: Vec<Pid> = rollback
             .line
@@ -270,7 +272,10 @@ mod tests {
             self.ignored = u64::from_le_bytes(b[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(SumV2 { sum: self.sum, ignored: self.ignored })
+            Box::new(SumV2 {
+                sum: self.sum,
+                ignored: self.ignored,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -310,15 +315,20 @@ mod tests {
         w.add_process(Box::new(SumV1 { sum: 0 }));
         let tm = TimeMachine::new(
             2,
-            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, ..Default::default() },
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                ..Default::default()
+            },
         );
         (w, tm, Healer::new())
     }
 
     fn v1_to_v2_patch() -> Patch {
-        Patch::code_only("ignore-poison", 1, 2, || Box::new(SumV2 { sum: 0, ignored: 0 }))
-            .with_migration(migrate::append(0u64.to_le_bytes().to_vec()))
-            .with_precondition(|old| old.len() == 8)
+        Patch::code_only("ignore-poison", 1, 2, || {
+            Box::new(SumV2 { sum: 0, ignored: 0 })
+        })
+        .with_migration(migrate::append(0u64.to_le_bytes().to_vec()))
+        .with_precondition(|old| old.len() == 8)
     }
 
     #[test]

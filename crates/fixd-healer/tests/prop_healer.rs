@@ -58,7 +58,9 @@ struct Gen {
 }
 impl Program for Gen {
     fn on_message(&mut self, _ctx: &mut Context, msg: &Message) {
-        self.acc = self.acc.wrapping_add(u64::from(msg.payload[0]).wrapping_mul(self.mult));
+        self.acc = self
+            .acc
+            .wrapping_add(u64::from(msg.payload[0]).wrapping_mul(self.mult));
     }
     fn snapshot(&self) -> Vec<u8> {
         let mut b = self.acc.to_le_bytes().to_vec();
@@ -70,7 +72,10 @@ impl Program for Gen {
         self.mult = u64::from_le_bytes(b[8..16].try_into().unwrap());
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Gen { acc: self.acc, mult: self.mult })
+        Box::new(Gen {
+            acc: self.acc,
+            mult: self.mult,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -192,7 +192,10 @@ mod tests {
             self.committed = b[1] != 0;
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Participant { will_vote: self.will_vote, committed: self.committed })
+            Box::new(Participant {
+                will_vote: self.will_vote,
+                committed: self.committed,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -207,10 +210,14 @@ mod tests {
         Invariant::new("atomic-commit", |s: &WorldState| {
             let n = s.width();
             let voters = (1..n)
-                .filter(|&i| s.program::<Participant>(Pid(i as u32)).map_or(false, |p| p.will_vote))
+                .filter(|&i| {
+                    s.program::<Participant>(Pid(i as u32))
+                        .is_some_and(|p| p.will_vote)
+                })
                 .count();
             let committed = (1..n).any(|i| {
-                s.program::<Participant>(Pid(i as u32)).map_or(false, |p| p.committed)
+                s.program::<Participant>(Pid(i as u32))
+                    .is_some_and(|p| p.committed)
             });
             !committed || voters == n - 1
         })
@@ -218,9 +225,19 @@ mod tests {
 
     fn factory() -> Vec<Box<dyn Program>> {
         vec![
-            Box::new(Coord { votes: 0, committed: false, n_participants: 2 }) as Box<dyn Program>,
-            Box::new(Participant { will_vote: true, committed: false }),
-            Box::new(Participant { will_vote: false, committed: false }), // NO-voter
+            Box::new(Coord {
+                votes: 0,
+                committed: false,
+                n_participants: 2,
+            }) as Box<dyn Program>,
+            Box::new(Participant {
+                will_vote: true,
+                committed: false,
+            }),
+            Box::new(Participant {
+                will_vote: false,
+                committed: false,
+            }), // NO-voter
         ]
     }
 
@@ -274,12 +291,27 @@ mod tests {
             s = model.apply(&s, &ModelAction::Start { pid: Pid(pid) });
         }
         // Deliver both VOTE-REQs.
-        s = model.apply(&s, &ModelAction::Deliver { src: Pid(0), dst: Pid(1) });
-        s = model.apply(&s, &ModelAction::Deliver { src: Pid(0), dst: Pid(2) });
+        s = model.apply(
+            &s,
+            &ModelAction::Deliver {
+                src: Pid(0),
+                dst: Pid(1),
+            },
+        );
+        s = model.apply(
+            &s,
+            &ModelAction::Deliver {
+                src: Pid(0),
+                dst: Pid(2),
+            },
+        );
 
         let md_ckpt = ModelD::from_checkpoint(1, NetModel::reliable(), s).invariant(atomicity());
         let from_ckpt = md_ckpt.run();
-        assert!(!from_ckpt.violations.is_empty(), "bug still found from checkpoint");
+        assert!(
+            !from_ckpt.violations.is_empty(),
+            "bug still found from checkpoint"
+        );
         assert!(
             from_ckpt.states < full.states,
             "from-checkpoint should be cheaper: {} vs {}",

@@ -30,27 +30,47 @@ pub struct NetModel {
 impl NetModel {
     /// Reliable FIFO network, no faults: only delivery interleavings.
     pub fn reliable() -> Self {
-        Self { allow_loss: false, allow_dup: false, crash_budget: 0 }
+        Self {
+            allow_loss: false,
+            allow_dup: false,
+            crash_budget: 0,
+        }
     }
 
     /// Fair-lossy network: any message may be lost.
     pub fn lossy() -> Self {
-        Self { allow_loss: true, allow_dup: false, crash_budget: 0 }
+        Self {
+            allow_loss: true,
+            allow_dup: false,
+            crash_budget: 0,
+        }
     }
 
     /// At-least-once network: messages may be duplicated.
     pub fn duplicating() -> Self {
-        Self { allow_loss: false, allow_dup: true, crash_budget: 0 }
+        Self {
+            allow_loss: false,
+            allow_dup: true,
+            crash_budget: 0,
+        }
     }
 
     /// Crash-stop fault model with a budget of `f` crashes.
     pub fn crashy(f: usize) -> Self {
-        Self { allow_loss: false, allow_dup: false, crash_budget: f }
+        Self {
+            allow_loss: false,
+            allow_dup: false,
+            crash_budget: f,
+        }
     }
 
     /// Everything at once (the adversarial environment).
     pub fn adversarial(f: usize) -> Self {
-        Self { allow_loss: true, allow_dup: true, crash_budget: f }
+        Self {
+            allow_loss: true,
+            allow_dup: true,
+            crash_budget: f,
+        }
     }
 
     /// Rough branching multiplier this model adds per state (diagnostic,

@@ -19,8 +19,8 @@
 use std::collections::HashMap;
 
 use crate::invariant::Invariant;
-use crate::search::{Frontier, Node};
 pub use crate::search::SearchOrder;
+use crate::search::{Frontier, Node};
 use crate::system::TransitionSystem;
 use crate::trail::Trail;
 
@@ -74,7 +74,10 @@ impl ExploreConfig {
 
     /// Bounded exhaustive preset.
     pub fn exhaustive(max_states: usize) -> Self {
-        Self { max_states, ..Self::default() }
+        Self {
+            max_states,
+            ..Self::default()
+        }
     }
 }
 
@@ -142,7 +145,12 @@ pub struct Explorer<'a, T: TransitionSystem> {
 impl<'a, T: TransitionSystem> Explorer<'a, T> {
     /// An explorer over `sys` with the given configuration.
     pub fn new(sys: &'a T, cfg: ExploreConfig) -> Self {
-        Self { sys, invariants: Vec::new(), terminal_checks: Vec::new(), cfg }
+        Self {
+            sys,
+            invariants: Vec::new(),
+            terminal_checks: Vec::new(),
+            cfg,
+        }
     }
 
     /// Add a safety property (builder style).
@@ -230,7 +238,12 @@ impl<'a, T: TransitionSystem> Explorer<'a, T> {
             }
         }
         let mut frontier: Frontier<T::State, T::Label> = Frontier::new(&self.cfg.order);
-        frontier.push(Node { state: init, fp: root_fp, depth: 0, sleep: Vec::new() });
+        frontier.push(Node {
+            state: init,
+            fp: root_fp,
+            depth: 0,
+            sleep: Vec::new(),
+        });
 
         'outer: while let Some(node) = frontier.pop() {
             let enabled = self.sys.enabled(&node.state);
@@ -265,7 +278,7 @@ impl<'a, T: TransitionSystem> Explorer<'a, T> {
             // Sleep-set reduction: skip transitions in the sleep set.
             let mut done: Vec<T::Label> = Vec::new();
             for l in enabled {
-                if self.cfg.use_reduction && node.sleep.iter().any(|z| *z == l) {
+                if self.cfg.use_reduction && node.sleep.contains(&l) {
                     continue;
                 }
                 let next = self.sys.apply(&node.state, &l);
@@ -309,7 +322,12 @@ impl<'a, T: TransitionSystem> Explorer<'a, T> {
                     report.truncated = true;
                     break 'outer;
                 }
-                frontier.push(Node { state: next, fp: nfp, depth: ndepth, sleep: child_sleep });
+                frontier.push(Node {
+                    state: next,
+                    fp: nfp,
+                    depth: ndepth,
+                    sleep: child_sleep,
+                });
             }
         }
         report
@@ -336,7 +354,13 @@ impl<'a, T: TransitionSystem> Explorer<'a, T> {
                 violations.push((i + 1, inv.name.clone()));
             }
         }
-        GuidedOutcome { executed, violations, stuck_at, final_state: state, path: path.to_vec() }
+        GuidedOutcome {
+            executed,
+            violations,
+            stuck_at,
+            final_state: state,
+            path: path.to_vec(),
+        }
     }
 }
 
@@ -352,14 +376,22 @@ mod tests {
         GuardedSystemBuilder::new([false, false, false, false])
             .action("enter-a", |s: &[bool; 4]| !s[0] && !s[2], |s| s[0] = true)
             .action("enter-b", |s: &[bool; 4]| !s[1] && !s[3], |s| s[1] = true)
-            .action("leave-a", |s: &[bool; 4]| s[0], |s| {
-                s[0] = false;
-                s[2] = true;
-            })
-            .action("leave-b", |s: &[bool; 4]| s[1], |s| {
-                s[1] = false;
-                s[3] = true;
-            })
+            .action(
+                "leave-a",
+                |s: &[bool; 4]| s[0],
+                |s| {
+                    s[0] = false;
+                    s[2] = true;
+                },
+            )
+            .action(
+                "leave-b",
+                |s: &[bool; 4]| s[1],
+                |s| {
+                    s[1] = false;
+                    s[3] = true;
+                },
+            )
             .build()
     }
 
@@ -436,9 +468,17 @@ mod tests {
         // state: (a_has, b_has) of resources (r1, r2)
         let sys = GuardedSystemBuilder::new((0u8, 0u8))
             .action("a-take-r1", |s: &(u8, u8)| s.0 == 0, |s| s.0 = 1)
-            .action("a-take-r2", |s: &(u8, u8)| s.0 == 1 && s.1 != 2, |s| s.0 = 3)
+            .action(
+                "a-take-r2",
+                |s: &(u8, u8)| s.0 == 1 && s.1 != 2,
+                |s| s.0 = 3,
+            )
             .action("b-take-r2", |s: &(u8, u8)| s.1 == 0, |s| s.1 = 2)
-            .action("b-take-r1", |s: &(u8, u8)| s.1 == 2 && s.0 != 1 && s.0 != 3, |s| s.1 = 3)
+            .action(
+                "b-take-r1",
+                |s: &(u8, u8)| s.1 == 2 && s.0 != 1 && s.0 != 3,
+                |s| s.1 = 3,
+            )
             .expected_terminal(|s| s.0 == 3 || s.1 == 3)
             .build();
         let report = Explorer::new(&sys, ExploreConfig::default()).run();
@@ -453,9 +493,11 @@ mod tests {
     #[test]
     fn guided_run_follows_single_path() {
         let sys = naive_mutex();
-        let path = vec![
-            sys.enabled(&[false; 4]).into_iter().find(|l| l.name == "enter-a").unwrap(),
-        ];
+        let path = vec![sys
+            .enabled(&[false; 4])
+            .into_iter()
+            .find(|l| l.name == "enter-a")
+            .unwrap()];
         let out = Explorer::new(&sys, ExploreConfig::default())
             .invariant(mutex_invariant())
             .run_guided(&path);
@@ -474,8 +516,8 @@ mod tests {
             .find(|l| l.name == "enter-a")
             .unwrap();
         // enter-a twice: second occurrence is not enabled.
-        let out = Explorer::new(&sys, ExploreConfig::default())
-            .run_guided(&[enter_a.clone(), enter_a]);
+        let out =
+            Explorer::new(&sys, ExploreConfig::default()).run_guided(&[enter_a.clone(), enter_a]);
         assert_eq!(out.executed, 1);
         assert_eq!(out.stuck_at, Some(1));
     }
@@ -483,9 +525,7 @@ mod tests {
     #[test]
     fn guided_run_detects_violation_on_path() {
         let sys = naive_mutex();
-        let at = |s: &[bool; 4], n: &str| {
-            sys.enabled(s).into_iter().find(|l| l.name == n).unwrap()
-        };
+        let at = |s: &[bool; 4], n: &str| sys.enabled(s).into_iter().find(|l| l.name == n).unwrap();
         let s0 = [false; 4];
         let a = at(&s0, "enter-a");
         let s1 = sys.apply(&s0, &a);
@@ -504,18 +544,27 @@ mod tests {
             .action("z", |s: &[u8; 3]| s[2] < 3, |s| s[2] += 1)
             .independence(|a, b| a != b)
             .build();
-        let inv = Invariant::new("sum-bound", |s: &[u8; 3]| s.iter().map(|&v| v as u32).sum::<u32>() < 9);
+        let inv = Invariant::new("sum-bound", |s: &[u8; 3]| {
+            s.iter().map(|&v| v as u32).sum::<u32>() < 9
+        });
         let full = Explorer::new(&sys, ExploreConfig::default())
             .invariant(inv.clone())
             .run();
         let reduced = Explorer::new(
             &sys,
-            ExploreConfig { use_reduction: true, order: SearchOrder::Dfs, ..ExploreConfig::default() },
+            ExploreConfig {
+                use_reduction: true,
+                order: SearchOrder::Dfs,
+                ..ExploreConfig::default()
+            },
         )
         .invariant(inv)
         .run();
         assert!(!full.violations.is_empty());
-        assert!(!reduced.violations.is_empty(), "reduction must keep the bug");
+        assert!(
+            !reduced.violations.is_empty(),
+            "reduction must keep the bug"
+        );
         assert!(
             reduced.transitions < full.transitions,
             "reduction should prune: {} vs {}",
@@ -541,10 +590,15 @@ mod tests {
             .action("stop-early", |s: &u8| *s == 1, |s| *s = 103) // dead end
             .build();
         let bad = Explorer::new(&sys2, ExploreConfig::default())
-            .terminal_invariant(Invariant::new("reached-3", |s: &u8| *s == 3 || *s == 103 + 100))
+            .terminal_invariant(Invariant::new("reached-3", |s: &u8| {
+                *s == 3 || *s == 103 + 100
+            }))
             .run();
         assert!(!bad.violations.is_empty());
-        assert!(bad.violations.iter().any(|t| t.violation == "eventually: reached-3"));
+        assert!(bad
+            .violations
+            .iter()
+            .any(|t| t.violation == "eventually: reached-3"));
         // Non-terminal states (0,1,2) never trigger the terminal check:
         // the only violating trails end in terminal states (3 or 103).
         for t in &bad.violations {

@@ -28,7 +28,11 @@ impl<S> Action<S> {
         guard: impl Fn(&S) -> bool + Send + Sync + 'static,
         effect: impl Fn(&mut S) + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.to_string(), guard: Arc::new(guard), effect: Arc::new(effect) }
+        Self {
+            name: name.to_string(),
+            guard: Arc::new(guard),
+            effect: Arc::new(effect),
+        }
     }
 }
 
@@ -38,6 +42,9 @@ impl<S> std::fmt::Debug for Action<S> {
     }
 }
 
+/// Shared predicate deciding whether two named actions commute.
+type IndependenceFn = Arc<dyn Fn(&str, &str) -> bool + Send + Sync>;
+
 /// A dynamic set of guarded commands over a state type `S`.
 #[derive(Clone)]
 pub struct GuardedSystem<S> {
@@ -45,7 +52,7 @@ pub struct GuardedSystem<S> {
     actions: Vec<Action<S>>,
     fingerprint: Arc<dyn Fn(&S) -> u64 + Send + Sync>,
     expected_terminal: Arc<dyn Fn(&S) -> bool + Send + Sync>,
-    independent: Option<Arc<dyn Fn(&str, &str) -> bool + Send + Sync>>,
+    independent: Option<IndependenceFn>,
 }
 
 impl<S: Clone + Send + Sync> GuardedSystem<S> {
@@ -101,7 +108,10 @@ impl<S: Clone + Send + Sync> TransitionSystem for GuardedSystem<S> {
             .iter()
             .enumerate()
             .filter(|(_, a)| (a.guard)(s))
-            .map(|(i, a)| GuardedLabel { index: i, name: a.name.clone() })
+            .map(|(i, a)| GuardedLabel {
+                index: i,
+                name: a.name.clone(),
+            })
             .collect()
     }
 
@@ -262,7 +272,10 @@ mod tests {
         sys.add_action(Action::new("dec-a", |s: &[u8; 2]| s[0] > 0, |s| s[0] -= 1));
         assert_eq!(sys.enabled(&[1, 0]).len(), 2);
         // Replace inc-a with a doubled version.
-        assert!(sys.replace_action("inc-a", Action::new("inc-a", |s: &[u8; 2]| s[0] == 0, |s| s[0] += 2)));
+        assert!(sys.replace_action(
+            "inc-a",
+            Action::new("inc-a", |s: &[u8; 2]| s[0] == 0, |s| s[0] += 2)
+        ));
         let l = sys
             .enabled(&[0, 0])
             .into_iter()

@@ -18,7 +18,10 @@ pub struct Invariant<S> {
 impl<S> Invariant<S> {
     /// Build an invariant from a closure.
     pub fn new(name: &str, check: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
-        Self { name: name.to_string(), check: Arc::new(check) }
+        Self {
+            name: name.to_string(),
+            check: Arc::new(check),
+        }
     }
 
     /// Does the invariant hold in `s`?

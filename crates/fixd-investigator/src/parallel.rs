@@ -29,7 +29,9 @@ struct Sharded<V> {
 
 impl<V> Sharded<V> {
     fn new() -> Self {
-        Self { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
     #[inline]
@@ -40,11 +42,11 @@ impl<V> Sharded<V> {
     /// Insert if absent; returns true if this call claimed the key.
     fn claim(&self, key: u64, value: V) -> bool {
         let mut m = self.shard(key).lock();
-        if m.contains_key(&key) {
-            false
-        } else {
-            m.insert(key, value);
+        if let std::collections::hash_map::Entry::Vacant(e) = m.entry(key) {
+            e.insert(value);
             true
+        } else {
+            false
         }
     }
 
@@ -115,12 +117,12 @@ where
             break;
         }
         let chunk_size = layer.len().div_ceil(threads);
-        let results: Vec<WorkerOut<T>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in layer.chunks(chunk_size.max(1)) {
                 let visited = &visited;
                 let parents = &parents;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = WorkerOut::<T> {
                         next: Vec::new(),
                         transitions: 0,
@@ -143,8 +145,10 @@ where
                                 continue;
                             }
                             parents.claim(nfp, (*fp, l));
-                            let bad =
-                                invariants.iter().find(|i| !i.holds(&next)).map(|i| i.name.clone());
+                            let bad = invariants
+                                .iter()
+                                .find(|i| !i.holds(&next))
+                                .map(|i| i.name.clone());
                             match bad {
                                 Some(name) => out.violations.push((nfp, name)),
                                 None => out.next.push((next, nfp)),
@@ -154,9 +158,11 @@ where
                     out
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         let mut next_layer = Vec::new();
         for mut r in results {
@@ -260,7 +266,10 @@ mod tests {
     #[test]
     fn max_states_respected() {
         let sys = grid(10);
-        let cfg = ExploreConfig { max_states: 50, ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            max_states: 50,
+            ..ExploreConfig::default()
+        };
         let par = explore_parallel(&sys, &[], &cfg, 4);
         assert!(par.truncated);
         // A layer may overshoot slightly, but not unboundedly.

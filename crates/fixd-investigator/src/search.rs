@@ -70,7 +70,6 @@ impl<S, L> Frontier<S, L> {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -78,7 +77,12 @@ mod tests {
     use super::*;
 
     fn node(fp: u64) -> Node<u64, u8> {
-        Node { state: fp, fp, depth: 0, sleep: Vec::new() }
+        Node {
+            state: fp,
+            fp,
+            depth: 0,
+            sleep: Vec::new(),
+        }
     }
 
     #[test]

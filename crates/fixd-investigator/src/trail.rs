@@ -73,7 +73,12 @@ mod tests {
 
     #[test]
     fn map_labels_preserves_metadata() {
-        let t = Trail { labels: vec![1, 2], violation: "x".into(), end_fingerprint: 9, depth: 2 };
+        let t = Trail {
+            labels: vec![1, 2],
+            violation: "x".into(),
+            end_fingerprint: 9,
+            depth: 2,
+        };
         let m = t.map_labels(|l| format!("L{l}"));
         assert_eq!(m.labels, vec!["L1", "L2"]);
         assert_eq!(m.end_fingerprint, 9);

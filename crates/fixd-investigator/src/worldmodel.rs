@@ -487,7 +487,10 @@ mod tests {
             self.echoes = b[1];
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Reg { val: self.val, echoes: self.echoes })
+            Box::new(Reg {
+                val: self.val,
+                echoes: self.echoes,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -553,8 +556,14 @@ mod tests {
         // Start P0 then P1 vs P1 then P0: both yield "both started, two
         // proposals in flight" — but program states differ? No: each
         // start only writes its own val. Same fingerprint expected.
-        let a = m.apply(&m.apply(&s0, &ModelAction::Start { pid: Pid(0) }), &ModelAction::Start { pid: Pid(1) });
-        let b = m.apply(&m.apply(&s0, &ModelAction::Start { pid: Pid(1) }), &ModelAction::Start { pid: Pid(0) });
+        let a = m.apply(
+            &m.apply(&s0, &ModelAction::Start { pid: Pid(0) }),
+            &ModelAction::Start { pid: Pid(1) },
+        );
+        let b = m.apply(
+            &m.apply(&s0, &ModelAction::Start { pid: Pid(1) }),
+            &ModelAction::Start { pid: Pid(0) },
+        );
         assert_eq!(m.fingerprint(&a), m.fingerprint(&b));
         assert_ne!(m.fingerprint(&a), m.fingerprint(&s0));
     }
@@ -565,9 +574,17 @@ mod tests {
         let s = m.apply(&m.initial(), &ModelAction::Start { pid: Pid(0) });
         let s = m.apply(&s, &ModelAction::Start { pid: Pid(1) });
         let acts = m.enabled(&s);
-        assert!(acts.iter().any(|a| matches!(a, ModelAction::DropHead { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ModelAction::DropHead { .. })));
         // Dropping removes the message.
-        let dropped = m.apply(&s, &ModelAction::DropHead { src: Pid(0), dst: Pid(1) });
+        let dropped = m.apply(
+            &s,
+            &ModelAction::DropHead {
+                src: Pid(0),
+                dst: Pid(1),
+            },
+        );
         assert_eq!(dropped.channel(Pid(0), Pid(1)).len(), 0);
     }
 
@@ -575,21 +592,36 @@ mod tests {
     fn crash_budget_limits_crash_actions() {
         let m = model(NetModel::crashy(1));
         let s = m.apply(&m.initial(), &ModelAction::Start { pid: Pid(0) });
-        assert!(m.enabled(&s).iter().any(|a| matches!(a, ModelAction::Crash { .. })));
+        assert!(m
+            .enabled(&s)
+            .iter()
+            .any(|a| matches!(a, ModelAction::Crash { .. })));
         let s2 = m.apply(&s, &ModelAction::Crash { pid: Pid(0) });
         assert!(s2.is_crashed(Pid(0)));
-        assert!(!m.enabled(&s2).iter().any(|a| matches!(a, ModelAction::Crash { .. })));
+        assert!(!m
+            .enabled(&s2)
+            .iter()
+            .any(|a| matches!(a, ModelAction::Crash { .. })));
     }
 
     #[test]
     fn independence_is_conservative() {
         let m = model(NetModel::reliable());
-        let d01 = ModelAction::Deliver { src: Pid(0), dst: Pid(1) };
-        let d10 = ModelAction::Deliver { src: Pid(1), dst: Pid(0) };
+        let d01 = ModelAction::Deliver {
+            src: Pid(0),
+            dst: Pid(1),
+        };
+        let d10 = ModelAction::Deliver {
+            src: Pid(1),
+            dst: Pid(0),
+        };
         // Delivery at P1 may send into channel (1,0): dependent.
         assert!(!m.independent(&d01, &d10));
         let t0 = ModelAction::FireTimer { pid: Pid(0) };
-        let c23 = ModelAction::Deliver { src: Pid(2), dst: Pid(3) };
+        let c23 = ModelAction::Deliver {
+            src: Pid(2),
+            dst: Pid(3),
+        };
         assert!(m.independent(&t0, &c23));
         assert!(!m.independent(&t0, &t0));
     }
@@ -600,7 +632,10 @@ mod tests {
             Box::new(Reg { val: 3, echoes: 0 }),
             Box::new(Reg { val: 3, echoes: 0 }),
         ];
-        let harnesses = vec![SoloHarness::new(Pid(0), 2, 7), SoloHarness::new(Pid(1), 2, 7)];
+        let harnesses = vec![
+            SoloHarness::new(Pid(0), 2, 7),
+            SoloHarness::new(Pid(1), 2, 7),
+        ];
         let msg = Message {
             id: 1,
             src: Pid(0),

@@ -104,7 +104,10 @@ impl Program for Bcast {
         self.limit = b[1];
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Bcast { hits: self.hits, limit: self.limit })
+        Box::new(Bcast {
+            hits: self.hits,
+            limit: self.limit,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

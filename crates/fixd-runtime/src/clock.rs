@@ -67,9 +67,7 @@ pub struct VectorClock {
 impl VectorClock {
     /// A zero clock of width `n`.
     pub fn new(n: usize) -> Self {
-        Self {
-            counts: vec![0; n],
-        }
+        Self { counts: vec![0; n] }
     }
 
     /// Construct from explicit components (test helper and codec target).

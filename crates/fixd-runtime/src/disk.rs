@@ -88,7 +88,9 @@ impl SharedDisk {
     pub fn sync(&self) {
         let mut d = self.inner.lock();
         d.stats.syncs += 1;
-        let buffered: Vec<(Vec<u8>, Option<Vec<u8>>)> = d.buffer.iter()
+        let buffered: Vec<(Vec<u8>, Option<Vec<u8>>)> = d
+            .buffer
+            .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         for (k, v) in buffered {
@@ -166,7 +168,7 @@ mod tests {
         d.write(b"k", b"v1");
         d.sync();
         assert_eq!(d.dirty_count(), 0);
-        assert_eq!(d.durable_snapshot().get(&b"k"[..].to_vec()), Some(&b"v1".to_vec()));
+        assert_eq!(d.durable_snapshot().get(&b"k"[..]), Some(&b"v1".to_vec()));
         // A later crash loses nothing.
         d.crash();
         assert_eq!(d.read(b"k"), Some(b"v1".to_vec()));
@@ -181,7 +183,11 @@ mod tests {
         d.write(b"b", b"2"); // unsynced
         d.write(b"a", b"9"); // unsynced overwrite
         d.crash();
-        assert_eq!(d.read(b"a"), Some(b"1".to_vec()), "old durable value survives");
+        assert_eq!(
+            d.read(b"a"),
+            Some(b"1".to_vec()),
+            "old durable value survives"
+        );
         assert_eq!(d.read(b"b"), None);
         assert_eq!(d.stats().writes_lost, 2);
     }

@@ -88,7 +88,9 @@ pub enum EventKind {
     /// A process was restarted by an external driver (e.g. the Healer).
     Restart { pid: Pid },
     /// A network partition changed.
-    PartitionChange { partition: crate::network::Partition },
+    PartitionChange {
+        partition: crate::network::Partition,
+    },
 }
 
 impl EventKind {
@@ -209,7 +211,9 @@ mod tests {
 
     #[test]
     fn event_kind_pid_extraction() {
-        let e = EventKind::Deliver { msg: msg(0, 1, 0, b"") };
+        let e = EventKind::Deliver {
+            msg: msg(0, 1, 0, b""),
+        };
         assert_eq!(e.pid(), Some(Pid(1)));
         assert!(e.runs_handler());
         let c = EventKind::Crash { pid: Pid(2) };
@@ -234,8 +238,14 @@ mod tests {
     fn effects_fingerprint_order_sensitive() {
         let m1 = msg(0, 1, 1, b"a");
         let m2 = msg(0, 1, 2, b"b");
-        let e1 = Effects { sends: vec![m1.clone(), m2.clone()], ..Default::default() };
-        let e2 = Effects { sends: vec![m2, m1], ..Default::default() };
+        let e1 = Effects {
+            sends: vec![m1.clone(), m2.clone()],
+            ..Default::default()
+        };
+        let e2 = Effects {
+            sends: vec![m2, m1],
+            ..Default::default()
+        };
         assert_ne!(e1.fingerprint(), e2.fingerprint());
     }
 }

@@ -40,7 +40,7 @@ pub enum Fault {
 
 impl Fault {
     fn link_matches(from: Option<Pid>, to: Option<Pid>, src: Pid, dst: Pid) -> bool {
-        from.map_or(true, |f| f == src) && to.map_or(true, |t| t == dst)
+        from.is_none_or(|f| f == src) && to.is_none_or(|t| t == dst)
     }
 }
 
@@ -69,7 +69,12 @@ impl FaultPlan {
 
     /// Drop all `from → to` messages in `[start, end)` (builder shorthand).
     pub fn drop_link(self, from: Pid, to: Pid, start: VTime, end: VTime) -> Self {
-        self.with(Fault::DropLink { from: Some(from), to: Some(to), start, end })
+        self.with(Fault::DropLink {
+            from: Some(from),
+            to: Some(to),
+            start,
+            end,
+        })
     }
 
     /// All faults in the plan.
@@ -93,7 +98,12 @@ impl FaultPlan {
     pub fn scheduled_partitions(&self, world_size: usize) -> Vec<(VTime, Partition)> {
         let mut out = Vec::new();
         for f in &self.faults {
-            if let Fault::PartitionAt { at, partition, heal_at } = f {
+            if let Fault::PartitionAt {
+                at,
+                partition,
+                heal_at,
+            } = f
+            {
                 out.push((*at, partition.clone()));
                 if let Some(h) = heal_at {
                     out.push((*h, Partition::none(world_size)));
@@ -107,9 +117,12 @@ impl FaultPlan {
     /// Should a message `src → dst` sent at `now` be force-dropped?
     pub fn should_drop(&self, src: Pid, dst: Pid, now: VTime) -> bool {
         self.faults.iter().any(|f| match f {
-            Fault::DropLink { from, to, start, end } => {
-                Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now)
-            }
+            Fault::DropLink {
+                from,
+                to,
+                start,
+                end,
+            } => Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now),
             _ => false,
         })
     }
@@ -117,9 +130,12 @@ impl FaultPlan {
     /// Should a message `src → dst` sent at `now` be corrupted?
     pub fn should_corrupt(&self, src: Pid, dst: Pid, now: VTime) -> bool {
         self.faults.iter().any(|f| match f {
-            Fault::CorruptLink { from, to, start, end } => {
-                Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now)
-            }
+            Fault::CorruptLink {
+                from,
+                to,
+                start,
+                end,
+            } => Fault::link_matches(*from, *to, src, dst) && (*start..*end).contains(&now),
             _ => false,
         })
     }

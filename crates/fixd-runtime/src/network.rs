@@ -35,7 +35,9 @@ pub struct Partition {
 impl Partition {
     /// Fully connected world of `n` processes.
     pub fn none(n: usize) -> Self {
-        Self { group_of: vec![0; n] }
+        Self {
+            group_of: vec![0; n],
+        }
     }
 
     /// Build from explicit groups; any pid not mentioned lands in group 0.
@@ -92,12 +94,18 @@ impl Default for NetworkConfig {
 impl NetworkConfig {
     /// A lossy network with the given drop probability.
     pub fn lossy(drop_prob: f64) -> Self {
-        Self { drop_prob, ..Self::default() }
+        Self {
+            drop_prob,
+            ..Self::default()
+        }
     }
 
     /// A reordering network with latency jitter.
     pub fn jittery(min: VTime, max: VTime) -> Self {
-        Self { policy: DeliveryPolicy::RandomDelay { min, max }, ..Self::default() }
+        Self {
+            policy: DeliveryPolicy::RandomDelay { min, max },
+            ..Self::default()
+        }
     }
 }
 
@@ -106,7 +114,10 @@ impl NetworkConfig {
 pub enum DeliveryOutcome {
     /// Deliver at this absolute virtual time, possibly with a corrupted
     /// payload (the corrupted bytes replace the original).
-    Deliver { at: VTime, corrupted_payload: Option<Vec<u8>> },
+    Deliver {
+        at: VTime,
+        corrupted_payload: Option<Vec<u8>>,
+    },
     /// Dropped; the reason is recorded in the trace.
     Drop { reason: DropReason },
 }
@@ -145,12 +156,20 @@ impl NetworkConfig {
         rng: &mut DetRng,
     ) -> Vec<DeliveryOutcome> {
         if !connected {
-            return vec![DeliveryOutcome::Drop { reason: DropReason::Partitioned }];
+            return vec![DeliveryOutcome::Drop {
+                reason: DropReason::Partitioned,
+            }];
         }
         if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
-            return vec![DeliveryOutcome::Drop { reason: DropReason::Loss }];
+            return vec![DeliveryOutcome::Drop {
+                reason: DropReason::Loss,
+            }];
         }
-        let copies = if self.dup_prob > 0.0 && rng.chance(self.dup_prob) { 2 } else { 1 };
+        let copies = if self.dup_prob > 0.0 && rng.chance(self.dup_prob) {
+            2
+        } else {
+            1
+        };
         let mut out = Vec::with_capacity(copies);
         for _ in 0..copies {
             let delay = match self.policy {
@@ -163,16 +182,21 @@ impl NetworkConfig {
                     }
                 }
             };
-            let corrupted_payload =
-                if self.corrupt_prob > 0.0 && !payload.is_empty() && rng.chance(self.corrupt_prob) {
-                    let mut p = payload.to_vec();
-                    let i = rng.below(p.len() as u64) as usize;
-                    p[i] ^= 0xFF;
-                    Some(p)
-                } else {
-                    None
-                };
-            out.push(DeliveryOutcome::Deliver { at: now.saturating_add(delay), corrupted_payload });
+            let corrupted_payload = if self.corrupt_prob > 0.0
+                && !payload.is_empty()
+                && rng.chance(self.corrupt_prob)
+            {
+                let mut p = payload.to_vec();
+                let i = rng.below(p.len() as u64) as usize;
+                p[i] ^= 0xFF;
+                Some(p)
+            } else {
+                None
+            };
+            out.push(DeliveryOutcome::Deliver {
+                at: now.saturating_add(delay),
+                corrupted_payload,
+            });
         }
         out
     }
@@ -199,7 +223,10 @@ mod tests {
         let out = cfg.plan(100, b"x", true, &mut rng);
         assert_eq!(
             out,
-            vec![DeliveryOutcome::Deliver { at: 110, corrupted_payload: None }]
+            vec![DeliveryOutcome::Deliver {
+                at: 110,
+                corrupted_payload: None
+            }]
         );
     }
 
@@ -208,7 +235,12 @@ mod tests {
         let cfg = NetworkConfig::default();
         let mut rng = DetRng::derive(1, 0);
         let out = cfg.plan(0, b"x", false, &mut rng);
-        assert_eq!(out, vec![DeliveryOutcome::Drop { reason: DropReason::Partitioned }]);
+        assert_eq!(
+            out,
+            vec![DeliveryOutcome::Drop {
+                reason: DropReason::Partitioned
+            }]
+        );
     }
 
     #[test]
@@ -217,13 +249,21 @@ mod tests {
         let mut rng = DetRng::derive(1, 0);
         for _ in 0..10 {
             let out = cfg.plan(0, b"x", true, &mut rng);
-            assert_eq!(out, vec![DeliveryOutcome::Drop { reason: DropReason::Loss }]);
+            assert_eq!(
+                out,
+                vec![DeliveryOutcome::Drop {
+                    reason: DropReason::Loss
+                }]
+            );
         }
     }
 
     #[test]
     fn dup_prob_one_duplicates() {
-        let cfg = NetworkConfig { dup_prob: 1.0, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            dup_prob: 1.0,
+            ..NetworkConfig::default()
+        };
         let mut rng = DetRng::derive(1, 0);
         let out = cfg.plan(0, b"x", true, &mut rng);
         assert_eq!(out.len(), 2);
@@ -231,11 +271,17 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_byte() {
-        let cfg = NetworkConfig { corrupt_prob: 1.0, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            corrupt_prob: 1.0,
+            ..NetworkConfig::default()
+        };
         let mut rng = DetRng::derive(1, 0);
         let out = cfg.plan(0, b"abcd", true, &mut rng);
         match &out[0] {
-            DeliveryOutcome::Deliver { corrupted_payload: Some(p), .. } => {
+            DeliveryOutcome::Deliver {
+                corrupted_payload: Some(p),
+                ..
+            } => {
                 let diff = p.iter().zip(b"abcd").filter(|(a, b)| a != b).count();
                 assert_eq!(diff, 1);
             }

@@ -155,7 +155,9 @@ impl<'a> Context<'a> {
     pub fn set_timer(&mut self, delay: VTime) -> TimerId {
         let id = TimerId(*self.next_timer_id);
         *self.next_timer_id += 1;
-        self.effects.timers_set.push((id, self.now.saturating_add(delay)));
+        self.effects
+            .timers_set
+            .push((id, self.now.saturating_add(delay)));
         id
     }
 
@@ -219,7 +221,11 @@ mod tests {
             &mut lamport,
             &mut next_msg,
             &mut next_timer,
-            MsgMeta { ckpt_index: 4, spec_id: 9, lamport: 0 },
+            MsgMeta {
+                ckpt_index: 4,
+                spec_id: 9,
+                lamport: 0,
+            },
         );
         f(&mut ctx);
         ctx.into_effects()

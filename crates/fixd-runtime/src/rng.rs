@@ -20,8 +20,8 @@ impl DetRng {
     /// Derive a stream from a root seed and a stream index (e.g. a pid).
     /// Uses splitmix64-style mixing so adjacent indices decorrelate.
     pub fn derive(root_seed: u64, stream: u64) -> Self {
-        let mut z = root_seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+        let mut z =
+            root_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;

@@ -17,11 +17,7 @@ impl Topology {
 
     /// Unidirectional ring: `i → (i+1) mod n`.
     pub fn ring(n: usize) -> Self {
-        Self::from_adj(
-            (0..n)
-                .map(|i| vec![Pid(((i + 1) % n) as u32)])
-                .collect(),
-        )
+        Self::from_adj((0..n).map(|i| vec![Pid(((i + 1) % n) as u32)]).collect())
     }
 
     /// Bidirectional ring.
@@ -60,12 +56,7 @@ impl Topology {
     pub fn clique(n: usize) -> Self {
         Self::from_adj(
             (0..n)
-                .map(|i| {
-                    (0..n)
-                        .filter(|&j| j != i)
-                        .map(|j| Pid(j as u32))
-                        .collect()
-                })
+                .map(|i| (0..n).filter(|&j| j != i).map(|j| Pid(j as u32)).collect())
                 .collect(),
         )
     }

@@ -33,7 +33,10 @@ impl Trace {
 
     /// Trace keeping at most `cap` most-recent records (ring semantics).
     pub fn bounded(cap: usize) -> Self {
-        Self { capacity: Some(cap), ..Self::default() }
+        Self {
+            capacity: Some(cap),
+            ..Self::default()
+        }
     }
 
     /// Append a record, evicting the oldest if at capacity.
@@ -73,7 +76,9 @@ impl Trace {
 
     /// Records concerning `pid`, oldest first.
     pub fn records_of(&self, pid: Pid) -> impl Iterator<Item = &StepRecord> {
-        self.records.iter().filter(move |r| r.event.kind.pid() == Some(pid))
+        self.records
+            .iter()
+            .filter(move |r| r.event.kind.pid() == Some(pid))
     }
 
     /// Records in the virtual-time window `[start, end)`.
@@ -121,7 +126,11 @@ mod tests {
 
     fn rec(seq: u64, at: VTime, pid: u32) -> StepRecord {
         StepRecord {
-            event: Event { seq, at, kind: EventKind::Start { pid: Pid(pid) } },
+            event: Event {
+                seq,
+                at,
+                kind: EventKind::Start { pid: Pid(pid) },
+            },
             effects: Effects::default(),
         }
     }
@@ -150,9 +159,21 @@ mod tests {
     #[test]
     fn outputs_by_pid() {
         let mut t = Trace::unbounded();
-        t.push_output(Output { pid: Pid(0), at: 1, data: b"a".to_vec() });
-        t.push_output(Output { pid: Pid(1), at: 2, data: b"b".to_vec() });
-        t.push_output(Output { pid: Pid(0), at: 3, data: b"c".to_vec() });
+        t.push_output(Output {
+            pid: Pid(0),
+            at: 1,
+            data: b"a".to_vec(),
+        });
+        t.push_output(Output {
+            pid: Pid(1),
+            at: 2,
+            data: b"b".to_vec(),
+        });
+        t.push_output(Output {
+            pid: Pid(0),
+            at: 3,
+            data: b"c".to_vec(),
+        });
         assert_eq!(t.outputs_of(Pid(0)), vec![&b"a"[..], &b"c"[..]]);
         assert_eq!(t.outputs().len(), 3);
     }

@@ -53,14 +53,22 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        Self { seed: 0xF1BD, net: NetworkConfig::default(), trace_cap: None, start_time: 0 }
+        Self {
+            seed: 0xF1BD,
+            net: NetworkConfig::default(),
+            trace_cap: None,
+            start_time: 0,
+        }
     }
 }
 
 impl WorldConfig {
     /// Config with a specific seed, defaults otherwise.
     pub fn seeded(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -265,7 +273,10 @@ impl World {
 
     /// Install a fault plan. Must be called before the first `peek`/`step`.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        assert!(!self.sealed, "fault plan must be installed before the world starts");
+        assert!(
+            !self.sealed,
+            "fault plan must be installed before the world starts"
+        );
         self.faults = plan;
     }
 
@@ -358,7 +369,11 @@ impl World {
     pub fn peek(&mut self) -> Option<Event> {
         self.seal();
         let qe = self.next_valid()?;
-        let ev = Event { seq: self.exec_seq, at: qe.at, kind: qe.kind.clone() };
+        let ev = Event {
+            seq: self.exec_seq,
+            at: qe.at,
+            kind: qe.kind.clone(),
+        };
         self.staged = Some(qe);
         Some(ev)
     }
@@ -410,7 +425,10 @@ impl World {
             }
         };
 
-        let record = StepRecord { event: Event { seq, at, kind }, effects };
+        let record = StepRecord {
+            event: Event { seq, at, kind },
+            effects,
+        };
         self.trace.push(record.clone());
         Some(record)
     }
@@ -457,14 +475,22 @@ impl World {
             self.cancelled_timers.insert((pid.0, t.0));
         }
         for data in &effects.outputs {
-            self.trace.push_output(Output { pid, at: self.now, data: data.clone() });
+            self.trace.push_output(Output {
+                pid,
+                at: self.now,
+                data: data.clone(),
+            });
         }
         if effects.crashed {
             self.procs[pid.idx()].status = ProcStatus::Crashed;
             let seq = self.exec_seq;
             self.exec_seq += 1;
             self.trace.push(StepRecord {
-                event: Event { seq, at: self.now, kind: EventKind::Crash { pid } },
+                event: Event {
+                    seq,
+                    at: self.now,
+                    kind: EventKind::Crash { pid },
+                },
                 effects: Effects::default(),
             });
         }
@@ -484,11 +510,17 @@ impl World {
             self.stats.corrupted += 1;
         }
         let connected = self.partition.connected(msg.src, msg.dst);
-        let outcomes = self.cfg.net.plan(self.now, &msg.payload, connected, &mut self.net_rng);
+        let outcomes = self
+            .cfg
+            .net
+            .plan(self.now, &msg.payload, connected, &mut self.net_rng);
         let mut first = true;
         for outcome in outcomes {
             match outcome {
-                DeliveryOutcome::Deliver { at, corrupted_payload } => {
+                DeliveryOutcome::Deliver {
+                    at,
+                    corrupted_payload,
+                } => {
                     if !first {
                         self.stats.duplicated += 1;
                     }
@@ -609,7 +641,10 @@ impl World {
 
     /// Typed write access to a process's program (tests / fault setup).
     pub fn program_mut<T: 'static>(&mut self, pid: Pid) -> Option<&mut T> {
-        self.procs[pid.idx()].program.as_any_mut().downcast_mut::<T>()
+        self.procs[pid.idx()]
+            .program
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Run a closure over the untyped program (for generic drivers).
@@ -652,7 +687,11 @@ impl World {
         let seq = self.exec_seq;
         self.exec_seq += 1;
         self.trace.push(StepRecord {
-            event: Event { seq, at: self.now, kind: EventKind::Restart { pid: ckpt.pid } },
+            event: Event {
+                seq,
+                at: self.now,
+                kind: EventKind::Restart { pid: ckpt.pid },
+            },
             effects: Effects::default(),
         });
     }
@@ -663,7 +702,11 @@ impl World {
         let seq = self.exec_seq;
         self.exec_seq += 1;
         self.trace.push(StepRecord {
-            event: Event { seq, at: self.now, kind: EventKind::Crash { pid } },
+            event: Event {
+                seq,
+                at: self.now,
+                kind: EventKind::Crash { pid },
+            },
             effects: Effects::default(),
         });
     }
@@ -725,11 +768,7 @@ impl World {
     /// All messages currently in flight (queued `Deliver` events), in
     /// scheduling order.
     pub fn inflight_messages(&self) -> Vec<Message> {
-        let mut qes: Vec<&QueuedEvent> = self
-            .queue
-            .iter()
-            .chain(self.staged.iter())
-            .collect();
+        let mut qes: Vec<&QueuedEvent> = self.queue.iter().chain(self.staged.iter()).collect();
         qes.sort_by_key(|qe| (qe.at, qe.seq));
         qes.into_iter()
             .filter_map(|qe| match &qe.kind {
@@ -830,7 +869,10 @@ mod tests {
             self.hops = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Ring { received: self.received, hops: self.hops })
+            Box::new(Ring {
+                received: self.received,
+                hops: self.hops,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -857,7 +899,9 @@ mod tests {
         let report = w.run_to_quiescence(10_000);
         assert!(report.quiescent);
         assert_eq!(report.delivered, 8); // initial + 7 forwarded
-        let total: u64 = (0..4).map(|i| w.program::<Ring>(Pid(i)).unwrap().received).sum();
+        let total: u64 = (0..4)
+            .map(|i| w.program::<Ring>(Pid(i)).unwrap().received)
+            .sum();
         assert_eq!(total, 8);
     }
 
@@ -867,7 +911,10 @@ mod tests {
         let mut b = ring_world(5, 20, 42);
         a.run_to_quiescence(10_000);
         b.run_to_quiescence(10_000);
-        assert_eq!(a.global_snapshot().fingerprint(), b.global_snapshot().fingerprint());
+        assert_eq!(
+            a.global_snapshot().fingerprint(),
+            b.global_snapshot().fingerprint()
+        );
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.now(), b.now());
     }
@@ -934,7 +981,10 @@ mod tests {
         cfg.net = NetworkConfig::lossy(1.0);
         let mut w = World::new(cfg);
         for _ in 0..3 {
-            w.add_process(Box::new(Ring { received: 0, hops: 5 }));
+            w.add_process(Box::new(Ring {
+                received: 0,
+                hops: 5,
+            }));
         }
         let report = w.run_to_quiescence(1_000);
         assert_eq!(report.delivered, 0);
@@ -988,7 +1038,14 @@ mod tests {
     fn meta_template_propagates_to_sends() {
         let mut w = ring_world(2, 3, 1);
         // Seal happens on first peek; set template before any sends.
-        w.set_meta_template(Pid(0), MsgMeta { ckpt_index: 7, spec_id: 3, lamport: 0 });
+        w.set_meta_template(
+            Pid(0),
+            MsgMeta {
+                ckpt_index: 7,
+                spec_id: 3,
+                lamport: 0,
+            },
+        );
         w.peek();
         w.step(); // P0 start -> send
         let inflight = w.inflight_messages();
@@ -1011,7 +1068,13 @@ mod tests {
         let mut w = ring_world(2, 1, 1);
         w.run_to_quiescence(100);
         let old = w.program::<Ring>(Pid(1)).unwrap().received;
-        w.replace_program(Pid(1), Box::new(Ring { received: 1000, hops: 0 }));
+        w.replace_program(
+            Pid(1),
+            Box::new(Ring {
+                received: 1000,
+                hops: 0,
+            }),
+        );
         assert_eq!(w.program::<Ring>(Pid(1)).unwrap().received, 1000);
         assert_ne!(old, 1000);
     }

@@ -2,8 +2,7 @@
 //! targeted corruption, timer semantics, bounded traces.
 
 use fixd_runtime::{
-    Context, Fault, FaultPlan, Message, Partition, Pid, Program, TimerId, World,
-    WorldConfig,
+    Context, Fault, FaultPlan, Message, Partition, Pid, Program, TimerId, World, WorldConfig,
 };
 
 /// Echo server: replies to every ping; counts pings.
@@ -15,7 +14,11 @@ struct Echo {
 
 impl Echo {
     fn new() -> Self {
-        Self { pings: 0, timer_fired: false, cancel_own_timer: false }
+        Self {
+            pings: 0,
+            timer_fired: false,
+            cancel_own_timer: false,
+        }
     }
 }
 
@@ -100,7 +103,9 @@ fn healed_partition_is_timing_dependent_but_deterministic() {
             heal_at: Some(5),
         }));
         w.run_to_quiescence(10_000);
-        (0..4).map(|i| w.program::<Echo>(Pid(i)).unwrap().pings).collect::<Vec<_>>()
+        (0..4)
+            .map(|i| w.program::<Echo>(Pid(i)).unwrap().pings)
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
@@ -124,7 +129,10 @@ fn corrupt_link_flips_payloads_deterministically() {
 #[test]
 fn cancelled_timer_never_fires() {
     let mut w = World::new(WorldConfig::seeded(5));
-    w.add_process(Box::new(Echo { cancel_own_timer: true, ..Echo::new() }));
+    w.add_process(Box::new(Echo {
+        cancel_own_timer: true,
+        ..Echo::new()
+    }));
     w.run_to_quiescence(10_000);
     assert!(!w.program::<Echo>(Pid(0)).unwrap().timer_fired);
 }

@@ -25,7 +25,10 @@ impl Program for Noisy {
         }
     }
     fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
-        self.acc = self.acc.wrapping_add(ctx.random()).wrapping_add(u64::from(msg.payload[0]));
+        self.acc = self
+            .acc
+            .wrapping_add(ctx.random())
+            .wrapping_add(u64::from(msg.payload[0]));
         let ttl = msg.payload[1];
         if ttl > 0 {
             let dst = Pid((ctx.random_below(ctx.world_size() as u64)) as u32);
@@ -44,7 +47,10 @@ impl Program for Noisy {
         self.fanout = b[8];
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Noisy { acc: self.acc, fanout: self.fanout })
+        Box::new(Noisy {
+            acc: self.acc,
+            fanout: self.fanout,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

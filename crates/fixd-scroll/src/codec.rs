@@ -75,7 +75,11 @@ pub fn decode_message(buf: &[u8], pos: &mut usize) -> Result<Message> {
         payload,
         sent_at,
         vc,
-        meta: MsgMeta { ckpt_index, spec_id, lamport },
+        meta: MsgMeta {
+            ckpt_index,
+            spec_id,
+            lamport,
+        },
     })
 }
 
@@ -111,14 +115,30 @@ pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
     let sends = need(get_varint(buf, pos))?;
     let kind = match tag {
         0 => EntryKind::Start,
-        1 => EntryKind::Deliver { msg: decode_message(buf, pos)? },
-        2 => EntryKind::TimerFire { timer: TimerId(need(get_varint(buf, pos))?) },
+        1 => EntryKind::Deliver {
+            msg: decode_message(buf, pos)?,
+        },
+        2 => EntryKind::TimerFire {
+            timer: TimerId(need(get_varint(buf, pos))?),
+        },
         3 => EntryKind::Crash,
         4 => EntryKind::Restart,
-        5 => EntryKind::DroppedMail { msg: decode_message(buf, pos)? },
+        5 => EntryKind::DroppedMail {
+            msg: decode_message(buf, pos)?,
+        },
         t => return Err(CodecError::BadTag(t)),
     };
-    Ok(ScrollEntry { pid, local_seq, at, lamport, vc, kind, randoms, effects_fp, sends })
+    Ok(ScrollEntry {
+        pid,
+        local_seq,
+        at,
+        lamport,
+        vc,
+        kind,
+        randoms,
+        effects_fp,
+        sends,
+    })
 }
 
 /// Encode a whole segment (version byte + count + entries).
@@ -161,7 +181,11 @@ mod tests {
             payload: b"payload".to_vec(),
             sent_at: 1234,
             vc: VectorClock::from_vec(vec![3, 1, 0]),
-            meta: MsgMeta { ckpt_index: 2, spec_id: 0, lamport: 9 },
+            meta: MsgMeta {
+                ckpt_index: 2,
+                spec_id: 0,
+                lamport: 9,
+            },
         }
     }
 

@@ -63,15 +63,16 @@ impl Cut {
     /// `frontier(p)[q] <= frontier(q)[q]`.
     pub fn is_consistent(&self, store: &ScrollStore) -> bool {
         let n = store.width();
-        let frontiers: Vec<VectorClock> =
-            (0..n).map(|i| self.frontier(store, Pid(i as u32))).collect();
+        let frontiers: Vec<VectorClock> = (0..n)
+            .map(|i| self.frontier(store, Pid(i as u32)))
+            .collect();
         for p in 0..n {
-            for q in 0..n {
+            for (q, frontier_q) in frontiers.iter().enumerate() {
                 if p == q {
                     continue;
                 }
                 let qq = Pid(q as u32);
-                if frontiers[p].get(qq) > frontiers[q].get(qq) {
+                if frontiers[p].get(qq) > frontier_q.get(qq) {
                     return false;
                 }
             }
@@ -94,9 +95,7 @@ impl Cut {
 /// logs instead of checkpoints).
 pub fn latest_consistent_cut(store: &ScrollStore, fault_pid: Pid, limit: usize) -> Cut {
     let n = store.width();
-    let mut counts: Vec<usize> = (0..n)
-        .map(|i| store.scroll(Pid(i as u32)).len())
-        .collect();
+    let mut counts: Vec<usize> = (0..n).map(|i| store.scroll(Pid(i as u32)).len()).collect();
     if fault_pid.idx() < n {
         counts[fault_pid.idx()] = counts[fault_pid.idx()].min(limit);
     }
@@ -106,7 +105,7 @@ pub fn latest_consistent_cut(store: &ScrollStore, fault_pid: Pid, limit: usize) 
             (0..n).map(|i| cut.frontier(store, Pid(i as u32))).collect();
         let mut changed = false;
         for p in 0..n {
-            for q in 0..n {
+            for (q, frontier_q) in frontiers.iter().enumerate() {
                 if p == q {
                     continue;
                 }
@@ -115,7 +114,7 @@ pub fn latest_consistent_cut(store: &ScrollStore, fault_pid: Pid, limit: usize) 
                 // its frontier no longer exceeds q's self-component.
                 while counts[p] > 0 {
                     let fp = Cut::new(counts.clone()).frontier(store, Pid(p as u32));
-                    if fp.get(qq) <= frontiers[q].get(qq) {
+                    if fp.get(qq) <= frontier_q.get(qq) {
                         break;
                     }
                     counts[p] -= 1;
@@ -156,7 +155,9 @@ mod tests {
             self.rounds = b[0];
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(PingPong { rounds: self.rounds })
+            Box::new(PingPong {
+                rounds: self.rounds,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -209,10 +210,7 @@ mod tests {
             if counts[p as usize] < store.scroll(pid).len() {
                 counts[p as usize] += 1;
                 let bigger = Cut::new(counts);
-                assert!(
-                    !bigger.is_consistent(&store),
-                    "cut not maximal at P{p}"
-                );
+                assert!(!bigger.is_consistent(&store), "cut not maximal at P{p}");
             }
         }
     }

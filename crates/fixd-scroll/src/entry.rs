@@ -101,7 +101,9 @@ mod tests {
     #[test]
     fn replayable_classification() {
         assert!(entry(EntryKind::Start).kind.is_replayable());
-        assert!(entry(EntryKind::TimerFire { timer: TimerId(1) }).kind.is_replayable());
+        assert!(entry(EntryKind::TimerFire { timer: TimerId(1) })
+            .kind
+            .is_replayable());
         assert!(!entry(EntryKind::Crash).kind.is_replayable());
         assert!(!entry(EntryKind::Restart).kind.is_replayable());
     }

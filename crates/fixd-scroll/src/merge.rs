@@ -27,9 +27,7 @@ pub fn merge_total_order(store: &ScrollStore) -> Vec<ScrollEntry> {
     let mut all: Vec<ScrollEntry> = (0..store.width())
         .flat_map(|i| store.scroll(fixd_runtime::Pid(i as u32)).iter().cloned())
         .collect();
-    all.sort_by(|a, b| {
-        (a.lamport, a.pid, a.local_seq).cmp(&(b.lamport, b.pid, b.local_seq))
-    });
+    all.sort_by_key(|a| (a.lamport, a.pid, a.local_seq));
     all
 }
 
@@ -41,7 +39,10 @@ pub fn check_causal_consistency(merged: &[ScrollEntry]) -> Result<(), CausalViol
         for j in (i + 1)..merged.len() {
             // If merged[j] strictly happens-before merged[i], order is bad.
             if merged[j].vc.leq(&merged[i].vc) && merged[j].vc != merged[i].vc {
-                return Err(CausalViolation { earlier_index: i, later_index: j });
+                return Err(CausalViolation {
+                    earlier_index: i,
+                    later_index: j,
+                });
             }
         }
     }
@@ -54,7 +55,9 @@ pub fn check_causal_consistency(merged: &[ScrollEntry]) -> Result<(), CausalViol
 /// Deliveries from unrecorded senders (black boxes) are skipped.
 pub fn check_send_before_receive(merged: &[ScrollEntry]) -> Result<(), CausalViolation> {
     for (i, e) in merged.iter().enumerate() {
-        let EntryKind::Deliver { msg } = &e.kind else { continue };
+        let EntryKind::Deliver { msg } = &e.kind else {
+            continue;
+        };
         let sender_recorded = merged.iter().any(|f| f.pid == msg.src);
         if !sender_recorded {
             continue;
@@ -66,7 +69,10 @@ pub fn check_send_before_receive(merged: &[ScrollEntry]) -> Result<(), CausalVio
         // handler entry that performed it. If the sender performed the
         // send, some earlier entry of the sender has vc[src] >= msg.vc[src].
         if !send_seen_earlier && msg.vc.get(msg.src) > 0 {
-            return Err(CausalViolation { earlier_index: i, later_index: i });
+            return Err(CausalViolation {
+                earlier_index: i,
+                later_index: i,
+            });
         }
     }
     Ok(())
@@ -109,7 +115,10 @@ mod tests {
             self.seen = u64::from_le_bytes(b.try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Gossip { seen: self.seen, n: self.n })
+            Box::new(Gossip {
+                seen: self.seen,
+                n: self.n,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self

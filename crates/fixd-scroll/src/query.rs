@@ -7,12 +7,20 @@ use crate::entry::{EntryKind, ScrollEntry};
 
 /// A fluent filter over a merged (or per-process) entry slice.
 ///
-/// ```ignore
-/// let deliveries_to_p2 = ScrollQuery::new(&merged)
+/// ```
+/// # use fixd_runtime::{Pid, VectorClock};
+/// # use fixd_scroll::{EntryKind, ScrollEntry, ScrollQuery};
+/// # let entry = |pid: u32, at: u64| ScrollEntry {
+/// #     pid: Pid(pid), local_seq: 0, at, lamport: at,
+/// #     vc: VectorClock::from_vec(vec![0; 3]),
+/// #     kind: EntryKind::Start, randoms: Vec::new(), effects_fp: 0, sends: 0,
+/// # };
+/// # let merged = vec![entry(1, 50), entry(2, 120), entry(2, 700)];
+/// let p2_early = ScrollQuery::new(&merged)
 ///     .pid(Pid(2))
-///     .deliveries()
 ///     .between(100, 500)
 ///     .collect();
+/// assert_eq!(p2_early.len(), 1);
 /// ```
 #[derive(Clone)]
 pub struct ScrollQuery<'a> {
@@ -22,7 +30,9 @@ pub struct ScrollQuery<'a> {
 impl<'a> ScrollQuery<'a> {
     /// Start a query over `entries`.
     pub fn new(entries: &'a [ScrollEntry]) -> Self {
-        Self { entries: entries.iter().collect() }
+        Self {
+            entries: entries.iter().collect(),
+        }
     }
 
     /// Keep only entries of process `p`.
@@ -33,7 +43,8 @@ impl<'a> ScrollQuery<'a> {
 
     /// Keep only deliveries.
     pub fn deliveries(mut self) -> Self {
-        self.entries.retain(|e| matches!(e.kind, EntryKind::Deliver { .. }));
+        self.entries
+            .retain(|e| matches!(e.kind, EntryKind::Deliver { .. }));
         self
     }
 

@@ -15,27 +15,38 @@ use crate::entry::{EntryKind, ScrollEntry};
 use crate::storage::ScrollStore;
 
 /// Recorder knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RecordConfig {
     /// Also record messages dropped by the network (diagnostic only).
     pub record_drops: bool,
 }
 
-impl Default for RecordConfig {
-    fn default() -> Self {
-        Self { record_drops: false }
-    }
-}
-
 /// Observes [`StepRecord`]s from a [`World`] and appends scroll entries.
 ///
 /// Usage:
-/// ```ignore
+/// ```
+/// # use fixd_runtime::{Context, Pid, Program, World, WorldConfig};
+/// # use fixd_scroll::{RecordConfig, ScrollRecorder};
+/// # struct Hello;
+/// # impl Program for Hello {
+/// #     fn on_start(&mut self, ctx: &mut Context) {
+/// #         if ctx.pid() == Pid(0) { ctx.send(Pid(1), 1, vec![]); }
+/// #     }
+/// #     fn snapshot(&self) -> Vec<u8> { Vec::new() }
+/// #     fn restore(&mut self, _: &[u8]) {}
+/// #     fn clone_program(&self) -> Box<dyn Program> { Box::new(Hello) }
+/// #     fn as_any(&self) -> &dyn std::any::Any { self }
+/// #     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// # }
+/// # let mut world = World::new(WorldConfig::seeded(7));
+/// # world.add_process(Box::new(Hello));
+/// # world.add_process(Box::new(Hello));
 /// let mut rec = ScrollRecorder::new(world.num_procs(), RecordConfig::default());
 /// while let Some(step) = world.step() {
 ///     rec.observe(&world, &step);
 /// }
 /// let store = rec.into_store();
+/// assert_eq!(store.total_entries(), 3); // two starts + one delivery
 /// ```
 #[derive(Clone, Debug)]
 pub struct ScrollRecorder {
@@ -47,7 +58,11 @@ pub struct ScrollRecorder {
 impl ScrollRecorder {
     /// A recorder for `n` processes.
     pub fn new(n: usize, cfg: RecordConfig) -> Self {
-        Self { store: ScrollStore::new(n), cfg, next_seq: vec![0; n] }
+        Self {
+            store: ScrollStore::new(n),
+            cfg,
+            next_seq: vec![0; n],
+        }
     }
 
     /// Record whatever in this step was nondeterministic. Call with the
@@ -69,7 +84,9 @@ impl ScrollRecorder {
             }
             EventKind::PartitionChange { .. } => return,
         };
-        let Some(pid) = step.event.kind.pid() else { return };
+        let Some(pid) = step.event.kind.pid() else {
+            return;
+        };
         self.push(world, pid, step, kind);
     }
 

@@ -106,7 +106,12 @@ pub fn replay_process_with(
         }
     }
 
-    ReplayOutcome { steps, fidelity, final_state: program.snapshot(), states }
+    ReplayOutcome {
+        steps,
+        fidelity,
+        final_state: program.snapshot(),
+        states,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +146,10 @@ mod tests {
             self.noise = u64::from_le_bytes(b[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Acc { sum: self.sum, noise: self.noise })
+            Box::new(Acc {
+                sum: self.sum,
+                noise: self.noise,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -191,7 +199,10 @@ mod tests {
                 self.0.restore(b)
             }
             fn clone_program(&self) -> Box<dyn Program> {
-                Box::new(Acc2(Acc { sum: self.0.sum, noise: self.0.noise }))
+                Box::new(Acc2(Acc {
+                    sum: self.0.sum,
+                    noise: self.0.noise,
+                }))
             }
             fn as_any(&self) -> &dyn std::any::Any {
                 self
@@ -231,7 +242,10 @@ mod tests {
             7,
             &mut fresh,
             store.scroll(Pid(1)),
-            ReplayConfig { capture_states: true, stop_on_divergence: false },
+            ReplayConfig {
+                capture_states: true,
+                stop_on_divergence: false,
+            },
         );
         assert_eq!(out.states.len() as u64, out.steps);
         // Sum strictly increases over the deliveries with payload > 0.
@@ -253,7 +267,10 @@ mod tests {
             999, // wrong seed: diverges immediately on rng draw
             &mut fresh,
             store.scroll(Pid(1)),
-            ReplayConfig { capture_states: false, stop_on_divergence: true },
+            ReplayConfig {
+                capture_states: false,
+                stop_on_divergence: true,
+            },
         );
         assert!(out.steps < 4);
     }

@@ -105,7 +105,13 @@ mod tests {
     fn counts_by_kind() {
         let mut store = ScrollStore::new(2);
         push(&mut store, 0, 0, EntryKind::Start, vec![]);
-        push(&mut store, 0, 1, EntryKind::TimerFire { timer: TimerId(1) }, vec![1, 2]);
+        push(
+            &mut store,
+            0,
+            1,
+            EntryKind::TimerFire { timer: TimerId(1) },
+            vec![1, 2],
+        );
         push(&mut store, 1, 0, EntryKind::Start, vec![]);
         push(&mut store, 1, 1, EntryKind::Crash, vec![]);
         let s = ScrollStats::compute(&store);

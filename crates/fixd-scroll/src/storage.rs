@@ -20,7 +20,9 @@ pub struct ScrollStore {
 impl ScrollStore {
     /// A store for `n` processes.
     pub fn new(n: usize) -> Self {
-        Self { per_pid: vec![Vec::new(); n] }
+        Self {
+            per_pid: vec![Vec::new(); n],
+        }
     }
 
     /// Number of processes covered.
@@ -38,7 +40,10 @@ impl ScrollStore {
 
     /// The scroll of one process, oldest first.
     pub fn scroll(&self, pid: Pid) -> &[ScrollEntry] {
-        self.per_pid.get(pid.idx()).map(Vec::as_slice).unwrap_or(&[])
+        self.per_pid
+            .get(pid.idx())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total entries across all processes.

@@ -26,16 +26,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u64>(),
         any::<u64>(),
     )
-        .prop_map(|(id, src, dst, tag, payload, sent_at, vc, ck, sp, lam)| Message {
-            id,
-            src: Pid(src),
-            dst: Pid(dst),
-            tag,
-            payload,
-            sent_at,
-            vc: VectorClock::from_vec(vc),
-            meta: MsgMeta { ckpt_index: ck, spec_id: sp, lamport: lam },
-        })
+        .prop_map(
+            |(id, src, dst, tag, payload, sent_at, vc, ck, sp, lam)| Message {
+                id,
+                src: Pid(src),
+                dst: Pid(dst),
+                tag,
+                payload,
+                sent_at,
+                vc: VectorClock::from_vec(vc),
+                meta: MsgMeta {
+                    ckpt_index: ck,
+                    spec_id: sp,
+                    lamport: lam,
+                },
+            },
+        )
 }
 
 fn arb_kind() -> impl Strategy<Value = EntryKind> {
@@ -61,17 +67,19 @@ fn arb_entry() -> impl Strategy<Value = ScrollEntry> {
         any::<u64>(),
         0u64..100,
     )
-        .prop_map(|(pid, seq, at, lamport, vc, kind, randoms, fp, sends)| ScrollEntry {
-            pid: Pid(pid),
-            local_seq: seq,
-            at,
-            lamport,
-            vc: VectorClock::from_vec(vc),
-            kind,
-            randoms,
-            effects_fp: fp,
-            sends,
-        })
+        .prop_map(
+            |(pid, seq, at, lamport, vc, kind, randoms, fp, sends)| ScrollEntry {
+                pid: Pid(pid),
+                local_seq: seq,
+                at,
+                lamport,
+                vc: VectorClock::from_vec(vc),
+                kind,
+                randoms,
+                effects_fp: fp,
+                sends,
+            },
+        )
 }
 
 /// Ping-pong app used for recorded-run properties.
@@ -102,7 +110,10 @@ impl Program for Pong {
         self.x = u64::from_le_bytes(b[8..16].try_into().unwrap());
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(Pong { n: self.n, x: self.x })
+        Box::new(Pong {
+            n: self.n,
+            x: self.x,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -57,7 +57,11 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// An empty store for `pid`.
     pub fn new(pid: Pid, page_size: usize) -> Self {
-        Self { pid, checkpoints: Vec::new(), page_size }
+        Self {
+            pid,
+            checkpoints: Vec::new(),
+            page_size,
+        }
     }
 
     /// Take a checkpoint of `pid`'s current state in `world`, sharing
@@ -68,7 +72,10 @@ impl CheckpointStore {
             Some(prev) => prev.image.update_from(&pc.state),
             None => (
                 PagedImage::from_bytes_with(&pc.state, self.page_size),
-                PageStats { reused: 0, fresh: pc.state.len().div_ceil(self.page_size) },
+                PageStats {
+                    reused: 0,
+                    fresh: pc.state.len().div_ceil(self.page_size),
+                },
             ),
         };
         let index = self.checkpoints.len() as u64;
@@ -209,7 +216,10 @@ mod tests {
             self.buf = b[8..].to_vec();
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(BigState { buf: self.buf.clone(), writes: self.writes })
+            Box::new(BigState {
+                buf: self.buf.clone(),
+                writes: self.writes,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -221,8 +231,14 @@ mod tests {
 
     fn world() -> World {
         let mut w = World::new(WorldConfig::seeded(5));
-        w.add_process(Box::new(BigState { buf: vec![0; 4096], writes: 0 }));
-        w.add_process(Box::new(BigState { buf: vec![0; 4096], writes: 0 }));
+        w.add_process(Box::new(BigState {
+            buf: vec![0; 4096],
+            writes: 0,
+        }));
+        w.add_process(Box::new(BigState {
+            buf: vec![0; 4096],
+            writes: 0,
+        }));
         w
     }
 

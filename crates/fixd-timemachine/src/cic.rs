@@ -229,7 +229,10 @@ impl TimeMachine {
     ) -> Result<RollbackReport, RollbackError> {
         self.init(world);
         if self.stores[fail.idx()].get(target).is_none() {
-            return Err(RollbackError::NoSuchCheckpoint { pid: fail, index: target });
+            return Err(RollbackError::NoSuchCheckpoint {
+                pid: fail,
+                index: target,
+            });
         }
         let line = self.deps.recovery_line(self.stores.len(), fail, target);
         self.apply_line(world, &line).map(|mut r| {
@@ -264,9 +267,7 @@ impl TimeMachine {
                 continue;
             }
             let pid = Pid(i as u32);
-            let events_at = self.stores[i]
-                .restore(world, l)
-                .expect("validated above");
+            let events_at = self.stores[i].restore(world, l).expect("validated above");
             report.procs_rolled += 1;
             report.events_undone += self.events_handled[i] - events_at;
             // Rolling back to the initial checkpoint undoes the process's
@@ -294,8 +295,14 @@ impl TimeMachine {
         let now = world.now();
         let mut kept = Vec::with_capacity(self.delivery_log.len());
         for rec in self.delivery_log.drain(..) {
-            let dl = line_vec.get(rec.msg.dst.idx()).copied().unwrap_or(NO_ROLLBACK);
-            let sl = line_vec.get(rec.msg.src.idx()).copied().unwrap_or(NO_ROLLBACK);
+            let dl = line_vec
+                .get(rec.msg.dst.idx())
+                .copied()
+                .unwrap_or(NO_ROLLBACK);
+            let sl = line_vec
+                .get(rec.msg.src.idx())
+                .copied()
+                .unwrap_or(NO_ROLLBACK);
             let send_undone = sl != NO_ROLLBACK && rec.msg.meta.ckpt_index >= sl;
             let recv_undone = dl != NO_ROLLBACK && rec.dst_interval >= dl;
             if send_undone {
@@ -358,7 +365,10 @@ mod tests {
     }
     impl Worker {
         fn new() -> Self {
-            Self { counter: 0, buf: vec![0; 2048] }
+            Self {
+                counter: 0,
+                buf: vec![0; 2048],
+            }
         }
     }
     impl Program for Worker {
@@ -386,7 +396,10 @@ mod tests {
             self.buf = b[8..].to_vec();
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Worker { counter: self.counter, buf: self.buf.clone() })
+            Box::new(Worker {
+                counter: self.counter,
+                buf: self.buf.clone(),
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self
@@ -403,7 +416,10 @@ mod tests {
         }
         let tm = TimeMachine::new(
             n,
-            TimeMachineConfig { policy, page_size: 256 },
+            TimeMachineConfig {
+                policy,
+                page_size: 256,
+            },
         );
         (w, tm)
     }
@@ -473,7 +489,10 @@ mod tests {
         tm.run(&mut w, 10_000);
         let cic_like: usize = tm.total_checkpoints();
         // Only initial checkpoints (t spans < 1000 per proc here) or few.
-        assert!(cic_like <= 6, "periodic should take few checkpoints, got {cic_like}");
+        assert!(
+            cic_like <= 6,
+            "periodic should take few checkpoints, got {cic_like}"
+        );
     }
 
     #[test]

@@ -116,7 +116,12 @@ mod tests {
     use super::*;
 
     fn e(src: u32, si: u64, dst: u32, di: u64) -> DepEdge {
-        DepEdge { src: Pid(src), src_interval: si, dst: Pid(dst), dst_interval: di }
+        DepEdge {
+            src: Pid(src),
+            src_interval: si,
+            dst: Pid(dst),
+            dst_interval: di,
+        }
     }
 
     #[test]

@@ -107,7 +107,10 @@ mod tests {
         w.add_process(Box::new(Pump));
         let tm = TimeMachine::new(
             2,
-            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 64 },
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                page_size: 64,
+            },
         );
         (w, tm)
     }

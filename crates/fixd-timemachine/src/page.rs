@@ -57,7 +57,11 @@ impl PagedImage {
             .chunks(page_size)
             .map(|c| Arc::new(c.to_vec()))
             .collect();
-        Self { pages, len: bytes.len(), page_size }
+        Self {
+            pages,
+            len: bytes.len(),
+            page_size,
+        }
     }
 
     /// Build a new image from `bytes`, sharing unchanged pages with
@@ -78,7 +82,11 @@ impl PagedImage {
             }
         }
         (
-            PagedImage { pages, len: bytes.len(), page_size: self.page_size },
+            PagedImage {
+                pages,
+                len: bytes.len(),
+                page_size: self.page_size,
+            },
             stats,
         )
     }
@@ -184,7 +192,7 @@ mod tests {
     #[test]
     fn shrink_drops_pages() {
         let a = PagedImage::from_bytes(&vec![1u8; 512]);
-        let (b, stats) = a.update_from(&vec![1u8; 100]);
+        let (b, stats) = a.update_from(&[1u8; 100]);
         assert_eq!(b.page_count(), 1);
         // The first chunk is now 100 bytes, not equal to the old 256-byte
         // page, so it is fresh.

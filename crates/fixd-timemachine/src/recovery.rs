@@ -110,9 +110,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = RollbackError::NoSuchCheckpoint { pid: Pid(1), index: 4 };
+        let e = RollbackError::NoSuchCheckpoint {
+            pid: Pid(1),
+            index: 4,
+        };
         assert!(e.to_string().contains("P1"));
-        let e = RollbackError::CheckpointCollected { pid: Pid(0), index: 2 };
+        let e = RollbackError::CheckpointCollected {
+            pid: Pid(0),
+            index: 2,
+        };
         assert!(e.to_string().contains("garbage-collected"));
     }
 }

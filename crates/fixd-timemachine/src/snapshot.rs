@@ -67,9 +67,7 @@ pub fn restore_global(world: &mut World, g: &GlobalCheckpoint) {
     for c in &g.ckpts {
         world.restore_checkpoint(c);
     }
-    world.purge_events(|k| {
-        matches!(k, EventKind::Deliver { .. } | EventKind::TimerFire { .. })
-    });
+    world.purge_events(|k| matches!(k, EventKind::Deliver { .. } | EventKind::TimerFire { .. }));
     let now = world.now();
     for m in &g.inflight {
         world.inject_message(m.clone(), now);
@@ -118,7 +116,10 @@ mod tests {
             self.acks = u64::from_le_bytes(b[8..16].try_into().unwrap());
         }
         fn clone_program(&self) -> Box<dyn Program> {
-            Box::new(Beat { beats: self.beats, acks: self.acks })
+            Box::new(Beat {
+                beats: self.beats,
+                acks: self.acks,
+            })
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self

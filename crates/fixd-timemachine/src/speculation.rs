@@ -104,7 +104,9 @@ impl TimeMachine {
     /// Absorb `pid` into active speculation `spec_id` (called by the
     /// driver when a speculative message is about to be delivered).
     pub(crate) fn absorb(&mut self, world: &mut World, pid: Pid, spec_id: u64) {
-        let Some(spec) = self.specs.get(spec_id as usize - 1) else { return };
+        let Some(spec) = self.specs.get(spec_id as usize - 1) else {
+            return;
+        };
         if spec.status != SpecStatus::Active {
             return;
         }
@@ -139,7 +141,9 @@ impl TimeMachine {
     /// Commit a speculation: the assumption held. Members simply stop
     /// being speculative; no state is touched.
     pub fn commit(&mut self, world: &mut World, id: u64) -> bool {
-        let Some(spec) = self.specs.get_mut(id as usize - 1) else { return false };
+        let Some(spec) = self.specs.get_mut(id as usize - 1) else {
+            return false;
+        };
         if spec.status != SpecStatus::Active {
             return false;
         }
@@ -202,7 +206,11 @@ impl TimeMachine {
             self.specs[sid as usize - 1].status = SpecStatus::Aborted;
         }
         // apply_line already cleared spec_of for rolled-back processes.
-        Some(AbortReport { specs_aborted: ids, rolled_back: rolled, rollback })
+        Some(AbortReport {
+            specs_aborted: ids,
+            rolled_back: rolled,
+            rollback,
+        })
     }
 
     /// Resolve a speculation from the verification outcome: commit when
@@ -279,7 +287,10 @@ mod tests {
         }
         let tm = TimeMachine::new(
             n,
-            TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 64 },
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                page_size: 64,
+            },
         );
         (w, tm)
     }
@@ -330,7 +341,9 @@ mod tests {
         // Speculative execution changed state.
         assert_ne!(
             pre,
-            (0..3).map(|i| w.program::<Chain>(Pid(i)).unwrap().value).collect::<Vec<_>>()
+            (0..3)
+                .map(|i| w.program::<Chain>(Pid(i)).unwrap().value)
+                .collect::<Vec<_>>()
         );
         let report = tm.abort(&mut w, spec).unwrap();
         let post: Vec<u64> = (0..3)
@@ -399,7 +412,10 @@ mod tests {
         let sp0 = tm.speculation(s0).unwrap();
         assert!(sp0.linked.contains(&s1) || tm.speculation(s1).unwrap().linked.contains(&s0));
         let report = tm.abort(&mut w, s0).unwrap();
-        assert!(report.specs_aborted.contains(&s1), "linked spec aborted too");
+        assert!(
+            report.specs_aborted.contains(&s1),
+            "linked spec aborted too"
+        );
         assert_eq!(tm.speculation(s1).unwrap().status, SpecStatus::Aborted);
     }
 }

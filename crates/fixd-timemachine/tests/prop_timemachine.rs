@@ -120,7 +120,10 @@ fn flow_setup(n: usize, seed: u64) -> (World, TimeMachine) {
     }
     let tm = TimeMachine::new(
         n,
-        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 64 },
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            page_size: 64,
+        },
     );
     (w, tm)
 }

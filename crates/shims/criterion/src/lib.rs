@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! member provides the criterion API surface the fixd benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `BatchSize`, `black_box` — measured with `std::time::Instant`
+//! instead of criterion's statistical machinery. Each benchmark prints
+//! one line: name, mean per-iteration time, and iteration count.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations (simulation benches can be slow).
+const MAX_ITERS: u64 = 100_000;
+
+/// Entry point handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes measurement by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the setting.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim; criterion uses it to flush
+    /// comparison reports).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, like upstream.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Parameter-only id (the group supplies the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup
+/// per routine call regardless, so the variants only exist for source
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        while start.elapsed() < TARGET && self.iters < MAX_ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            self.measured += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < TARGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.measured += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        measured: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<56} (no iterations recorded)");
+    } else {
+        let mean = b.measured.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{name:<56} {:>12} /iter  ({} iters)",
+            fmt_nanos(mean),
+            b.iters
+        );
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

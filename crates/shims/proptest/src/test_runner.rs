@@ -1,0 +1,128 @@
+//! Case loop, config, and the deterministic RNG behind every strategy.
+
+/// Per-`proptest!`-block configuration. Only `cases` is honored; the
+/// struct is non-exhaustive-by-convention like upstream's.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A non-passing property case: a genuine failure, or a rejection from
+/// `prop_assume!` (the case is skipped, not failed).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Build a failure from a rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// Build a rejection (`prop_assume!` not satisfied).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Deterministic RNG driving all strategies (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream determined by the property name and case index, so every
+    /// run (and every CI machine) sees identical cases.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run `body` for each case of `config`, panicking (so the `#[test]`
+/// fails) on the first case whose body returns `Err`.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(e) = body(&mut rng) {
+            if e.rejected {
+                rejected += 1;
+                continue;
+            }
+            panic!(
+                "property `{name}` failed at case {case}/{}:\n{e}",
+                config.cases
+            );
+        }
+    }
+    // A property whose assumption rejects every case has asserted
+    // nothing; fail loudly instead of passing vacuously (upstream
+    // proptest similarly aborts past max_global_rejects).
+    if rejected == config.cases && config.cases > 0 {
+        panic!(
+            "property `{name}`: all {} cases rejected by prop_assume!; \
+             the property was never exercised",
+            config.cases
+        );
+    }
+}

@@ -28,7 +28,10 @@ fn main() {
     }
     let (seed, mut world, mut fixd, fault) =
         chosen.expect("some seed reorders the replication stream");
-    println!("seed {seed}: detected `{}` at t={}", fault.monitor, fault.at);
+    println!(
+        "seed {seed}: detected `{}` at t={}",
+        fault.monitor, fault.at
+    );
 
     // Diagnose: rollback to consistency + investigate from the checkpoint.
     let report = fixd.diagnose(&mut world, fault).expect("diagnosis");

@@ -42,7 +42,10 @@ impl Program for RegV1 {
         self.high_water = u64::from_le_bytes(b[8..16].try_into().unwrap());
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(RegV1 { value: self.value, high_water: self.high_water })
+        Box::new(RegV1 {
+            value: self.value,
+            high_water: self.high_water,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -74,7 +77,10 @@ impl Program for RegV2 {
         self.high_water = u64::from_le_bytes(b[8..16].try_into().unwrap());
     }
     fn clone_program(&self) -> Box<dyn Program> {
-        Box::new(RegV2 { value: self.value, high_water: self.high_water })
+        Box::new(RegV2 {
+            value: self.value,
+            high_water: self.high_water,
+        })
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -88,20 +94,29 @@ fn main() {
     // 1. The application world.
     let seed = 7;
     let mut world = World::new(WorldConfig::seeded(seed));
-    world.add_process(Box::new(RegV1 { value: 0, high_water: 0 }));
-    world.add_process(Box::new(RegV1 { value: 0, high_water: 0 }));
+    world.add_process(Box::new(RegV1 {
+        value: 0,
+        high_water: 0,
+    }));
+    world.add_process(Box::new(RegV1 {
+        value: 0,
+        high_water: 0,
+    }));
 
     // 2. FixD supervision with one invariant: the register must never be
     //    below its own high-water mark.
-    let mut fixd = Fixd::new(2, FixdConfig::seeded(seed)).monitor(Monitor::local::<RegV1>(
-        "monotone-register",
-        |_, r| r.value >= r.high_water,
-    ));
+    let mut fixd = Fixd::new(2, FixdConfig::seeded(seed))
+        .monitor(Monitor::local::<RegV1>("monotone-register", |_, r| {
+            r.value >= r.high_water
+        }));
 
     // 3. Run until the bug manifests.
     let outcome = fixd.supervise(&mut world, 10_000);
     let fault = outcome.fault.expect("the regression manifests");
-    println!("detected: `{}` at {:?} (t={})", fault.monitor, fault.pid, fault.at);
+    println!(
+        "detected: `{}` at {:?} (t={})",
+        fault.monitor, fault.pid, fault.at
+    );
 
     // 4. Respond (Fig. 4): rollback + investigate + report.
     let report = fixd.diagnose(&mut world, fault).expect("diagnosis");
@@ -109,7 +124,10 @@ fn main() {
 
     // 5. Heal (Fig. 5): dynamic update from the restored checkpoint.
     let patch = Patch::code_only("monotone-fix", 1, 2, || {
-        Box::new(RegV2 { value: 0, high_water: 0 })
+        Box::new(RegV2 {
+            value: 0,
+            high_water: 0,
+        })
     });
     let heal = fixd.heal_update(&mut world, Pid(1), &patch).expect("heal");
     println!(

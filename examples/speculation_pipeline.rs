@@ -25,7 +25,10 @@ fn main() {
     let mut w = pipeline_world(3, 16, 200, None);
     let mut tm = TimeMachine::new(
         2,
-        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, ..Default::default() },
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            ..Default::default()
+        },
     );
     tm.init(&mut w);
     let spec = tm.speculate(&mut w, Pid(1), "flag F is safe");
@@ -41,7 +44,10 @@ fn main() {
     let mut w2 = pipeline_world(3, 16, 200, None);
     let mut tm2 = TimeMachine::new(
         2,
-        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, ..Default::default() },
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            ..Default::default()
+        },
     );
     tm2.init(&mut w2);
     tm2.run(&mut w2, 6); // some progress before speculating
@@ -69,11 +75,13 @@ fn main() {
     let mut w3 = pipeline_world(3, 32, 50, None);
     let mut tm3 = TimeMachine::new(
         2,
-        TimeMachineConfig { policy: CheckpointPolicy::EveryReceive, page_size: 256 },
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            page_size: 256,
+        },
     );
     let mut eager = FlashbackCheckpointer::new(2);
-    loop {
-        let Some(ev) = w3.peek() else { break };
+    while let Some(ev) = w3.peek() {
         if let fixd_runtime::EventKind::Deliver { msg } = &ev.kind {
             eager.take(&w3, msg.dst);
         }

@@ -71,20 +71,30 @@ fn main() {
             "  n={n}: {:>8} states, {:>9} transitions{}",
             report.states,
             report.transitions,
-            if report.truncated { "  (hit the memory wall)" } else { "" }
+            if report.truncated {
+                "  (hit the memory wall)"
+            } else {
+                ""
+            }
         );
     }
 
     println!("== trail replay (guided single-path mode) ==");
     let md = ModelD::from_initial(1, NetModel::reliable(), factory(4, 5))
         .invariant(monitor.invariant())
-        .config(ExploreConfig { stop_at_first_violation: true, ..ExploreConfig::default() });
+        .config(ExploreConfig {
+            stop_at_first_violation: true,
+            ..ExploreConfig::default()
+        });
     let report = md.run();
     let trail = &report.violations[0];
     println!("shortest trail to mutual-exclusion violation:");
     print!("{}", trail.render(|l| l.describe()));
     let guided = md.run_guided(&trail.labels);
     assert!(guided.stuck_at.is_none());
-    assert!(guided.violations.iter().any(|(_, n)| n == "mutual-exclusion"));
+    assert!(guided
+        .violations
+        .iter()
+        .any(|(_, n)| n == "mutual-exclusion"));
     println!("trail re-executed deterministically: violation reproduced. OK");
 }

@@ -56,7 +56,10 @@ fn main() {
         }
     }
     let (seed, mut world, mut fixd, fault) = found.expect("violating schedule exists");
-    println!("FixD: seed {seed} manifests `{}` at t={}", fault.monitor, fault.at);
+    println!(
+        "FixD: seed {seed} manifests `{}` at t={}",
+        fault.monitor, fault.at
+    );
     let report = fixd.diagnose(&mut world, fault).expect("diagnosis");
     println!(
         "FixD (from checkpoint): {:>6} states, {} violating trail(s)",
@@ -78,6 +81,10 @@ fn main() {
     let end = fixd.supervise(&mut world, 10_000);
     assert!(end.fault.is_none());
     let c = world.program::<Coordinator>(Pid(0)).unwrap();
-    assert_eq!(c.decided, Some(false), "with a NO vote the fixed 2PC aborts");
+    assert_eq!(
+        c.decided,
+        Some(false),
+        "with a NO vote the fixed 2PC aborts"
+    );
     println!("fixed coordinator decided ABORT (correct). OK");
 }

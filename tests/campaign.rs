@@ -2,8 +2,8 @@
 //! seeds, fault plans, and network pathologies — crash faults, message
 //! loss, duplication, partitions, and corruption.
 
-use fixd::prelude::*;
 use fixd::examples::{kvstore, token_ring};
+use fixd::prelude::*;
 use fixd::runtime::{Fault, NetworkConfig, Partition};
 use fixd::timemachine::{coordinated_snapshot, restore_global};
 
@@ -17,8 +17,8 @@ fn crash_campaign_token_ring() {
             let crash_at = 5 + seed * 7;
             let mut world = token_ring::ring_world(4, seed, None);
             world.set_fault_plan(FaultPlan::none().crash(Pid(victim), crash_at));
-            let mut fixd = Fixd::new(4, FixdConfig::seeded(seed))
-                .monitor(token_ring::mutex_monitor());
+            let mut fixd =
+                Fixd::new(4, FixdConfig::seeded(seed)).monitor(token_ring::mutex_monitor());
             let out = fixd.supervise(&mut world, 10_000);
             // A clean ring with one crash never violates mutual exclusion.
             assert!(
@@ -44,13 +44,18 @@ fn lossy_dup_campaign_kvstore_v2() {
             corrupt_prob: 0.0,
         };
         let mut w = World::new(cfg);
-        w.add_process(Box::new(kvstore::Client { script: kvstore::script(10, seed) }));
+        w.add_process(Box::new(kvstore::Client {
+            script: kvstore::script(10, seed),
+        }));
         w.add_process(Box::new(kvstore::Primary::default()));
         w.add_process(Box::new(kvstore::BackupV2::default()));
         w.run_to_quiescence(100_000);
         let b = w.program::<kvstore::BackupV2>(Pid(2)).unwrap();
         // Applied sequence is always gap-free (prefix of the primary's).
-        assert_eq!(b.applied, b.applied_count, "seed {seed}: gap in fixed backup");
+        assert_eq!(
+            b.applied, b.applied_count,
+            "seed {seed}: gap in fixed backup"
+        );
         // Every applied value matches the primary's history prefix.
         let p = w.program::<kvstore::Primary>(Pid(1)).unwrap();
         assert!(b.applied <= p.seq);
@@ -75,7 +80,12 @@ fn partition_campaign() {
         // the token may die. Either it died (fewer entries) or survived
         // (full count) — never a corrupted state.
         let entries: u64 = (0..4)
-            .map(|i| world.program::<token_ring::RingNode>(Pid(i)).unwrap().entries)
+            .map(|i| {
+                world
+                    .program::<token_ring::RingNode>(Pid(i))
+                    .unwrap()
+                    .entries
+            })
             .sum();
         assert!(entries <= 13, "seed {seed}: too many CS entries: {entries}");
     }
@@ -88,9 +98,14 @@ fn corruption_is_survivable_and_detectable() {
     let mut detected = 0;
     for seed in 0..20u64 {
         let mut cfg = WorldConfig::seeded(seed);
-        cfg.net = NetworkConfig { corrupt_prob: 0.5, ..NetworkConfig::default() };
+        cfg.net = NetworkConfig {
+            corrupt_prob: 0.5,
+            ..NetworkConfig::default()
+        };
         let mut w = World::new(cfg);
-        w.add_process(Box::new(kvstore::Client { script: kvstore::script(6, seed) }));
+        w.add_process(Box::new(kvstore::Client {
+            script: kvstore::script(6, seed),
+        }));
         w.add_process(Box::new(kvstore::Primary::default()));
         w.add_process(Box::new(kvstore::BackupV2::default()));
         let mut fixd = Fixd::new(3, FixdConfig::seeded(seed)).monitor(Monitor::global(
@@ -104,8 +119,7 @@ fn corruption_is_survivable_and_detectable() {
                 };
                 // Every key the backup has fully applied must match the
                 // primary (corruption of a REPL payload breaks this).
-                b.applied < p.seq
-                    || b.store.iter().all(|(k, v)| p.store.get(k) == Some(v))
+                b.applied < p.seq || b.store.iter().all(|(k, v)| p.store.get(k) == Some(v))
             },
             |_| true,
         ));
@@ -128,7 +142,12 @@ fn snapshot_restore_campaign() {
             let mut reference = w.clone();
             reference.run_to_quiescence(100_000);
             let want: u64 = (0..3)
-                .map(|i| reference.program::<token_ring::RingNode>(Pid(i)).unwrap().entries)
+                .map(|i| {
+                    reference
+                        .program::<token_ring::RingNode>(Pid(i))
+                        .unwrap()
+                        .entries
+                })
                 .sum();
             // Run the original ahead, then rewind.
             w.run_to_quiescence(100_000);
@@ -155,12 +174,15 @@ fn lossy_2pc_fails_eventual_decision() {
         NetModel::lossy(),
         tpc::tpc_factory(vec![true, true], false), // FIXED coordinator
     );
-    let eventually_decided = Invariant::new("all-participants-decided", |s: &fixd::investigator::WorldState| {
-        (1..s.width()).all(|i| {
-            s.program::<tpc::Participant>(Pid(i as u32))
-                .map_or(true, |p| p.committed.is_some())
-        })
-    });
+    let eventually_decided = Invariant::new(
+        "all-participants-decided",
+        |s: &fixd::investigator::WorldState| {
+            (1..s.width()).all(|i| {
+                s.program::<tpc::Participant>(Pid(i as u32))
+                    .is_none_or(|p| p.committed.is_some())
+            })
+        },
+    );
     let report = Explorer::new(&model, ExploreConfig::default())
         .terminal_invariant(eventually_decided)
         .run();
@@ -174,13 +196,20 @@ fn lossy_2pc_fails_eventual_decision() {
     );
 
     // Under a reliable model the same property holds.
-    let model2 = WorldModel::new(1, NetModel::reliable(), tpc::tpc_factory(vec![true, true], false));
-    let eventually_decided2 = Invariant::new("all-participants-decided", |s: &fixd::investigator::WorldState| {
-        (1..s.width()).all(|i| {
-            s.program::<tpc::Participant>(Pid(i as u32))
-                .map_or(true, |p| p.committed.is_some())
-        })
-    });
+    let model2 = WorldModel::new(
+        1,
+        NetModel::reliable(),
+        tpc::tpc_factory(vec![true, true], false),
+    );
+    let eventually_decided2 = Invariant::new(
+        "all-participants-decided",
+        |s: &fixd::investigator::WorldState| {
+            (1..s.width()).all(|i| {
+                s.program::<tpc::Participant>(Pid(i as u32))
+                    .is_none_or(|p| p.committed.is_some())
+            })
+        },
+    );
     let clean = Explorer::new(&model2, ExploreConfig::default())
         .terminal_invariant(eventually_decided2)
         .run();

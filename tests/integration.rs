@@ -12,17 +12,43 @@ use fixd_healer::{migrate, Patch};
 use fixd_investigator::{ExploreConfig, NetModel};
 use fixd_runtime::{NetworkConfig, Pid, Program, World, WorldConfig};
 
+/// Workspace-wiring smoke test: one end-to-end supervise → detect →
+/// diagnose flow driven purely through the facade `prelude`, proving
+/// the `fixd` crate re-exports everything the happy path needs.
+#[test]
+fn facade_prelude_smoke_supervise_detect_diagnose() {
+    use fixd::prelude::*;
+
+    let mut world = fixd::examples::token_ring::ring_world(4, 1, Some((2, 5)));
+    let mut supervisor =
+        Fixd::new(4, FixdConfig::seeded(1)).monitor(fixd::examples::token_ring::mutex_monitor());
+    let fault = supervisor
+        .supervise(&mut world, 10_000)
+        .fault
+        .expect("fault detected");
+    assert_eq!(fault.monitor, "mutual-exclusion");
+    let report = supervisor
+        .diagnose(&mut world, fault)
+        .expect("diagnosis succeeds");
+    assert!(
+        report.reproduced(),
+        "investigator reproduces the fault from the checkpoint"
+    );
+    assert!(report.render().contains("mutual-exclusion"));
+}
+
 /// The token-ring fix: clear the dup knob, keep all other state.
 fn ring_patch() -> Patch {
-    Patch::code_only("ring-no-dup", 1, 2, || Box::new(RingNode::correct()))
-        .with_migration(migrate::from_fn(|old| {
+    Patch::code_only("ring-no-dup", 1, 2, || Box::new(RingNode::correct())).with_migration(
+        migrate::from_fn(|old| {
             let mut b = old.to_vec();
             if b.len() < 3 {
                 return Err(fixd_healer::MigrateError::Malformed("ring state".into()));
             }
             b[2] = 255; // dup_at = None
             Ok(b)
-        }))
+        }),
+    )
 }
 
 #[test]
@@ -37,14 +63,22 @@ fn token_ring_full_loop() {
     assert_eq!(fault.monitor, "mutual-exclusion");
 
     // Diagnose: rollback + investigate + report.
-    let report = fixd.diagnose(&mut world, fault).expect("diagnosis succeeds");
-    assert!(report.reproduced(), "investigator confirms the bug:\n{}", report.render());
+    let report = fixd
+        .diagnose(&mut world, fault)
+        .expect("diagnosis succeeds");
+    assert!(
+        report.reproduced(),
+        "investigator confirms the bug:\n{}",
+        report.render()
+    );
     assert!(!report.trails.is_empty());
     assert!(report.render().contains("mutual-exclusion"));
 
     // Heal the buggy node in place and resume.
     let rolled_pid = Pid(2);
-    let heal = fixd.heal_update(&mut world, rolled_pid, &ring_patch()).expect("heal");
+    let heal = fixd
+        .heal_update(&mut world, rolled_pid, &ring_patch())
+        .expect("heal");
     assert!(heal.procs_updated.contains(&rolled_pid));
     let end = fixd.supervise(&mut world, 100_000);
     assert!(end.fault.is_none(), "mutex holds after the fix");
@@ -63,26 +97,41 @@ fn kvstore_detect_heal_converge_many_seeds() {
         // Full loop on this seed.
         let report = fixd.diagnose(&mut world, fault).expect("diagnose");
         assert!(report.states_explored >= 1);
-        fixd.heal_update(&mut world, Pid(2), &kvstore::backup_patch()).expect("heal");
+        fixd.heal_update(&mut world, Pid(2), &kvstore::backup_patch())
+            .expect("heal");
         let end = fixd.supervise(&mut world, 100_000);
-        assert!(end.fault.is_none(), "seed {seed}: fixed backup violates again?");
+        assert!(
+            end.fault.is_none(),
+            "seed {seed}: fixed backup violates again?"
+        );
         assert!(end.quiescent, "seed {seed} should quiesce");
-        let primary = world.program::<kvstore::Primary>(Pid(1)).unwrap().store.clone();
+        let primary = world
+            .program::<kvstore::Primary>(Pid(1))
+            .unwrap()
+            .store
+            .clone();
         let backup = world.program::<kvstore::BackupV2>(Pid(2)).unwrap();
         assert_eq!(backup.store, primary, "seed {seed}: backup converges");
         healed_runs += 1;
     }
-    assert!(healed_runs >= 3, "expect several seeds to manifest the bug, got {healed_runs}");
+    assert!(
+        healed_runs >= 3,
+        "expect several seeds to manifest the bug, got {healed_runs}"
+    );
 }
 
 #[test]
 fn fixd_beats_cmc_on_states_for_the_same_bug() {
     let votes = vec![true, false, true];
     // CMC: whole space from the initial state.
-    let cmc = Cmc::new(1, NetModel::reliable(), tpc::tpc_factory(votes.clone(), true))
-        .invariant(atomicity_monitor().invariant())
-        .config(ExploreConfig::default())
-        .run();
+    let cmc = Cmc::new(
+        1,
+        NetModel::reliable(),
+        tpc::tpc_factory(votes.clone(), true),
+    )
+    .invariant(atomicity_monitor().invariant())
+    .config(ExploreConfig::default())
+    .run();
     assert!(!cmc.violations.is_empty());
 
     // FixD: find a manifesting schedule, then investigate from checkpoint.
@@ -125,13 +174,7 @@ fn scroll_supports_liblog_style_offline_replay_of_supervised_run() {
 
     let scroll = fixd.scroll();
     let mut fresh = pipeline::Cruncher::correct(50);
-    let outcome = fixd_scroll::replay_process(
-        Pid(1),
-        2,
-        seed,
-        &mut fresh,
-        scroll.scroll(Pid(1)),
-    );
+    let outcome = fixd_scroll::replay_process(Pid(1), 2, seed, &mut fresh, scroll.scroll(Pid(1)));
     assert_eq!(outcome.fidelity, fixd_scroll::Fidelity::Exact);
     assert_eq!(fresh.results.len(), 10);
     assert_eq!(
@@ -172,9 +215,8 @@ fn pipeline_salvage_vs_restart_work_accounting() {
             // Cruncher first (discarding its stale mail), then the source
             // (which re-sends the whole workload).
             let r = fixd.heal_restart(&mut world, &patch, &[Pid(1)]);
-            let source_patch = Patch::code_only("src", 1, 2, move || {
-                Box::new(pipeline::Source { n_items })
-            });
+            let source_patch =
+                Patch::code_only("src", 1, 2, move || Box::new(pipeline::Source { n_items }));
             fixd.heal_restart(&mut world, &source_patch, &[Pid(0)]);
             r.salvaged_events
         } else {
@@ -189,8 +231,14 @@ fn pipeline_salvage_vs_restart_work_accounting() {
     };
     let (salvaged_update, done_update) = run(false);
     let (salvaged_restart, done_restart) = run(true);
-    assert_eq!(done_update as u64, n_items, "update path completes all items");
-    assert_eq!(done_restart as u64, n_items, "restart path completes all items");
+    assert_eq!(
+        done_update as u64, n_items,
+        "update path completes all items"
+    );
+    assert_eq!(
+        done_restart as u64, n_items,
+        "restart path completes all items"
+    );
     assert_eq!(salvaged_restart, 0);
     assert!(
         salvaged_update >= poison,
@@ -214,7 +262,11 @@ fn deterministic_supervision_across_identical_runs() {
         let mut world = token_ring::ring_world(5, 9, Some((3, 7)));
         let mut fixd = Fixd::new(5, FixdConfig::seeded(9)).monitor(mutex_monitor());
         let out = fixd.supervise(&mut world, 10_000);
-        (out.steps, out.fault.map(|f| (f.monitor, f.at)), fixd.scroll().total_entries())
+        (
+            out.steps,
+            out.fault.map(|f| (f.monitor, f.at)),
+            fixd.scroll().total_entries(),
+        )
     };
     assert_eq!(run(), run());
 }
