@@ -1,0 +1,54 @@
+//! Campaign throughput demo: run the standard matrix wide, print the
+//! deterministic summary, and emit `BENCH_campaign.json` so the perf
+//! trajectory (cells/sec vs. core count) accumulates data points.
+//!
+//! Run: `cargo run -p fixd-campaign --bin campaign_demo --release`
+
+use fixd_campaign::{default_threads, run_campaign_with_threads, standard_matrix};
+
+fn main() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let spec = standard_matrix(&seeds);
+    let expected = spec.expected_cells();
+    let threads = default_threads();
+
+    let t0 = std::time::Instant::now();
+    let report = run_campaign_with_threads(&spec, threads);
+    let wall = t0.elapsed();
+
+    println!("{}", report.summary());
+    println!(
+        "threads: {threads}, wall: {wall:.2?}, cells/sec: {:.0}",
+        report.total_cells() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    assert_eq!(
+        report.total_cells(),
+        expected,
+        "sweep regression: cells were silently skipped"
+    );
+    assert_eq!(report.violations(), 0, "standard matrix must stay clean");
+    assert_eq!(report.check_failures(), 0, "app postconditions must hold");
+
+    let bench = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"total_cells\": {},\n  \"threads\": {},\n  \"wall_ms\": {},\n  \"cells_per_sec\": {:.1},\n  \"violations\": {},\n  \"check_failures\": {},\n  \"apps\": {},\n  \"pathologies\": {}\n}}\n",
+        report.total_cells(),
+        threads,
+        wall.as_millis(),
+        report.total_cells() as f64 / wall.as_secs_f64().max(1e-9),
+        report.violations(),
+        report.check_failures(),
+        report.apps_covered().len(),
+        report.pathologies_covered().len(),
+    );
+    let path = "BENCH_campaign.json";
+    std::fs::write(path, &bench).expect("write BENCH_campaign.json");
+    println!("wrote {path}");
+
+    // The full deterministic report is the artifact campaign jobs diff.
+    std::fs::write("BENCH_campaign_cells.json", report.to_json())
+        .expect("write BENCH_campaign_cells.json");
+    println!(
+        "wrote BENCH_campaign_cells.json ({} cells)",
+        report.total_cells()
+    );
+}

@@ -1,0 +1,165 @@
+//! The campaign driver: fan cells across cores, aggregate
+//! deterministically.
+//!
+//! Cells are independent deterministic simulations, so the driver is an
+//! embarrassingly parallel sharded work queue: scoped threads pull cell
+//! indices from an atomic counter, run each cell to completion, and the
+//! outcomes are re-sorted by spec index afterwards. The report is
+//! therefore byte-identical for any thread count (see
+//! `tests/campaign.rs::report_is_thread_count_invariant`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fixd_core::{Fixd, FixdConfig};
+use fixd_runtime::WorldConfig;
+
+use crate::report::{CampaignReport, CellOutcome};
+use crate::spec::{CampaignSpec, Cell};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "FIXD_CAMPAIGN_THREADS";
+
+/// Parse a `FIXD_CAMPAIGN_THREADS` value: `Some(n)` only for a positive
+/// integer (zero, garbage, and absence all fall back to auto-detection).
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Worker threads used by [`run_campaign`]: `FIXD_CAMPAIGN_THREADS` if
+/// set and positive, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    let env = std::env::var(THREADS_ENV).ok();
+    parse_threads(env.as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    })
+}
+
+/// Run the whole matrix with [`default_threads`] workers.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_with_threads(spec, default_threads())
+}
+
+/// Run the whole matrix with an explicit worker count.
+pub fn run_campaign_with_threads(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    let cells = spec.cells();
+    let threads = threads.clamp(1, cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(cells.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    local.push((i, run_cell(spec, cell)));
+                }
+                collected
+                    .lock()
+                    .expect("campaign worker poisoned the result lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let outcomes = collected
+        .into_inner()
+        .expect("campaign worker poisoned the result lock");
+    assert_eq!(
+        outcomes.len(),
+        cells.len(),
+        "campaign driver lost cells: {} of {} completed",
+        outcomes.len(),
+        cells.len()
+    );
+    CampaignReport::from_cells(outcomes)
+}
+
+/// Execute one cell: build the world, install the case's fault plan,
+/// supervise under the app's monitors, and render the outcome.
+pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellOutcome {
+    let app = &spec.apps[cell.app];
+    let case = &spec.cases[cell.case];
+    let mut cfg = WorldConfig::seeded(cell.seed);
+    cfg.net = case.net.clone();
+    let mut world = (app.build)(cfg);
+    let n = world.num_procs();
+    world.set_fault_plan((case.plan)(n, cell.seed));
+    let mut fixd = Fixd::new(n, FixdConfig::seeded(cell.seed));
+    for m in (app.monitors)() {
+        fixd = fixd.monitor(m);
+    }
+    let out = fixd.supervise(&mut world, spec.max_steps);
+    let check = (app.check)(&world, case, out.fault.as_ref());
+    let net = world.stats();
+    let sup = fixd.stats();
+    CellOutcome {
+        app: app.name.to_string(),
+        case: case.name.to_string(),
+        pathology: case.pathology,
+        also: case.also.to_vec(),
+        seed: cell.seed,
+        steps: out.steps,
+        end_time: world.now(),
+        quiescent: out.quiescent,
+        violation: out.fault.map(|f| f.monitor),
+        check_failure: check.failure,
+        delivered: net.delivered,
+        dropped: net.dropped,
+        duplicated: net.duplicated,
+        corrupted: net.corrupted,
+        scroll_entries: sup.scroll_entries as u64,
+        checkpoints: sup.checkpoints as u64,
+        checkpoint_bytes: sup.checkpoint_bytes as u64,
+        fingerprint: world.global_snapshot().fingerprint(),
+        metrics: check.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::standard_matrix;
+
+    #[test]
+    fn single_cell_runs_and_reports() {
+        let spec = standard_matrix(&[1]);
+        let cells = spec.cells();
+        let out = run_cell(&spec, &cells[0]);
+        assert!(out.steps > 0);
+        assert!(out.quiescent);
+        assert!(out.violation.is_none());
+        assert!(out.check_failure.is_none(), "{:?}", out.check_failure);
+    }
+
+    #[test]
+    fn driver_executes_every_cell_exactly_once() {
+        let spec = standard_matrix(&[0, 1]);
+        let report = run_campaign_with_threads(&spec, 3);
+        assert_eq!(report.total_cells(), spec.expected_cells());
+        // Spec enumeration order is preserved in the report.
+        let cells = spec.cells();
+        for (cell, out) in cells.iter().zip(&report.cells) {
+            assert_eq!(spec.apps[cell.app].name, out.app);
+            assert_eq!(spec.cases[cell.case].name, out.case);
+            assert_eq!(cell.seed, out.seed);
+        }
+    }
+
+    #[test]
+    fn thread_env_knob_parses() {
+        // The pure parser (no process-env mutation: tests share it).
+        assert_eq!(parse_threads(Some("3")), Some(3));
+        assert_eq!(parse_threads(Some(" 12 ")), Some(12));
+        assert_eq!(parse_threads(Some("0")), None, "zero falls back");
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+        // And the fallback path always yields a usable worker count.
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic campaign reports.
+//!
+//! A [`CampaignReport`] aggregates per-cell outcomes into a stable,
+//! thread-count-independent artifact: cells are keyed by their spec
+//! index and sorted before any aggregate is computed, so a fixed spec
+//! produces byte-identical JSON whether it ran on 1 thread or 64.
+
+use std::collections::BTreeSet;
+
+use crate::spec::Pathology;
+
+/// Outcome of one matrix cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// App name (from the spec).
+    pub app: String,
+    /// Fault-case name (from the spec).
+    pub case: String,
+    /// Primary coverage label of the case.
+    pub pathology: Pathology,
+    /// Secondary coverage labels (combined cases, e.g. loss+dup).
+    pub also: Vec<Pathology>,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Events executed under supervision.
+    pub steps: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: u64,
+    /// True if the world drained before the step budget.
+    pub quiescent: bool,
+    /// Name of the monitor that fired, if any.
+    pub violation: Option<String>,
+    /// App postcondition failure, if any.
+    pub check_failure: Option<String>,
+    /// Network counters.
+    pub delivered: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub corrupted: u64,
+    /// Scroll entries recorded while supervising this cell.
+    pub scroll_entries: u64,
+    /// Live Time Machine checkpoints at the end of the run.
+    pub checkpoints: u64,
+    /// Bytes held in checkpoint pages (after COW sharing).
+    pub checkpoint_bytes: u64,
+    /// Fingerprint of the final global state (replay anchor).
+    pub fingerprint: u64,
+    /// App-specific counters.
+    pub metrics: Vec<(String, u64)>,
+}
+
+/// The aggregated, deterministic result of a campaign run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Per-cell outcomes in spec enumeration order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl CampaignReport {
+    /// Assemble from `(cell index, outcome)` pairs in *any* completion
+    /// order; the report is identical for every permutation.
+    pub fn from_cells(mut indexed: Vec<(usize, CellOutcome)>) -> Self {
+        indexed.sort_by_key(|(i, _)| *i);
+        for (pos, (i, _)) in indexed.iter().enumerate() {
+            assert_eq!(
+                *i, pos,
+                "campaign cells skipped or duplicated (hole at index {pos})"
+            );
+        }
+        Self {
+            cells: indexed.into_iter().map(|(_, c)| c).collect(),
+        }
+    }
+
+    /// Total cells executed.
+    pub fn total_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells whose monitor fired.
+    pub fn violations(&self) -> usize {
+        self.cells.iter().filter(|c| c.violation.is_some()).count()
+    }
+
+    /// Cells whose app postcondition failed.
+    pub fn check_failures(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.check_failure.is_some())
+            .count()
+    }
+
+    /// Cells that drained before the step budget.
+    pub fn quiescent_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.quiescent).count()
+    }
+
+    /// Distinct app names covered.
+    pub fn apps_covered(&self) -> BTreeSet<&str> {
+        self.cells.iter().map(|c| c.app.as_str()).collect()
+    }
+
+    /// Distinct pathologies covered (primary and secondary labels).
+    pub fn pathologies_covered(&self) -> BTreeSet<Pathology> {
+        self.cells
+            .iter()
+            .flat_map(|c| std::iter::once(c.pathology).chain(c.also.iter().copied()))
+            .collect()
+    }
+
+    /// Sum of one metric across all cells carrying it.
+    pub fn metric_total(&self, name: &str) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.metrics)
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Cells matching an `(app, case)` filter (empty string = any).
+    pub fn select(&self, app: &str, case: &str) -> Vec<&CellOutcome> {
+        self.cells
+            .iter()
+            .filter(|c| (app.is_empty() || c.app == app) && (case.is_empty() || c.case == case))
+            .collect()
+    }
+
+    /// One-line human summary (printed by campaign jobs so regressions
+    /// in cell counts are visible in CI logs).
+    pub fn summary(&self) -> String {
+        let paths: Vec<&str> = self
+            .pathologies_covered()
+            .into_iter()
+            .map(Pathology::as_str)
+            .collect();
+        format!(
+            "campaign: {} cells over {} apps, {} violations, {} check failures, {} quiescent, pathologies: [{}]",
+            self.total_cells(),
+            self.apps_covered().len(),
+            self.violations(),
+            self.check_failures(),
+            self.quiescent_cells(),
+            paths.join(", ")
+        )
+    }
+
+    /// Serialize to JSON (hand-rolled: no serde in the offline build).
+    /// Deterministic: field order is fixed, cells are in spec order, and
+    /// no wall-clock data is included.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(self.cells.len() * 256 + 512);
+        s.push_str("{\n");
+        push_kv_u64(&mut s, 1, "total_cells", self.total_cells() as u64, true);
+        push_kv_u64(&mut s, 1, "violations", self.violations() as u64, true);
+        push_kv_u64(
+            &mut s,
+            1,
+            "check_failures",
+            self.check_failures() as u64,
+            true,
+        );
+        push_kv_u64(
+            &mut s,
+            1,
+            "quiescent_cells",
+            self.quiescent_cells() as u64,
+            true,
+        );
+        let apps: Vec<String> = self.apps_covered().into_iter().map(json_string).collect();
+        s.push_str(&format!("  \"apps\": [{}],\n", apps.join(", ")));
+        let paths: Vec<String> = self
+            .pathologies_covered()
+            .into_iter()
+            .map(|p| json_string(p.as_str()))
+            .collect();
+        s.push_str(&format!("  \"pathologies\": [{}],\n", paths.join(", ")));
+        for (key, total) in [
+            (
+                "delivered",
+                self.cells.iter().map(|c| c.delivered).sum::<u64>(),
+            ),
+            ("dropped", self.cells.iter().map(|c| c.dropped).sum()),
+            ("duplicated", self.cells.iter().map(|c| c.duplicated).sum()),
+            ("corrupted", self.cells.iter().map(|c| c.corrupted).sum()),
+            (
+                "scroll_entries",
+                self.cells.iter().map(|c| c.scroll_entries).sum(),
+            ),
+            (
+                "checkpoints",
+                self.cells.iter().map(|c| c.checkpoints).sum(),
+            ),
+        ] {
+            push_kv_u64(&mut s, 1, key, total, true);
+        }
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"app\": {}, ", json_string(&c.app)));
+            s.push_str(&format!("\"case\": {}, ", json_string(&c.case)));
+            s.push_str(&format!(
+                "\"pathology\": {}, ",
+                json_string(c.pathology.as_str())
+            ));
+            let also: Vec<String> = c.also.iter().map(|p| json_string(p.as_str())).collect();
+            s.push_str(&format!("\"also\": [{}], ", also.join(", ")));
+            s.push_str(&format!("\"seed\": {}, ", c.seed));
+            s.push_str(&format!("\"steps\": {}, ", c.steps));
+            s.push_str(&format!("\"end_time\": {}, ", c.end_time));
+            s.push_str(&format!("\"quiescent\": {}, ", c.quiescent));
+            s.push_str(&format!("\"violation\": {}, ", json_opt(&c.violation)));
+            s.push_str(&format!(
+                "\"check_failure\": {}, ",
+                json_opt(&c.check_failure)
+            ));
+            s.push_str(&format!("\"delivered\": {}, ", c.delivered));
+            s.push_str(&format!("\"dropped\": {}, ", c.dropped));
+            s.push_str(&format!("\"duplicated\": {}, ", c.duplicated));
+            s.push_str(&format!("\"corrupted\": {}, ", c.corrupted));
+            s.push_str(&format!("\"scroll_entries\": {}, ", c.scroll_entries));
+            s.push_str(&format!("\"checkpoints\": {}, ", c.checkpoints));
+            s.push_str(&format!("\"checkpoint_bytes\": {}, ", c.checkpoint_bytes));
+            s.push_str(&format!("\"fingerprint\": {}, ", c.fingerprint));
+            let metrics: Vec<String> = c
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json_string(k), v))
+                .collect();
+            s.push_str(&format!("\"metrics\": {{{}}}", metrics.join(", ")));
+            s.push('}');
+            if i + 1 < self.cells.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn push_kv_u64(s: &mut String, indent: usize, key: &str, v: u64, comma: bool) {
+    s.push_str(&"  ".repeat(indent));
+    s.push_str(&format!("\"{key}\": {v}"));
+    if comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_string(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(v: &Option<String>) -> String {
+    match v {
+        Some(s) => json_string(s),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn outcome(i: u64) -> CellOutcome {
+        CellOutcome {
+            app: format!("app{}", i % 3),
+            case: "clean".into(),
+            pathology: Pathology::Clean,
+            also: Vec::new(),
+            seed: i,
+            steps: 10 + i,
+            end_time: 100,
+            quiescent: true,
+            violation: None,
+            check_failure: None,
+            delivered: i,
+            dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
+            scroll_entries: i * 2,
+            checkpoints: i,
+            checkpoint_bytes: i * 64,
+            fingerprint: 0xFEED ^ i,
+            metrics: vec![("m".into(), i)],
+        }
+    }
+
+    #[test]
+    fn from_cells_sorts_any_completion_order() {
+        let a: Vec<(usize, CellOutcome)> = (0..6).map(|i| (i, outcome(i as u64))).collect();
+        let mut b = a.clone();
+        b.reverse();
+        b.swap(1, 4);
+        let ra = CampaignReport::from_cells(a);
+        let rb = CampaignReport::from_cells(b);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.to_json(), rb.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped or duplicated")]
+    fn holes_fail_loudly() {
+        let cells = vec![(0, outcome(0)), (2, outcome(2))];
+        let _ = CampaignReport::from_cells(cells);
+    }
+
+    #[test]
+    fn aggregates_and_json_shape() {
+        let r = CampaignReport::from_cells((0..4).map(|i| (i, outcome(i as u64))).collect());
+        assert_eq!(r.total_cells(), 4);
+        assert_eq!(r.violations(), 0);
+        assert_eq!(r.metric_total("m"), 6);
+        assert_eq!(r.apps_covered().len(), 3);
+        let j = r.to_json();
+        assert!(j.contains("\"total_cells\": 4"));
+        assert!(j.contains("\"pathologies\": [\"clean\"]"));
+        assert!(j.contains("\"metrics\": {\"m\": 3}"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -40,4 +40,4 @@ pub use config::FixdConfig;
 pub use detector::{DetectedFault, Monitor};
 pub use protocol::{choose_rollback_target, respond, RespondOutcome};
 pub use report::BugReport;
-pub use session::{Fixd, SuperviseOutcome};
+pub use session::{Fixd, FixdStats, SuperviseOutcome};

@@ -23,6 +23,21 @@ pub struct SuperviseOutcome {
     pub quiescent: bool,
 }
 
+/// Bookkeeping counters of one supervisor: how much the Scroll and the
+/// Time Machine recorded while supervising. Campaign drivers aggregate
+/// these across cells.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FixdStats {
+    /// Events executed under supervision.
+    pub steps: u64,
+    /// Scroll entries recorded across all processes.
+    pub scroll_entries: usize,
+    /// Live checkpoints held by the Time Machine.
+    pub checkpoints: usize,
+    /// Bytes held in checkpoint pages (after COW sharing).
+    pub checkpoint_bytes: usize,
+}
+
 /// FixD, assembled: Scroll + Time Machine + Investigator + Healer around
 /// one [`World`].
 pub struct Fixd {
@@ -237,6 +252,16 @@ impl Fixd {
     /// Events executed under supervision so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Scroll + Time Machine bookkeeping counters for this supervisor.
+    pub fn stats(&self) -> FixdStats {
+        FixdStats {
+            steps: self.steps,
+            scroll_entries: self.scroll.store().total_entries(),
+            checkpoints: self.tm.total_checkpoints(),
+            checkpoint_bytes: self.tm.total_checkpoint_bytes(),
+        }
     }
 }
 

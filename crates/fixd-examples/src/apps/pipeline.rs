@@ -189,15 +189,26 @@ pub fn results_monitor() -> Monitor {
     Monitor::local::<Cruncher>("results-correct", move |_, c| ok(c))
 }
 
-/// Build the 2-process pipeline world.
-pub fn pipeline_world(seed: u64, n_items: u64, cost: u64, poison_at: Option<u64>) -> World {
-    let mut w = World::new(WorldConfig::seeded(seed));
+/// Build the 2-process pipeline world over an explicit [`WorldConfig`]
+/// (campaign matrices inject network pathologies through the config).
+pub fn pipeline_world_cfg(
+    cfg: WorldConfig,
+    n_items: u64,
+    cost: u64,
+    poison_at: Option<u64>,
+) -> World {
+    let mut w = World::new(cfg);
     w.add_process(Box::new(Source { n_items }));
     w.add_process(Box::new(match poison_at {
         Some(p) => Cruncher::buggy(cost, p),
         None => Cruncher::correct(cost),
     }));
     w
+}
+
+/// Build the 2-process pipeline world.
+pub fn pipeline_world(seed: u64, n_items: u64, cost: u64, poison_at: Option<u64>) -> World {
+    pipeline_world_cfg(WorldConfig::seeded(seed), n_items, cost, poison_at)
 }
 
 /// The fix: stop poisoning. State layout is identical; the migration

@@ -131,10 +131,12 @@ impl Program for RingNode {
     }
 }
 
-/// Build a ring world of `n` nodes; node `buggy_node` (if any) duplicates
-/// the token when `dup_at` rounds remain.
-pub fn ring_world(n: usize, seed: u64, buggy_node: Option<(usize, u8)>) -> World {
-    let mut w = World::new(WorldConfig::seeded(seed));
+/// Build a ring world of `n` nodes over an explicit [`WorldConfig`]
+/// (campaign matrices inject network pathologies through the config);
+/// node `buggy_node` (if any) duplicates the token when `dup_at` rounds
+/// remain.
+pub fn ring_world_cfg(cfg: WorldConfig, n: usize, buggy_node: Option<(usize, u8)>) -> World {
+    let mut w = World::new(cfg);
     for i in 0..n {
         match buggy_node {
             Some((b, dup_at)) if b == i => w.add_process(Box::new(RingNode::buggy(dup_at))),
@@ -142,6 +144,12 @@ pub fn ring_world(n: usize, seed: u64, buggy_node: Option<(usize, u8)>) -> World
         };
     }
     w
+}
+
+/// Build a ring world of `n` nodes; node `buggy_node` (if any) duplicates
+/// the token when `dup_at` rounds remain.
+pub fn ring_world(n: usize, seed: u64, buggy_node: Option<(usize, u8)>) -> World {
+    ring_world_cfg(WorldConfig::seeded(seed), n, buggy_node)
 }
 
 /// The mutual-exclusion monitor: at most one node holds the token.

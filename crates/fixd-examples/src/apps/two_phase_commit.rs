@@ -220,9 +220,10 @@ pub fn atomicity_monitor() -> Monitor {
     )
 }
 
-/// Build a 2PC world: coordinator + participants with the given votes.
-pub fn tpc_world(seed: u64, votes: &[bool], buggy: bool) -> World {
-    let mut w = World::new(WorldConfig::seeded(seed));
+/// Build a 2PC world over an explicit [`WorldConfig`] (campaign matrices
+/// inject network pathologies through the config).
+pub fn tpc_world_cfg(cfg: WorldConfig, votes: &[bool], buggy: bool) -> World {
+    let mut w = World::new(cfg);
     w.add_process(Box::new(if buggy {
         Coordinator::buggy()
     } else {
@@ -232,6 +233,11 @@ pub fn tpc_world(seed: u64, votes: &[bool], buggy: bool) -> World {
         w.add_process(Box::new(Participant::new(v)));
     }
     w
+}
+
+/// Build a 2PC world: coordinator + participants with the given votes.
+pub fn tpc_world(seed: u64, votes: &[bool], buggy: bool) -> World {
+    tpc_world_cfg(WorldConfig::seeded(seed), votes, buggy)
 }
 
 /// Program factory for the Investigator (same topology, from scratch).

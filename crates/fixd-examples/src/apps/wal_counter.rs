@@ -56,20 +56,28 @@ pub struct WalCounter {
     disk: SharedDisk,
 }
 
+/// Decode the counter value currently recoverable from `disk`.
+pub fn durable_value(disk: &SharedDisk) -> u64 {
+    disk.read(b"counter")
+        .map(|v| u64::from_le_bytes(v.try_into().unwrap_or_default()))
+        .unwrap_or(0)
+}
+
 impl WalCounter {
     /// Boot (or re-boot) from the durable log: recovers the last synced
     /// value.
     pub fn recover(disk: SharedDisk, sync_every: u64) -> Self {
-        let value = disk
-            .read(b"counter")
-            .map(|v| u64::from_le_bytes(v.try_into().unwrap_or_default()))
-            .unwrap_or(0);
         Self {
-            value,
+            value: durable_value(&disk),
             sync_every,
             ops_since_sync: 0,
             disk,
         }
+    }
+
+    /// The counter value currently recoverable from this counter's log.
+    pub fn durable_value(&self) -> u64 {
+        durable_value(&self.disk)
     }
 
     /// The disk handle (shared with the environment).
@@ -122,6 +130,16 @@ impl Program for WalCounter {
     }
 }
 
+/// Build the world over an explicit [`WorldConfig`]: driver + counter
+/// over `disk`, no implicit network override or fault plan (campaign
+/// matrices inject both themselves).
+pub fn wal_world_cfg(cfg: WorldConfig, n_ops: u64, sync_every: u64, disk: SharedDisk) -> World {
+    let mut w = World::new(cfg);
+    w.add_process(Box::new(Driver { n_ops }));
+    w.add_process(Box::new(WalCounter::recover(disk, sync_every)));
+    w
+}
+
 /// Build the world: driver + counter over `disk`, with an optional crash
 /// of the counter at virtual time `crash_at`.
 pub fn wal_world(
@@ -134,9 +152,7 @@ pub fn wal_world(
     let mut cfg = WorldConfig::seeded(seed);
     // Spread deliveries over virtual time so crashes land mid-stream.
     cfg.net = fixd_runtime::NetworkConfig::jittery(1, 100);
-    let mut w = World::new(cfg);
-    w.add_process(Box::new(Driver { n_ops }));
-    w.add_process(Box::new(WalCounter::recover(disk, sync_every)));
+    let mut w = wal_world_cfg(cfg, n_ops, sync_every, disk);
     if let Some(at) = crash_at {
         w.set_fault_plan(fixd_runtime::FaultPlan::none().crash(Pid(1), at));
     }

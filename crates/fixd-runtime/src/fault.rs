@@ -77,6 +77,27 @@ impl FaultPlan {
         })
     }
 
+    /// Corrupt all `from → to` messages in `[start, end)` (builder
+    /// shorthand).
+    pub fn corrupt_link(self, from: Pid, to: Pid, start: VTime, end: VTime) -> Self {
+        self.with(Fault::CorruptLink {
+            from: Some(from),
+            to: Some(to),
+            start,
+            end,
+        })
+    }
+
+    /// Impose `partition` at `at`, healed at `heal_at` (builder
+    /// shorthand; `None` = never healed).
+    pub fn partition(self, at: VTime, partition: Partition, heal_at: Option<VTime>) -> Self {
+        self.with(Fault::PartitionAt {
+            at,
+            partition,
+            heal_at,
+        })
+    }
+
     /// All faults in the plan.
     pub fn faults(&self) -> &[Fault] {
         &self.faults

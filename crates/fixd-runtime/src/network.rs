@@ -107,6 +107,23 @@ impl NetworkConfig {
             ..Self::default()
         }
     }
+
+    /// A duplicating network with the given duplication probability.
+    pub fn duplicating(dup_prob: f64) -> Self {
+        Self {
+            dup_prob,
+            ..Self::default()
+        }
+    }
+
+    /// A corrupting network: each message's payload has one byte flipped
+    /// with the given probability.
+    pub fn corrupting(corrupt_prob: f64) -> Self {
+        Self {
+            corrupt_prob,
+            ..Self::default()
+        }
+    }
 }
 
 /// One planned outcome for a sent message.

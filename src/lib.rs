@@ -16,7 +16,9 @@
 //! * [`baselines`] — liblog / CMC / Flashback / restart / printf
 //!   comparators;
 //! * [`examples`] — example applications (token ring, KV store, 2PC,
-//!   work pipeline).
+//!   work pipeline);
+//! * [`campaign`] — the parallel fault-injection campaign engine
+//!   (scenario matrices fanned across cores, deterministic reports).
 //!
 //! ```
 //! use fixd::prelude::*;
@@ -32,6 +34,7 @@
 //! ```
 
 pub use fixd_baselines as baselines;
+pub use fixd_campaign as campaign;
 pub use fixd_core as core;
 pub use fixd_examples as examples;
 pub use fixd_healer as healer;
@@ -42,6 +45,9 @@ pub use fixd_timemachine as timemachine;
 
 /// The items most applications need.
 pub mod prelude {
+    pub use fixd_campaign::{
+        run_campaign, run_campaign_with_threads, CampaignReport, CampaignSpec, Pathology,
+    };
     pub use fixd_core::{BugReport, DetectedFault, Fixd, FixdConfig, Monitor};
     pub use fixd_healer::{Healer, Patch};
     pub use fixd_investigator::{ExploreConfig, Invariant, ModelD, NetModel, SearchOrder};

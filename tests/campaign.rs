@@ -1,98 +1,228 @@
 //! Fault-injection campaigns: FixD's machinery must stay sound across
 //! seeds, fault plans, and network pathologies — crash faults, message
-//! loss, duplication, partitions, and corruption.
+//! loss, duplication, reordering, partitions, and corruption.
+//!
+//! The sweeps run on the `fixd::campaign` engine: every test builds a
+//! [`CampaignSpec`] matrix and fans its cells across cores; assertions
+//! live in the apps' postconditions plus campaign-level aggregates.
+//! `cargo test --release --test campaign -- --nocapture` prints each
+//! sweep's cell-count summary (the CI campaign job greps for it).
 
-use fixd::examples::{kvstore, token_ring};
+use fixd::campaign::{
+    kvstore_app, kvstore_ck_app, run_campaign, run_campaign_with_threads, standard_cases,
+    standard_matrix, token_ring_app, two_phase_commit_app, CampaignSpec, FaultCase, Pathology,
+};
+use fixd::examples::{kvstore, token_ring, two_phase_commit as tpc};
 use fixd::prelude::*;
-use fixd::runtime::{Fault, NetworkConfig, Partition};
+use fixd::runtime::{DeliveryPolicy, NetworkConfig};
 use fixd::timemachine::{coordinated_snapshot, restore_global};
 
-/// Crash campaign: under arbitrary single-process crash timing, FixD
-/// supervision never panics, the Time Machine's bookkeeping stays
-/// consistent, and the scroll records every executed handler event.
+/// The headline sweep: every example app × every standard pathology,
+/// in parallel, with an exact expected cell count so silently skipped
+/// sweeps fail loudly.
+#[test]
+fn standard_matrix_covers_all_apps_and_pathologies() {
+    let spec = standard_matrix(&[0, 1, 2, 3]);
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+
+    assert_eq!(
+        report.total_cells(),
+        spec.expected_cells(),
+        "cells were silently skipped"
+    );
+    let apps = report.apps_covered();
+    for name in [
+        "token_ring",
+        "kvstore",
+        "kvstore_ck",
+        "pipeline",
+        "wal_counter",
+        "two_phase_commit",
+    ] {
+        assert!(apps.contains(name), "app {name} missing from the sweep");
+    }
+    let paths = report.pathologies_covered();
+    assert!(paths.len() >= 5, "need ≥5 pathologies, got {:?}", paths);
+    for p in [
+        Pathology::Crash,
+        Pathology::Loss,
+        Pathology::Duplication,
+        Pathology::Corruption,
+        Pathology::Partition,
+    ] {
+        assert!(paths.contains(&p), "pathology {} missing", p.as_str());
+    }
+    assert_eq!(
+        report.violations(),
+        0,
+        "no monitor may fire on correct apps"
+    );
+    assert_eq!(report.check_failures(), 0, "all app postconditions hold");
+    assert_eq!(
+        report.quiescent_cells(),
+        report.total_cells(),
+        "every cell must drain within its step budget"
+    );
+    // The machinery was actually engaged in every cell.
+    assert!(report.cells.iter().all(|c| c.scroll_entries > 0));
+    assert!(report.cells.iter().all(|c| c.checkpoints > 0));
+}
+
+/// Acceptance: the report is byte-identical for a fixed spec regardless
+/// of thread count — 1 thread vs. many produce the same JSON.
+#[test]
+fn report_is_thread_count_invariant() {
+    let spec = standard_matrix(&[5, 6]);
+    let serial = run_campaign_with_threads(&spec, 1);
+    let wide = run_campaign_with_threads(&spec, 8);
+    assert_eq!(serial, wide);
+    assert_eq!(
+        serial.to_json(),
+        wide.to_json(),
+        "campaign JSON must not depend on thread interleaving"
+    );
+}
+
+/// Crash campaign: under arbitrary single-process crash timing — every
+/// victim crossed with seed-spread crash times up to t = 138, spanning
+/// the whole ring run — FixD supervision never panics, mutual exclusion
+/// holds, and the scroll records every executed handler event.
 #[test]
 fn crash_campaign_token_ring() {
-    for seed in 0..20u64 {
-        for victim in 0..4u32 {
-            let crash_at = 5 + seed * 7;
-            let mut world = token_ring::ring_world(4, seed, None);
-            world.set_fault_plan(FaultPlan::none().crash(Pid(victim), crash_at));
-            let mut fixd =
-                Fixd::new(4, FixdConfig::seeded(seed)).monitor(token_ring::mutex_monitor());
-            let out = fixd.supervise(&mut world, 10_000);
-            // A clean ring with one crash never violates mutual exclusion.
-            assert!(
-                out.fault.is_none(),
-                "seed {seed}, victim {victim}: unexpected violation"
-            );
-            // The Scroll recorded the run (starts at minimum).
-            assert!(fixd.scroll().total_entries() >= 4);
-        }
-    }
+    let victim_case = |victim: u32, name: &'static str| {
+        FaultCase::planned(name, Pathology::Crash, move |_, seed| {
+            FaultPlan::none().crash(Pid(victim), 5 + seed * 7)
+        })
+    };
+    let mut spec = CampaignSpec::new().app(token_ring_app()).seeds(0..20);
+    spec.cases = vec![
+        victim_case(0, "crash-victim-0"),
+        victim_case(1, "crash-victim-1"),
+        victim_case(2, "crash-victim-2"),
+        victim_case(3, "crash-victim-3"),
+    ];
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+    assert_eq!(report.total_cells(), 80, "4 victims × 20 crash times");
+    assert_eq!(report.violations(), 0);
+    assert_eq!(report.check_failures(), 0);
+    assert!(report.cells.iter().all(|c| c.scroll_entries >= 4));
 }
 
 /// Loss/duplication campaign over the kvstore: the v2 backup tolerates
-/// duplication (idempotent per seq) and loss only stalls, never corrupts.
+/// duplication (idempotent per seq) and loss only stalls, never
+/// corrupts — the gap-free/prefix assertions live in the app spec.
 #[test]
 fn lossy_dup_campaign_kvstore_v2() {
-    for seed in 0..15u64 {
-        let mut cfg = WorldConfig::seeded(seed);
-        cfg.net = NetworkConfig {
-            policy: fixd::runtime::DeliveryPolicy::RandomDelay { min: 1, max: 50 },
+    let mut spec = CampaignSpec::new().app(kvstore_app()).seeds(0..15);
+    spec.cases = vec![FaultCase::net_only(
+        "loss+dup",
+        Pathology::Duplication,
+        NetworkConfig {
+            policy: DeliveryPolicy::RandomDelay { min: 1, max: 50 },
             drop_prob: 0.1,
             dup_prob: 0.2,
             corrupt_prob: 0.0,
-        };
-        let mut w = World::new(cfg);
-        w.add_process(Box::new(kvstore::Client {
-            script: kvstore::script(10, seed),
-        }));
-        w.add_process(Box::new(kvstore::Primary::default()));
-        w.add_process(Box::new(kvstore::BackupV2::default()));
-        w.run_to_quiescence(100_000);
-        let b = w.program::<kvstore::BackupV2>(Pid(2)).unwrap();
-        // Applied sequence is always gap-free (prefix of the primary's).
-        assert_eq!(
-            b.applied, b.applied_count,
-            "seed {seed}: gap in fixed backup"
-        );
-        // Every applied value matches the primary's history prefix.
-        let p = w.program::<kvstore::Primary>(Pid(1)).unwrap();
-        assert!(b.applied <= p.seq);
-    }
+        },
+    )
+    .also(&[Pathology::Loss, Pathology::Reorder])];
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+    assert_eq!(report.total_cells(), 15);
+    assert_eq!(report.violations(), 0);
+    assert_eq!(report.check_failures(), 0);
+    // The pathology actually happened somewhere in the sweep.
+    assert!(report.cells.iter().map(|c| c.dropped).sum::<u64>() > 0);
+    assert!(report.cells.iter().map(|c| c.duplicated).sum::<u64>() > 0);
 }
 
-/// Partition campaign: a healed partition lets the protocol finish; the
-/// partition window only delays, never corrupts.
+/// Corruption campaign over the *checksummed* kvstore pair: corrupted
+/// REPLs flow through the machinery without panics, the checksum/reject
+/// path actually fires (aggregate `rejected` metric), and the backup
+/// never applies garbage.
 #[test]
-fn partition_campaign() {
-    for seed in 0..10u64 {
-        let mut world = token_ring::ring_world(4, seed, None);
-        let part = Partition::split(4, &[&[Pid(0), Pid(1)], &[Pid(2), Pid(3)]]);
-        world.set_fault_plan(FaultPlan::none().with(Fault::PartitionAt {
-            at: 20,
-            partition: part,
-            heal_at: Some(60),
-        }));
-        let report = world.run_to_quiescence(100_000);
-        assert!(report.quiescent);
-        // Messages crossing the partition during [20,60) were dropped;
-        // the token may die. Either it died (fewer entries) or survived
-        // (full count) — never a corrupted state.
-        let entries: u64 = (0..4)
-            .map(|i| {
-                world
-                    .program::<token_ring::RingNode>(Pid(i))
-                    .unwrap()
-                    .entries
-            })
-            .sum();
-        assert!(entries <= 13, "seed {seed}: too many CS entries: {entries}");
-    }
+fn corruption_campaign_kvstore_checksummed() {
+    let mut spec = CampaignSpec::new().app(kvstore_ck_app()).seeds(0..12);
+    spec.cases = standard_cases()
+        .into_iter()
+        .filter(|c| c.name == "corruption")
+        .collect();
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+    assert_eq!(report.total_cells(), 12);
+    assert_eq!(report.violations(), 0);
+    assert_eq!(report.check_failures(), 0);
+    let corrupted: u64 = report.cells.iter().map(|c| c.corrupted).sum();
+    assert!(
+        corrupted > 0,
+        "the corrupting network must corrupt something"
+    );
+    let rejected = report.metric_total("rejected");
+    assert!(
+        rejected > 0,
+        "the checksum/reject path must fire across the sweep (corrupted={corrupted})"
+    );
+    assert!(
+        rejected <= corrupted,
+        "rejects can only come from corruptions"
+    );
 }
 
-/// Corruption campaign: corrupted payloads flow through the machinery
-/// without panics, and the monitor catches the resulting bad state.
+/// Partition campaign over the token ring and 2PC: a partition healed
+/// before any message would cross it leaves the run exactly complete
+/// (heal-after-merge), and a mid-run partition window only delays or
+/// stalls — never corrupts and never violates safety.
+#[test]
+fn partition_campaign_heals_after_merge() {
+    let mut spec = CampaignSpec::new()
+        .app(token_ring_app())
+        .app(two_phase_commit_app())
+        .seeds(0..10);
+    spec.cases = standard_cases()
+        .into_iter()
+        .filter(|c| c.pathology == Pathology::Partition)
+        .collect();
+    assert_eq!(spec.cases.len(), 2, "early-heal and mid-run windows");
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+    assert_eq!(report.total_cells(), 2 * 2 * 10);
+    assert_eq!(report.violations(), 0, "partitions never break safety");
+    assert_eq!(
+        report.check_failures(),
+        0,
+        "heal-after-merge postconditions hold"
+    );
+    // Early heal ⇒ complete runs: the full 13 CS entries and all 3
+    // participants decided, every seed.
+    for c in report.select("token_ring", "partition-early-heal") {
+        assert_eq!(
+            c.metrics,
+            vec![("entries".to_string(), 13)],
+            "seed {}",
+            c.seed
+        );
+    }
+    for c in report.select("two_phase_commit", "partition-early-heal") {
+        assert_eq!(
+            c.metrics,
+            vec![("decided".to_string(), 3)],
+            "seed {}",
+            c.seed
+        );
+    }
+    // The mid-run window really dropped traffic somewhere.
+    let mid_dropped: u64 = report
+        .select("", "partition-mid")
+        .iter()
+        .map(|c| c.dropped)
+        .sum();
+    assert!(mid_dropped > 0, "mid-run partition must drop something");
+}
+
+/// Corruption without checksums stays *detectable*: the plain v2 backup
+/// applies corrupted REPLs, and the replicas-agree monitor catches the
+/// divergence on some seeds (the motivation for the checksummed pair).
 #[test]
 fn corruption_is_survivable_and_detectable() {
     let mut detected = 0;
@@ -166,7 +296,6 @@ fn snapshot_restore_campaign() {
 /// Investigator produces the trail showing which loss kills it.
 #[test]
 fn lossy_2pc_fails_eventual_decision() {
-    use fixd::examples::two_phase_commit as tpc;
     use fixd::investigator::{Explorer, WorldModel};
 
     let model = WorldModel::new(

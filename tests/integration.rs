@@ -37,6 +37,21 @@ fn facade_prelude_smoke_supervise_detect_diagnose() {
     assert!(report.render().contains("mutual-exclusion"));
 }
 
+/// Workspace-wiring smoke test for the campaign engine: the facade
+/// prelude can build, fan out, and serialize a small standard matrix.
+#[test]
+fn facade_prelude_campaign_smoke() {
+    use fixd::prelude::*;
+
+    let spec = fixd::campaign::standard_matrix(&[2]);
+    let report = run_campaign_with_threads(&spec, 2);
+    assert_eq!(report.total_cells(), spec.expected_cells());
+    assert_eq!(report.violations(), 0);
+    assert_eq!(report.check_failures(), 0);
+    assert!(report.pathologies_covered().contains(&Pathology::Crash));
+    assert!(report.to_json().contains("\"total_cells\""));
+}
+
 /// The token-ring fix: clear the dup knob, keep all other state.
 fn ring_patch() -> Patch {
     Patch::code_only("ring-no-dup", 1, 2, || Box::new(RingNode::correct())).with_migration(
