@@ -1,0 +1,88 @@
+//! Zero-copy payload demo: run the standard campaign matrix and measure
+//! how many payload bytes are *physically copied* per delivered message
+//! versus how many are *aliased* (shared `Arc<[u8]>` reference-count
+//! bumps that, before the `Payload` refactor, were `Vec<u8>` memcpys).
+//!
+//! Emits `BENCH_payload.json` and **fails** (non-zero exit) if the
+//! copied-bytes-per-delivered-message figure regresses above the
+//! baseline, or if the before/after ratio drops below 2x — so the CI
+//! `payload-bench` step turns the zero-copy property into a gate, not a
+//! claim.
+//!
+//! Run: `cargo run -p fixd-bench --bin payload_demo --release`
+
+use fixd_campaign::{run_campaign_with_threads, standard_matrix};
+use fixd_runtime::payload;
+
+/// Copied bytes per delivered message above which the bench fails.
+/// Measured headroom: the standard matrix sits around 3–4 bytes/msg
+/// (payloads are materialized once at send and split once per actual
+/// corruption); the pre-refactor code paid the full payload on every
+/// send, deliver, record, and checkpoint observation.
+const MAX_COPIED_PER_DELIVERED: f64 = 8.0;
+
+/// Minimum required reduction (modelled pre-refactor bytes / measured).
+const MIN_RATIO: f64 = 2.0;
+
+fn main() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let spec = standard_matrix(&seeds);
+
+    let before = payload::stats();
+    let t0 = std::time::Instant::now();
+    let report = run_campaign_with_threads(&spec, 1);
+    let wall = t0.elapsed();
+    let delta = payload::stats().since(before);
+
+    assert_eq!(report.total_cells(), spec.expected_cells());
+    assert_eq!(report.violations(), 0, "standard matrix must stay clean");
+    assert_eq!(report.check_failures(), 0, "app postconditions must hold");
+
+    let delivered: u64 = report.cells.iter().map(|c| c.delivered).sum();
+    let deliveries_per_sec = delivered as f64 / wall.as_secs_f64().max(1e-9);
+    // `copied` is what the zero-copy path still pays (one materialization
+    // per send plus one CoW split per actual corruption). `aliased` is
+    // what each observation point — delivery duplication, trace records,
+    // scroll entries, in-flight checkpoint capture — *would have copied*
+    // when `Message.payload` was a `Vec<u8>`.
+    let copied_per_msg = delta.copied as f64 / delivered.max(1) as f64;
+    let before_per_msg = (delta.copied + delta.aliased) as f64 / delivered.max(1) as f64;
+    let ratio = before_per_msg / copied_per_msg.max(1e-9);
+
+    println!("{}", report.summary());
+    println!(
+        "delivered: {delivered} msgs in {wall:.2?} ({deliveries_per_sec:.0}/sec)\n\
+         payload bytes copied:  {} ({copied_per_msg:.2}/msg)\n\
+         payload bytes aliased: {} (would-have-copied)\n\
+         bytes/msg before {before_per_msg:.2} -> after {copied_per_msg:.2} ({ratio:.1}x reduction)",
+        delta.copied, delta.aliased,
+    );
+
+    let bench = format!(
+        "{{\n  \"bench\": \"payload\",\n  \"total_cells\": {},\n  \"delivered\": {},\n  \"wall_ms\": {},\n  \"deliveries_per_sec\": {:.1},\n  \"bytes_copied\": {},\n  \"bytes_aliased\": {},\n  \"bytes_copied_per_delivered\": {:.3},\n  \"bytes_before_per_delivered\": {:.3},\n  \"reduction_ratio\": {:.2},\n  \"max_copied_per_delivered\": {:.1},\n  \"min_ratio\": {:.1}\n}}\n",
+        report.total_cells(),
+        delivered,
+        wall.as_millis(),
+        deliveries_per_sec,
+        delta.copied,
+        delta.aliased,
+        copied_per_msg,
+        before_per_msg,
+        ratio,
+        MAX_COPIED_PER_DELIVERED,
+        MIN_RATIO,
+    );
+    let path = "BENCH_payload.json";
+    std::fs::write(path, &bench).expect("write BENCH_payload.json");
+    println!("wrote {path}");
+
+    assert!(
+        copied_per_msg <= MAX_COPIED_PER_DELIVERED,
+        "zero-copy regression: {copied_per_msg:.2} bytes copied per delivered message \
+         (baseline {MAX_COPIED_PER_DELIVERED})"
+    );
+    assert!(
+        ratio >= MIN_RATIO,
+        "reduction ratio {ratio:.2}x below the required {MIN_RATIO}x"
+    );
+}

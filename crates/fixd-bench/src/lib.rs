@@ -89,7 +89,7 @@ pub struct Shouter {
 
 impl Program for Shouter {
     fn on_start(&mut self, ctx: &mut Context) {
-        ctx.broadcast(1, &[1]);
+        ctx.broadcast(1, [1]);
     }
     fn on_message(&mut self, _ctx: &mut Context, _msg: &Message) {
         self.heard += 1;

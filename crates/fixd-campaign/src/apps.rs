@@ -165,6 +165,49 @@ pub fn kvstore_app() -> AppSpec {
     }
 }
 
+/// Primary/backup KV store with the **buggy** arrival-order backup
+/// ([`fixd_examples::kvstore::BackupV1`]) — the detection-power column.
+///
+/// Unlike every other app spec, a monitor violation here is the
+/// *expected* outcome: under reordering the backup applies stale REPLs
+/// and the gap monitor must catch it in a healthy fraction of cells.
+/// The cell check records `detected` (0/1) as a metric and only *fails*
+/// when detection happens somewhere it cannot (the clean FIFO control,
+/// where arrival order equals send order and the bug is unreachable).
+/// `tests/campaign.rs::buggy_backup_detection_rate` asserts the
+/// aggregate detection fraction, so detection power is
+/// regression-tested rather than assumed.
+pub fn kvstore_buggy_app() -> AppSpec {
+    AppSpec {
+        name: "kvstore_buggy",
+        supports: &[Clean, Reorder],
+        build: Arc::new(|cfg| {
+            let script = kvstore::script(12, cfg.seed);
+            kvstore::kv_world_v1_cfg(cfg, script)
+        }),
+        monitors: Arc::new(|| vec![kvstore::gap_monitor()]),
+        check: Arc::new(|w, case, fault| {
+            let detected = u64::from(fault.is_some());
+            let metrics = vec![("detected".to_string(), detected)];
+            if case.pathology == Clean && detected == 1 {
+                // The clean FIFO control cannot reorder: a "detection"
+                // there is a false positive of the monitor.
+                return CellCheck::fail("violation on the clean control", metrics);
+            }
+            // Sanity on undetected (run-to-completion) cells: the
+            // primary itself stays sound. Detected cells stop at the
+            // violation, so the stream may legitimately be unfinished.
+            if detected == 0 {
+                let p = w.program::<kvstore::Primary>(Pid(1)).unwrap();
+                if p.seq != 12 {
+                    return CellCheck::fail(format!("primary lost PUTs: {}", p.seq), metrics);
+                }
+            }
+            CellCheck::pass(metrics)
+        }),
+    }
+}
+
 /// Checksummed KV pair: everything the fixed backup guarantees, plus
 /// corruption survival — a corrupted REPL is rejected (counted in the
 /// `rejected` metric) instead of poisoning the store.

@@ -33,7 +33,7 @@ pub mod report;
 pub mod spec;
 
 pub use apps::{
-    kvstore_app, kvstore_ck_app, pipeline_app, standard_cases, standard_matrix,
+    kvstore_app, kvstore_buggy_app, kvstore_ck_app, pipeline_app, standard_cases, standard_matrix,
     standard_pathologies, token_ring_app, two_phase_commit_app, wal_counter_app,
 };
 pub use driver::{default_threads, run_campaign, run_campaign_with_threads, run_cell, THREADS_ENV};

@@ -28,7 +28,7 @@ pub struct Client {
 impl Program for Client {
     fn on_start(&mut self, ctx: &mut Context) {
         for &(k, v) in &self.script {
-            ctx.send(Pid(1), PUT, vec![k, v]);
+            ctx.send(Pid(1), PUT, [k, v]);
         }
     }
     fn snapshot(&self) -> Vec<u8> {
@@ -434,6 +434,18 @@ pub fn gap_monitor() -> Monitor {
 pub fn kv_world(seed: u64, script: Vec<(u8, u8)>, jitter: (u64, u64)) -> World {
     let mut cfg = WorldConfig::seeded(seed);
     cfg.net = NetworkConfig::jittery(jitter.0, jitter.1);
+    let mut w = World::new(cfg);
+    w.add_process(Box::new(Client { script }));
+    w.add_process(Box::new(Primary::default()));
+    w.add_process(Box::new(BackupV1::default()));
+    w
+}
+
+/// Build a client/primary/**buggy**-backup world ([`BackupV1`]) over an
+/// explicit [`WorldConfig`]. This is the detection-power column of the
+/// campaign matrix: under reordering the arrival-order bug *must* be
+/// caught by [`gap_monitor`] in a healthy fraction of cells.
+pub fn kv_world_v1_cfg(cfg: WorldConfig, script: Vec<(u8, u8)>) -> World {
     let mut w = World::new(cfg);
     w.add_process(Box::new(Client { script }));
     w.add_process(Box::new(Primary::default()));

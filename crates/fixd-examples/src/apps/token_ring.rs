@@ -50,12 +50,13 @@ impl RingNode {
     fn forward(&self, ctx: &mut Context, rounds: u8) {
         let n = ctx.world_size();
         let next = Pid(((ctx.pid().0 as usize + 1) % n) as u32);
-        ctx.send(next, TOKEN, vec![rounds]);
+        let token = fixd_runtime::Payload::from([rounds]);
+        ctx.send(next, TOKEN, token.clone());
         if self.dup_at == Some(rounds) {
             // BUG: a misdirected "retransmission" skips a hop — now two
-            // tokens circulate out of phase.
+            // tokens circulate out of phase (sharing one payload buffer).
             let skip = Pid(((ctx.pid().0 as usize + 2) % n) as u32);
-            ctx.send(skip, TOKEN, vec![rounds]);
+            ctx.send(skip, TOKEN, token);
         }
     }
 

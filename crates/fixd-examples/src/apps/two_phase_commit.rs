@@ -51,8 +51,10 @@ impl Coordinator {
 
     fn decide(&mut self, ctx: &mut Context, commit: bool) {
         self.decided = Some(commit);
+        // One decision buffer, aliased by every participant's copy.
+        let decision = fixd_runtime::Payload::from([u8::from(commit)]);
         for i in 1..ctx.world_size() as u32 {
-            ctx.send(Pid(i), DECISION, vec![u8::from(commit)]);
+            ctx.send(Pid(i), DECISION, decision.clone());
         }
         ctx.output(vec![b'D', u8::from(commit)]);
     }
@@ -60,8 +62,9 @@ impl Coordinator {
 
 impl Program for Coordinator {
     fn on_start(&mut self, ctx: &mut Context) {
+        let req = fixd_runtime::Payload::empty();
         for i in 1..ctx.world_size() as u32 {
-            ctx.send(Pid(i), VOTE_REQ, vec![]);
+            ctx.send(Pid(i), VOTE_REQ, req.clone());
         }
     }
 
@@ -149,7 +152,7 @@ impl Participant {
 impl Program for Participant {
     fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
         match msg.tag {
-            VOTE_REQ => ctx.send(Pid(0), VOTE, vec![u8::from(self.will_vote)]),
+            VOTE_REQ => ctx.send(Pid(0), VOTE, [u8::from(self.will_vote)]),
             DECISION => self.committed = Some(msg.payload[0] == 1),
             _ => {}
         }

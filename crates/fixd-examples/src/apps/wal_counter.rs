@@ -22,8 +22,11 @@ pub struct Driver {
 
 impl Program for Driver {
     fn on_start(&mut self, ctx: &mut Context) {
+        // One shared buffer for the whole increment stream: every INC
+        // aliases the same allocation.
+        let inc = fixd_runtime::Payload::from([1u8]);
         for _ in 0..self.n_ops {
-            ctx.send(Pid(1), INC, vec![1]);
+            ctx.send(Pid(1), INC, inc.clone());
         }
     }
     fn snapshot(&self) -> Vec<u8> {

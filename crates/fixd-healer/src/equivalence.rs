@@ -158,7 +158,7 @@ mod tests {
             src: Pid(0),
             dst: Pid(1),
             tag: 1,
-            payload: vec![v],
+            payload: vec![v].into(),
             sent_at: 0,
             vc: VectorClock::new(2),
             meta: MsgMeta::default(),

@@ -117,7 +117,7 @@ proptest! {
                     src: Pid(0),
                     dst: Pid(1),
                     tag: 1,
-                    payload: vec![v],
+                    payload: vec![v].into(),
                     sent_at: 0,
                     vc: fixd_runtime::VectorClock::new(2),
                     meta: fixd_runtime::MsgMeta::default(),

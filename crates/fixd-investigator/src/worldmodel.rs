@@ -641,7 +641,7 @@ mod tests {
             src: Pid(0),
             dst: Pid(1),
             tag: 1,
-            payload: vec![9],
+            payload: vec![9].into(),
             sent_at: 0,
             vc: fixd_runtime::VectorClock::new(2),
             meta: fixd_runtime::MsgMeta::default(),

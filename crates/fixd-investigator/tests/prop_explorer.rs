@@ -87,7 +87,7 @@ struct Bcast {
 impl Program for Bcast {
     fn on_start(&mut self, ctx: &mut Context) {
         if ctx.pid() == Pid(0) {
-            ctx.broadcast(1, &[2]);
+            ctx.broadcast(1, [2]);
         }
     }
     fn on_message(&mut self, ctx: &mut Context, msg: &Message) {

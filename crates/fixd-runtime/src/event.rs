@@ -7,6 +7,7 @@
 //! them), and the Investigator (which enumerates them).
 
 use crate::clock::VectorClock;
+use crate::payload::Payload;
 use crate::wire;
 use crate::{Pid, VTime};
 
@@ -41,7 +42,11 @@ pub struct Message {
     pub dst: Pid,
     /// Application-level message kind.
     pub tag: u16,
-    pub payload: Vec<u8>,
+    /// The payload bytes, in one allocation shared by every observer of
+    /// this message (runtime queue, Scroll entries, Time Machine
+    /// checkpoints). Cloning a `Message` aliases the buffer; only the
+    /// corruption fault path materializes a private copy.
+    pub payload: Payload,
     /// Virtual time at which the send happened.
     pub sent_at: VTime,
     /// Sender's vector clock at send time (after the send tick).
@@ -190,7 +195,7 @@ mod tests {
             src: Pid(src),
             dst: Pid(dst),
             tag,
-            payload: payload.to_vec(),
+            payload: payload.into(),
             sent_at: 0,
             vc: VectorClock::new(2),
             meta: MsgMeta::default(),
@@ -205,8 +210,18 @@ mod tests {
         b.sent_at = 123;
         assert_eq!(a.content_fingerprint(), b.content_fingerprint());
         let mut c = a.clone();
-        c.payload = b"y".to_vec();
+        c.payload = b"y".into();
         assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+    }
+
+    #[test]
+    fn message_clone_aliases_payload() {
+        let a = msg(0, 1, 3, b"shared once, observed many times");
+        let b = a.clone();
+        assert!(
+            a.payload.ptr_eq(&b.payload),
+            "cloning a message must share the payload allocation"
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod event;
 pub mod fault;
 pub mod harness;
 pub mod network;
+pub mod payload;
 pub mod program;
 pub mod rng;
 pub mod topology;
@@ -72,6 +73,7 @@ pub use event::{Effects, Event, EventKind, Message, MsgMeta, Output, TimerId};
 pub use fault::{Fault, FaultPlan};
 pub use harness::SoloHarness;
 pub use network::{DeliveryPolicy, NetStats, NetworkConfig, Partition};
+pub use payload::{Payload, PayloadStats};
 pub use program::{Context, Program};
 pub use rng::DetRng;
 pub use topology::Topology;

@@ -7,6 +7,7 @@
 //! network during execution, and `fixd-investigator::envmodel` provides the
 //! corresponding model the Investigator swaps in.
 
+use crate::payload::Payload;
 use crate::rng::DetRng;
 use crate::{Pid, VTime};
 
@@ -130,10 +131,12 @@ impl NetworkConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub enum DeliveryOutcome {
     /// Deliver at this absolute virtual time, possibly with a corrupted
-    /// payload (the corrupted bytes replace the original).
+    /// payload (the corrupted bytes replace the original). A corrupted
+    /// payload is the one place on the message path that materializes a
+    /// private copy — clean deliveries alias the sender's buffer.
     Deliver {
         at: VTime,
-        corrupted_payload: Option<Vec<u8>>,
+        corrupted_payload: Option<Payload>,
     },
     /// Dropped; the reason is recorded in the trace.
     Drop { reason: DropReason },
@@ -203,9 +206,9 @@ impl NetworkConfig {
                 && !payload.is_empty()
                 && rng.chance(self.corrupt_prob)
             {
-                let mut p = payload.to_vec();
+                let mut p = Payload::copy_from_slice(payload);
                 let i = rng.below(p.len() as u64) as usize;
-                p[i] ^= 0xFF;
+                p.to_mut()[i] ^= 0xFF;
                 Some(p)
             } else {
                 None

@@ -1,0 +1,313 @@
+//! [`Payload`] — one shared, immutable message-payload buffer.
+//!
+//! The paper's supervised-execution loop observes every message several
+//! times over: the network delivers it, the Scroll records it (§3.1), and
+//! the Time Machine captures it again inside consistent checkpoints
+//! (§3.2). With `Vec<u8>` payloads each of those observation points paid
+//! for a full byte copy. `Payload` is a newtype over `Arc<[u8]>`: the
+//! bytes are materialized **once**, at send time, and every later
+//! observer — duplicate deliveries, scroll entries, trace records,
+//! in-flight checkpoint captures — aliases the same allocation. The only
+//! component allowed to materialize a *second* copy is the corruption
+//! fault path, which flips a byte through the copy-on-write
+//! [`Payload::to_mut`].
+//!
+//! The module keeps two global (process-wide, relaxed-atomic) counters so
+//! the win is a measured number rather than a claim:
+//!
+//! * **copied** bytes — bytes physically written into a payload
+//!   allocation (initial materialization and copy-on-write splits);
+//! * **aliased** bytes — bytes a [`Payload::clone`] *shared* instead of
+//!   copying, i.e. exactly the bytes the pre-`Payload` code would have
+//!   `memcpy`ed.
+//!
+//! `bench/payload_demo` reads them to emit `BENCH_payload.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALIASED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide payload copy/alias counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PayloadStats {
+    /// Bytes physically copied into payload allocations (materialization
+    /// from `Vec<u8>`/`&[u8]` plus copy-on-write splits in [`Payload::to_mut`]).
+    pub copied: u64,
+    /// Bytes shared by `Payload::clone` instead of copied — the bytes a
+    /// `Vec<u8>` payload representation would have duplicated.
+    pub aliased: u64,
+}
+
+impl PayloadStats {
+    /// Counter deltas since `earlier` (for scoped measurements).
+    pub fn since(self, earlier: PayloadStats) -> PayloadStats {
+        PayloadStats {
+            copied: self.copied.wrapping_sub(earlier.copied),
+            aliased: self.aliased.wrapping_sub(earlier.aliased),
+        }
+    }
+}
+
+/// Current values of the global payload counters. Counters are
+/// process-wide and monotone; diff two snapshots (see
+/// [`PayloadStats::since`]) to measure a region of interest.
+pub fn stats() -> PayloadStats {
+    PayloadStats {
+        copied: BYTES_COPIED.load(Ordering::Relaxed),
+        aliased: BYTES_ALIASED.load(Ordering::Relaxed),
+    }
+}
+
+/// An immutable, cheaply clonable message payload backed by one shared
+/// allocation (`Arc<[u8]>`).
+///
+/// * Construction from owned or borrowed bytes copies once (counted).
+/// * [`Clone`] is a reference-count bump — O(1), no bytes move.
+/// * Reading is transparent: `Payload` derefs to `[u8]`, so indexing,
+///   slicing, iteration, and `&msg.payload` as a `&[u8]` argument all
+///   work exactly as they did when the field was a `Vec<u8>`.
+/// * The single sanctioned mutation point is [`Payload::to_mut`]
+///   (copy-on-write), used by the fault-injection corruption path.
+#[derive(Debug, Eq)]
+pub struct Payload(Arc<[u8]>);
+
+// Hash over the byte contents — consistent with `PartialEq`, which is
+// content equality (with a same-allocation fast path).
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Payload {
+    /// A payload sharing no bytes with anyone (empty).
+    pub fn empty() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// Copy `bytes` into a fresh shared allocation (counted as copied).
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        BYTES_COPIED.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Payload(Arc::from(bytes))
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Do `self` and `other` share one allocation? (True aliasing — the
+    /// zero-copy property tests assert with this.)
+    pub fn ptr_eq(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// How many `Payload` handles currently share this allocation.
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+
+    /// Copy-on-write mutable access: if this handle is the unique owner
+    /// the bytes are mutated in place (zero copies); otherwise the
+    /// payload is split into a private copy first (counted as copied).
+    ///
+    /// Only the corruption fault path should need this — everything else
+    /// in the runtime treats payloads as immutable.
+    pub fn to_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.0).is_none() {
+            BYTES_COPIED.fetch_add(self.0.len() as u64, Ordering::Relaxed);
+            self.0 = Arc::from(&self.0[..]);
+        }
+        Arc::get_mut(&mut self.0).expect("payload unique after copy-on-write split")
+    }
+
+    /// Clone the underlying `Arc` (internal helper so `Clone` can count).
+    fn share(&self) -> Arc<[u8]> {
+        BYTES_ALIASED.fetch_add(self.0.len() as u64, Ordering::Relaxed);
+        Arc::clone(&self.0)
+    }
+}
+
+#[allow(clippy::non_canonical_clone_impl)] // counts aliased bytes
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload(self.share())
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        BYTES_COPIED.fetch_add(v.len() as u64, Ordering::Relaxed);
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Self {
+        Payload::copy_from_slice(b)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(b: &[u8; N]) -> Self {
+        Payload::copy_from_slice(b)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(b: [u8; N]) -> Self {
+        Payload::copy_from_slice(&b)
+    }
+}
+
+impl From<&Payload> for Payload {
+    fn from(p: &Payload) -> Self {
+        p.clone()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.0 == other.0
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reads() {
+        let p = Payload::from(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1], 2);
+        assert_eq!(p.as_slice(), &[1, 2, 3]);
+        assert_eq!(p, [1u8, 2, 3]);
+        assert_eq!(p, vec![1u8, 2, 3]);
+        assert_eq!(Payload::from(b"abc"), b"abc");
+        assert!(Payload::empty().is_empty());
+        assert!(Payload::default().is_empty());
+    }
+
+    #[test]
+    fn clone_aliases_one_allocation() {
+        let p = Payload::from(vec![9; 1024]);
+        let q = p.clone();
+        assert!(p.ptr_eq(&q));
+        assert_eq!(p.strong_count(), 2);
+        assert_eq!(p, q);
+        // Equal content in a different allocation is == but not aliased.
+        let r = Payload::from(vec![9; 1024]);
+        assert_eq!(p, r);
+        assert!(!p.ptr_eq(&r));
+    }
+
+    #[test]
+    fn to_mut_in_place_when_unique() {
+        // Pointer identity proves zero copies (counters are process-wide
+        // and other test threads may bump them concurrently).
+        let mut p = Payload::from(vec![1, 2, 3]);
+        let addr = p.as_slice().as_ptr();
+        p.to_mut()[0] ^= 0xFF;
+        assert_eq!(
+            p.as_slice().as_ptr(),
+            addr,
+            "unique owner mutates in place — no copy"
+        );
+        assert_eq!(p[0], 0xFE);
+    }
+
+    #[test]
+    fn to_mut_copies_once_when_shared() {
+        let mut p = Payload::from(vec![7; 100]);
+        let q = p.clone();
+        p.to_mut()[0] = 0;
+        assert!(!p.ptr_eq(&q), "p split away from q");
+        assert_eq!(q[0], 7, "the other owner is untouched");
+        assert_eq!(p[0], 0);
+        // The split made p unique again: further mutation is in-place.
+        let addr = p.as_slice().as_ptr();
+        p.to_mut()[1] = 1;
+        assert_eq!(p.as_slice().as_ptr(), addr);
+    }
+
+    #[test]
+    fn counters_track_copies_and_aliases() {
+        let before = stats();
+        let p = Payload::from(vec![0; 50]);
+        let _q = p.clone();
+        let _r = p.clone();
+        let delta = stats().since(before);
+        assert!(delta.copied >= 50);
+        assert!(delta.aliased >= 100, "two clones alias 50 bytes each");
+    }
+
+    #[test]
+    fn hash_matches_content_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |p: &Payload| {
+            let mut s = DefaultHasher::new();
+            p.hash(&mut s);
+            s.finish()
+        };
+        let a = Payload::from(vec![1, 2]);
+        let b = Payload::from(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+}

@@ -122,7 +122,14 @@ impl<'a> Context<'a> {
     /// Send a message. The message is stamped with a fresh id, the sender's
     /// vector clock (ticked), Lamport timestamp, and the Time-Machine
     /// metadata template (checkpoint index / speculation id).
-    pub fn send(&mut self, dst: Pid, tag: u16, payload: Vec<u8>) {
+    ///
+    /// The payload is materialized into one shared [`Payload`] allocation
+    /// here — the only copy on the whole send → deliver → record →
+    /// checkpoint path. Accepts `Vec<u8>`, `&[u8]`, byte-string literals,
+    /// and existing [`Payload`]s (which are aliased, not re-copied).
+    ///
+    /// [`Payload`]: crate::payload::Payload
+    pub fn send(&mut self, dst: Pid, tag: u16, payload: impl Into<crate::payload::Payload>) {
         let id = *self.next_msg_id;
         *self.next_msg_id += 1;
         self.vc.tick(self.pid);
@@ -134,19 +141,21 @@ impl<'a> Context<'a> {
             src: self.pid,
             dst,
             tag,
-            payload,
+            payload: payload.into(),
             sent_at: self.now,
             vc: self.vc.clone(),
             meta,
         });
     }
 
-    /// Broadcast to every other process.
-    pub fn broadcast(&mut self, tag: u16, payload: &[u8]) {
+    /// Broadcast to every other process. The payload is materialized
+    /// once and every copy of the message aliases it.
+    pub fn broadcast(&mut self, tag: u16, payload: impl Into<crate::payload::Payload>) {
+        let payload = payload.into();
         for i in 0..self.world_width {
             let dst = Pid(i as u32);
             if dst != self.pid {
-                self.send(dst, tag, payload.to_vec());
+                self.send(dst, tag, payload.clone());
             }
         }
     }
@@ -258,6 +267,27 @@ mod tests {
         let eff = run_ctx(|ctx| ctx.broadcast(1, b"x"));
         let dsts: Vec<Pid> = eff.sends.iter().map(|m| m.dst).collect();
         assert_eq!(dsts, vec![Pid(0), Pid(2)]);
+    }
+
+    #[test]
+    fn broadcast_materializes_payload_once() {
+        let eff = run_ctx(|ctx| ctx.broadcast(1, b"one allocation for all"));
+        assert_eq!(eff.sends.len(), 2);
+        assert!(
+            eff.sends[0].payload.ptr_eq(&eff.sends[1].payload),
+            "every broadcast copy aliases one buffer"
+        );
+    }
+
+    #[test]
+    fn send_accepts_payload_without_recopy() {
+        let p = crate::payload::Payload::from(b"reused");
+        let clone = p.clone();
+        let eff = run_ctx(move |ctx| ctx.send(Pid(2), 1, p));
+        assert!(
+            eff.sends[0].payload.ptr_eq(&clone),
+            "sending an existing Payload aliases it"
+        );
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
     Some(out)
 }
 
+/// Decode a length-prefixed byte slice into a fresh shared [`Payload`]
+/// allocation (the one copy a decode inherently needs; every later
+/// observer of the decoded message aliases it).
+///
+/// [`Payload`]: crate::payload::Payload
+pub fn get_payload(buf: &[u8], pos: &mut usize) -> Option<crate::payload::Payload> {
+    get_bytes(buf, pos).map(crate::payload::Payload::from)
+}
+
 /// Append a `u64` slice, length-prefixed.
 pub fn put_u64s(buf: &mut Vec<u8>, xs: &[u64]) {
     put_varint(buf, xs.len() as u64);
@@ -157,6 +166,19 @@ mod tests {
         let bad = [0x05, b'h', b'i'];
         let mut p = 0;
         assert_eq!(get_bytes(&bad, &mut p), None);
+    }
+
+    #[test]
+    fn payload_roundtrip_matches_bytes() {
+        // `get_payload` must read exactly the `put_bytes` framing.
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"zero-copy");
+        let mut pos = 0;
+        let p = get_payload(&buf, &mut pos).unwrap();
+        assert_eq!(p, b"zero-copy");
+        assert_eq!(pos, buf.len());
+        let mut p2 = 0;
+        assert_eq!(get_payload(&[0x05, b'h', b'i'], &mut p2), None, "truncated");
     }
 
     #[test]

@@ -506,7 +506,11 @@ impl World {
         }
         if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
             let i = (self.net_rng.next_u64() as usize) % msg.payload.len();
-            msg.payload[i] ^= 0xFF;
+            // Copy-on-write: the sender's Effects still alias the clean
+            // buffer, so the flip splits off the one private copy the
+            // corruption path is allowed. An empty payload (guarded
+            // above) never copies at all.
+            msg.payload.to_mut()[i] ^= 0xFF;
             self.stats.corrupted += 1;
         }
         let connected = self.partition.connected(msg.src, msg.dst);
@@ -975,6 +979,119 @@ mod tests {
         assert!(w.inflight_messages().is_empty());
     }
 
+    /// P0 sends one message to P1; payload size is configurable so the
+    /// corruption tests can cover the empty (no-op) and non-empty cases.
+    struct OneShot {
+        payload: Vec<u8>,
+    }
+    impl Program for OneShot {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.pid() == Pid(0) {
+                ctx.send(Pid(1), 1, self.payload.clone());
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.payload.clone()
+        }
+        fn restore(&mut self, b: &[u8]) {
+            self.payload = b.to_vec();
+        }
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(OneShot {
+                payload: self.payload.clone(),
+            })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// The send and deliver records for P0 → P1's single message.
+    fn sent_and_delivered(w: &World) -> (Message, Message) {
+        let records = w.trace().records();
+        let sent = records
+            .iter()
+            .flat_map(|r| &r.effects.sends)
+            .find(|m| m.dst == Pid(1))
+            .expect("send recorded")
+            .clone();
+        let delivered = records
+            .iter()
+            .find_map(|r| match &r.event.kind {
+                EventKind::Deliver { msg } if msg.dst == Pid(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("delivery recorded");
+        (sent, delivered)
+    }
+
+    #[test]
+    fn clean_delivery_aliases_sent_payload() {
+        // One allocation from send to deliver to trace: the delivered
+        // message's payload is the sender's buffer, not a copy.
+        let mut w = World::new(WorldConfig::seeded(1));
+        w.add_process(Box::new(OneShot {
+            payload: vec![7; 64],
+        }));
+        w.add_process(Box::new(OneShot { payload: vec![] }));
+        w.run_to_quiescence(100);
+        let (sent, delivered) = sent_and_delivered(&w);
+        assert!(
+            sent.payload.ptr_eq(&delivered.payload),
+            "clean path must not copy payload bytes"
+        );
+    }
+
+    #[test]
+    fn noop_corruption_performs_zero_copies() {
+        // A corrupt-link window over an *empty* payload is a no-op: the
+        // fault matches, nothing can flip, and no private copy may be
+        // materialized — the delivered payload still aliases the send.
+        let mut w = World::new(WorldConfig::seeded(1));
+        w.add_process(Box::new(OneShot { payload: vec![] }));
+        w.add_process(Box::new(OneShot { payload: vec![] }));
+        w.set_fault_plan(FaultPlan::none().corrupt_link(Pid(0), Pid(1), 0, VTime::MAX));
+        w.run_to_quiescence(100);
+        assert_eq!(w.stats().corrupted, 0, "nothing to corrupt");
+        let (sent, delivered) = sent_and_delivered(&w);
+        assert!(
+            sent.payload.ptr_eq(&delivered.payload),
+            "no-op corruption must not split the buffer"
+        );
+    }
+
+    #[test]
+    fn corruption_splits_one_private_copy() {
+        // A real corruption is the single sanctioned copy: the delivered
+        // payload is private, and the sender's recorded effects keep the
+        // clean original.
+        let clean = vec![0xAB; 32];
+        let mut w = World::new(WorldConfig::seeded(1));
+        w.add_process(Box::new(OneShot {
+            payload: clean.clone(),
+        }));
+        w.add_process(Box::new(OneShot { payload: vec![] }));
+        w.set_fault_plan(FaultPlan::none().corrupt_link(Pid(0), Pid(1), 0, VTime::MAX));
+        w.run_to_quiescence(100);
+        assert_eq!(w.stats().corrupted, 1);
+        let (sent, delivered) = sent_and_delivered(&w);
+        assert!(
+            !sent.payload.ptr_eq(&delivered.payload),
+            "corruption materializes a private copy"
+        );
+        assert_eq!(sent.payload, clean, "the sender's record stays clean");
+        let diff = delivered
+            .payload
+            .iter()
+            .zip(&clean)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1, "exactly one byte flipped");
+    }
+
     #[test]
     fn lossy_network_drops_messages() {
         let mut cfg = WorldConfig::seeded(3);
@@ -1024,7 +1141,7 @@ mod tests {
             src: Pid(0),
             dst: Pid(1),
             tag: 1,
-            payload: 3u64.to_le_bytes().to_vec(),
+            payload: 3u64.to_le_bytes().to_vec().into(),
             sent_at: w.now(),
             vc: VectorClock::new(2),
             meta: MsgMeta::default(),

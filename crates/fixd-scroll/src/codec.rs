@@ -4,7 +4,7 @@
 //! clocks cost one byte; payloads are length-prefixed. The format is the
 //! reproduction's analogue of liblog's on-disk log (§4.1).
 
-use fixd_runtime::wire::{get_bytes, get_u64s, get_varint, put_bytes, put_u64s, put_varint};
+use fixd_runtime::wire::{get_payload, get_u64s, get_varint, put_bytes, put_u64s, put_varint};
 use fixd_runtime::{Message, MsgMeta, Pid, TimerId, VectorClock};
 
 use crate::entry::{EntryKind, ScrollEntry};
@@ -61,7 +61,7 @@ pub fn decode_message(buf: &[u8], pos: &mut usize) -> Result<Message> {
     let src = Pid(need(get_varint(buf, pos))? as u32);
     let dst = Pid(need(get_varint(buf, pos))? as u32);
     let tag = need(get_varint(buf, pos))? as u16;
-    let payload = need(get_bytes(buf, pos))?.to_vec();
+    let payload = need(get_payload(buf, pos))?;
     let sent_at = need(get_varint(buf, pos))?;
     let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
     let ckpt_index = need(get_varint(buf, pos))?;
@@ -178,7 +178,7 @@ mod tests {
             src: Pid(1),
             dst: Pid(2),
             tag: 300,
-            payload: b"payload".to_vec(),
+            payload: b"payload".into(),
             sent_at: 1234,
             vc: VectorClock::from_vec(vec![3, 1, 0]),
             meta: MsgMeta {

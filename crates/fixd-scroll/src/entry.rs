@@ -1,7 +1,7 @@
 //! Scroll entries: the recorded nondeterministic actions and their
 //! outcomes (paper §3.1).
 
-use fixd_runtime::{Message, Pid, TimerId, VTime, VectorClock};
+use fixd_runtime::{Message, Payload, Pid, TimerId, VTime, VectorClock};
 
 /// What kind of nondeterministic action an entry records.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +31,16 @@ impl EntryKind {
             self,
             EntryKind::Start | EntryKind::Deliver { .. } | EntryKind::TimerFire { .. }
         )
+    }
+
+    /// The recorded message's payload, if this entry carries one. The
+    /// returned handle aliases the buffer the runtime delivered — the
+    /// Scroll records messages without copying their bytes.
+    pub fn payload(&self) -> Option<&Payload> {
+        match self {
+            EntryKind::Deliver { msg } | EntryKind::DroppedMail { msg } => Some(&msg.payload),
+            _ => None,
+        }
     }
 
     /// Numeric tag for the codec.

@@ -156,7 +156,7 @@ mod tests {
             src: Pid(src),
             dst: Pid(dst),
             tag,
-            payload: vec![],
+            payload: vec![].into(),
             sent_at: 0,
             vc: VectorClock::new(3),
             meta: MsgMeta::default(),

@@ -264,6 +264,53 @@ mod tests {
     }
 
     #[test]
+    fn recorded_entries_alias_delivered_payloads() {
+        // The Scroll must not copy payload bytes: every Deliver entry
+        // shares the allocation of the message the runtime delivered.
+        let mut w = chatter_world(1);
+        let mut rec = ScrollRecorder::new(2, RecordConfig::default());
+        let mut checked = 0;
+        while let Some(step) = w.step() {
+            rec.observe(&w, &step);
+            if let fixd_runtime::EventKind::Deliver { msg } = &step.event.kind {
+                let e = rec.store().scroll(msg.dst).last().unwrap();
+                let recorded = e.kind.payload().expect("deliver entry has a payload");
+                assert!(
+                    recorded.ptr_eq(&msg.payload),
+                    "scroll entry must alias the delivered buffer"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "the run must deliver something");
+    }
+
+    #[test]
+    fn duplicated_deliveries_share_one_buffer_in_the_store() {
+        // A duplicating network delivers the same message twice; the
+        // store holds two entries but only one payload allocation.
+        let mut cfg = WorldConfig::seeded(7);
+        cfg.net = fixd_runtime::NetworkConfig::duplicating(1.0);
+        let mut w = World::new(cfg);
+        w.add_process(Box::new(Chatter { count: 0 }));
+        w.add_process(Box::new(Chatter { count: 0 }));
+        let (store, report) = record_run(&mut w, RecordConfig::default(), 1_000);
+        assert!(report.delivered >= 2, "dup network doubles deliveries");
+        let summed: usize = store
+            .scroll(Pid(0))
+            .iter()
+            .chain(store.scroll(Pid(1)))
+            .filter_map(|e| e.kind.payload())
+            .map(|p| p.len())
+            .sum();
+        let unique = store.unique_payload_bytes();
+        assert!(
+            unique < summed,
+            "duplicates must alias: unique={unique} summed={summed}"
+        );
+    }
+
+    #[test]
     fn truncate_resets_seq() {
         let mut w = chatter_world(1);
         let mut rec = ScrollRecorder::new(2, RecordConfig::default());

@@ -70,6 +70,22 @@ impl ScrollStore {
             .sum()
     }
 
+    /// Payload bytes referenced by the store, counting each shared
+    /// allocation **once**. Recorded entries alias the buffers the
+    /// runtime delivered (and duplicates re-deliver the same buffer), so
+    /// this resident-memory figure is usually far below the sum of
+    /// per-entry payload lengths — the zero-copy property, measured.
+    pub fn unique_payload_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.per_pid
+            .iter()
+            .flatten()
+            .filter_map(|e| e.kind.payload())
+            .filter(|p| seen.insert(p.as_slice().as_ptr()))
+            .map(|p| p.len())
+            .sum()
+    }
+
     /// Persist all segments to `dir` as `scroll-<pid>.bin`.
     pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;

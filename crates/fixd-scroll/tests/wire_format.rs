@@ -1,0 +1,123 @@
+//! Wire-format stability: the scroll segment encoding is a persistent,
+//! versioned on-disk format, so refactors of the in-memory payload
+//! representation (`Vec<u8>` → shared `Arc<[u8]>` `Payload`) must not
+//! move a single byte. The golden bytes below were produced by the
+//! pre-`Payload` codec; `encode_segment` must reproduce them exactly.
+
+use fixd_runtime::{Message, MsgMeta, Pid, TimerId, VectorClock};
+use fixd_scroll::codec::{decode_segment, encode_segment, FORMAT_VERSION};
+use fixd_scroll::entry::{EntryKind, ScrollEntry};
+
+const GOLDEN_SEGMENT_HEX: &[&str] = &[
+    "0107000200f8060a03030205030700ffffffffffffffffff01effdb6f50d03010201f806",
+    "0a03030205030700ffffffffffffffffff01effdb6f50d032a0102ac02077061796c6f61",
+    "64d20903030100020009010202f8060a03030205030700ffffffffffffffffff01effdb6",
+    "f50d032a0102ac0200d20903030100020009020203f8060a03030205030700ffffffffff",
+    "ffffffff01effdb6f50d034d030204f8060a03030205030700ffffffffffffffffff01ef",
+    "fdb6f50d03040205f8060a03030205030700ffffffffffffffffff01effdb6f50d030502",
+    "06f8060a03030205030700ffffffffffffffffff01effdb6f50d032a0102ac02d8040001",
+    "02030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f202122232425",
+    "262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f40414243444546474849",
+    "4a4b4c4d4e4f505152535455565758595a5b5c5d5e5f606162636465666768696a6b6c6d",
+    "6e6f707172737475767778797a7b7c7d7e7f808182838485868788898a8b8c8d8e8f9091",
+    "92939495969798999a9b9c9d9e9fa0a1a2a3a4a5a6a7a8a9aaabacadaeafb0b1b2b3b4b5",
+    "b6b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecfd0d1d2d3d4d5d6d7d8d9",
+    "dadbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeeff0f1f2f3f4f5f6f7f8f9fa000102",
+    "030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20212223242526",
+    "2728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f404142434445464748494a",
+    "4b4c4d4e4f505152535455565758595a5b5c5d5e5f606162636465666768696a6b6c6d6e",
+    "6f707172737475767778797a7b7c7d7e7f808182838485868788898a8b8c8d8e8f909192",
+    "939495969798999a9b9c9d9e9fa0a1a2a3a4a5a6a7a8a9aaabacadaeafb0b1b2b3b4b5b6",
+    "b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecfd0d1d2d3d4d5d6d7d8d9da",
+    "dbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeeff0f1f2f3f4f5f6f7f8f9fa00010203",
+    "0405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f2021222324252627",
+    "28292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f404142434445464748494a4b",
+    "4c4d4e4f505152535455565758595a5b5c5d5e5f6061d20903030100020009",
+];
+
+fn golden_bytes() -> Vec<u8> {
+    let hex: String = GOLDEN_SEGMENT_HEX.concat();
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn sample_msg(payload: Vec<u8>) -> Message {
+    Message {
+        id: 42,
+        src: Pid(1),
+        dst: Pid(2),
+        tag: 300,
+        payload: payload.into(),
+        sent_at: 1234,
+        vc: VectorClock::from_vec(vec![3, 1, 0]),
+        meta: MsgMeta {
+            ckpt_index: 2,
+            spec_id: 0,
+            lamport: 9,
+        },
+    }
+}
+
+fn sample_entry(local_seq: u64, kind: EntryKind) -> ScrollEntry {
+    ScrollEntry {
+        pid: Pid(2),
+        local_seq,
+        at: 888,
+        lamport: 10,
+        vc: VectorClock::from_vec(vec![3, 2, 5]),
+        kind,
+        randoms: vec![7, 0, u64::MAX],
+        effects_fp: 0xdeadbeef,
+        sends: 3,
+    }
+}
+
+/// Every entry kind, with empty, short, and multi-hundred-byte payloads
+/// (the exact inputs the pre-refactor codec was run on).
+fn golden_entries() -> Vec<ScrollEntry> {
+    vec![
+        sample_entry(0, EntryKind::Start),
+        sample_entry(
+            1,
+            EntryKind::Deliver {
+                msg: sample_msg(b"payload".to_vec()),
+            },
+        ),
+        sample_entry(
+            2,
+            EntryKind::Deliver {
+                msg: sample_msg(vec![]),
+            },
+        ),
+        sample_entry(3, EntryKind::TimerFire { timer: TimerId(77) }),
+        sample_entry(4, EntryKind::Crash),
+        sample_entry(5, EntryKind::Restart),
+        sample_entry(
+            6,
+            EntryKind::DroppedMail {
+                msg: sample_msg((0u16..600).map(|i| (i % 251) as u8).collect()),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn segment_encoding_matches_pre_refactor_golden() {
+    let encoded = encode_segment(&golden_entries());
+    let golden = golden_bytes();
+    assert_eq!(golden[0], FORMAT_VERSION, "golden was written as v1");
+    assert_eq!(
+        encoded.len(),
+        golden.len(),
+        "segment length drifted from the recorded format"
+    );
+    assert_eq!(encoded, golden, "wire format must not change");
+}
+
+#[test]
+fn golden_bytes_still_decode() {
+    let entries = decode_segment(&golden_bytes()).expect("golden segment decodes");
+    assert_eq!(entries, golden_entries(), "decoded = original entries");
+}

@@ -55,7 +55,10 @@ impl Default for TimeMachineConfig {
     }
 }
 
-/// A delivered message retained for replay after rollback.
+/// A delivered message retained for replay after rollback. The retained
+/// message aliases the delivered payload buffer (shared `Payload`), so
+/// the delivery log adds a reference count, not a byte copy, per
+/// delivery.
 #[derive(Clone, Debug)]
 pub(crate) struct DeliveryRecord {
     pub msg: Message,
@@ -438,6 +441,33 @@ mod tests {
             );
         }
         assert!(!tm.dependencies().is_empty());
+    }
+
+    #[test]
+    fn delivery_log_aliases_delivered_payloads() {
+        // The Time Machine's replay log is the second recorder of every
+        // message (the Scroll is the first); it must share the delivered
+        // buffer, not copy it.
+        let (mut w, mut tm) = setup(3, CheckpointPolicy::EveryReceive);
+        let mut checked = 0;
+        while let Some(ev) = w.peek() {
+            tm.before_step(&mut w, &ev);
+            let rec = w.step().unwrap();
+            tm.after_step(&mut w, &rec);
+            if let EventKind::Deliver { msg } = &rec.event.kind {
+                let logged = tm
+                    .delivery_log
+                    .last()
+                    .expect("before_step logged the delivery");
+                assert_eq!(logged.msg.id, msg.id);
+                assert!(
+                    logged.msg.payload.ptr_eq(&msg.payload),
+                    "delivery log must alias the delivered payload"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
     }
 
     #[test]

@@ -20,6 +20,11 @@ use fixd_runtime::{EventKind, Message, Pid, ProcCheckpoint, TimerId, VTime, Worl
 
 /// A consistent global checkpoint: every process state plus channel
 /// contents (in-flight messages) plus pending timers.
+///
+/// Captured in-flight messages **alias** the queued messages' payload
+/// buffers (shared `Payload` allocations) rather than copying them, so
+/// checkpointing a world with heavy mail in flight costs reference-count
+/// bumps, not memcpys — see `snapshot_aliases_inflight_payloads`.
 #[derive(Clone, Debug)]
 pub struct GlobalCheckpoint {
     pub at: VTime,
@@ -147,6 +152,38 @@ mod tests {
             "mid-run snapshot must capture channel/timer state"
         );
         assert!(g.state_bytes() >= 32);
+    }
+
+    #[test]
+    fn snapshot_aliases_inflight_payloads() {
+        // Checkpointing in-flight mail must share the queued messages'
+        // payload allocations, not copy them.
+        let mut w = beat_world();
+        for _ in 0..40 {
+            w.step();
+            let g = coordinated_snapshot(&w);
+            if g.inflight.is_empty() {
+                continue;
+            }
+            let queued = w.inflight_messages();
+            assert_eq!(queued.len(), g.inflight.len());
+            for (captured, live) in g.inflight.iter().zip(&queued) {
+                assert_eq!(captured.id, live.id);
+                assert!(
+                    captured.payload.ptr_eq(&live.payload),
+                    "checkpointed payload must alias the queued message"
+                );
+                // At least: world queue + snapshot + our fresh clone all
+                // share one allocation.
+                assert!(
+                    captured.payload.strong_count() >= 3,
+                    "expected ≥3 handles on one buffer, got {}",
+                    captured.payload.strong_count()
+                );
+            }
+            return; // found and verified a mid-flight snapshot
+        }
+        panic!("no snapshot with in-flight messages found");
     }
 
     #[test]

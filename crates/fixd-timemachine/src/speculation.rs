@@ -374,6 +374,23 @@ mod tests {
             tm.after_step(&mut w, &rec);
         }
         assert!(!w.inflight_messages().is_empty());
+        // Speculative stamping (spec_id in the meta) must not have
+        // copied payload bytes: every in-flight speculative message
+        // still aliases the allocation recorded in its sender's traced
+        // effects.
+        for m in &w.inflight_messages() {
+            let sent = w
+                .trace()
+                .records()
+                .iter()
+                .flat_map(|r| &r.effects.sends)
+                .find(|s| s.id == m.id)
+                .expect("in-flight message has a recorded send");
+            assert!(
+                sent.payload.ptr_eq(&m.payload),
+                "speculative in-flight payload must alias the sender's record"
+            );
+        }
         tm.abort(&mut w, spec).unwrap();
         assert!(w.inflight_messages().is_empty(), "speculative mail purged");
         // P0's entry checkpoint predates its on_start, so the abort

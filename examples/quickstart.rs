@@ -23,7 +23,7 @@ impl Program for RegV1 {
     fn on_start(&mut self, ctx: &mut Context) {
         if ctx.pid() == Pid(0) {
             for v in [4u8, 9, 2, 7] {
-                ctx.send(Pid(1), 1, vec![v]);
+                ctx.send(Pid(1), 1, [v]);
             }
         }
     }

@@ -52,7 +52,7 @@ pub mod prelude {
     pub use fixd_healer::{Healer, Patch};
     pub use fixd_investigator::{ExploreConfig, Invariant, ModelD, NetModel, SearchOrder};
     pub use fixd_runtime::{
-        Context, FaultPlan, Message, Pid, Program, TimerId, World, WorldConfig,
+        Context, FaultPlan, Message, Payload, Pid, Program, TimerId, World, WorldConfig,
     };
     pub use fixd_scroll::{ScrollQuery, ScrollRecorder, ScrollStore};
     pub use fixd_timemachine::{CheckpointPolicy, TimeMachine, TimeMachineConfig};

@@ -9,8 +9,9 @@
 //! sweep's cell-count summary (the CI campaign job greps for it).
 
 use fixd::campaign::{
-    kvstore_app, kvstore_ck_app, run_campaign, run_campaign_with_threads, standard_cases,
-    standard_matrix, token_ring_app, two_phase_commit_app, CampaignSpec, FaultCase, Pathology,
+    kvstore_app, kvstore_buggy_app, kvstore_ck_app, run_campaign, run_campaign_with_threads,
+    standard_cases, standard_matrix, token_ring_app, two_phase_commit_app, CampaignSpec, FaultCase,
+    Pathology,
 };
 use fixd::examples::{kvstore, token_ring, two_phase_commit as tpc};
 use fixd::prelude::*;
@@ -218,6 +219,57 @@ fn partition_campaign_heals_after_merge() {
         .map(|c| c.dropped)
         .sum();
     assert!(mid_dropped > 0, "mid-run partition must drop something");
+}
+
+/// Detection-power campaign (ROADMAP follow-on b): the *buggy*
+/// arrival-order backup crossed with the standard clean and reorder
+/// cases. Detection is asserted as a *rate*, not a lucky seed: the gap
+/// monitor must fire in at least a third of the reordering cells, and
+/// never on the clean FIFO control. If a runtime or scroll change
+/// silently weakens the monitors, this sweep fails loudly — detection
+/// power is regression-tested, not assumed.
+#[test]
+fn buggy_backup_detection_rate() {
+    let mut spec = CampaignSpec::new().app(kvstore_buggy_app()).seeds(0..30);
+    spec.cases = standard_cases()
+        .into_iter()
+        .filter(|c| c.name == "clean" || c.name == "reorder")
+        .collect();
+    assert_eq!(spec.cases.len(), 2);
+    let report = run_campaign(&spec);
+    println!("{}", report.summary());
+    assert_eq!(report.total_cells(), 60, "2 cases × 30 seeds");
+    assert_eq!(
+        report.check_failures(),
+        0,
+        "no false positives on the clean control, primaries stay sound"
+    );
+
+    let clean_detected: u64 = report
+        .select("kvstore_buggy", "clean")
+        .iter()
+        .map(|c| c.metrics.iter().find(|(k, _)| k == "detected").unwrap().1)
+        .sum();
+    assert_eq!(clean_detected, 0, "FIFO cannot trigger the ordering bug");
+
+    let reorder_cells = report.select("kvstore_buggy", "reorder");
+    let detected: u64 = reorder_cells
+        .iter()
+        .map(|c| c.metrics.iter().find(|(k, _)| k == "detected").unwrap().1)
+        .sum();
+    let rate = detected as f64 / reorder_cells.len() as f64;
+    println!(
+        "detection rate under reorder: {detected}/{} ({rate:.2})",
+        reorder_cells.len()
+    );
+    assert!(
+        rate >= 1.0 / 3.0,
+        "detection power regressed: only {detected}/{} reorder cells caught the bug",
+        reorder_cells.len()
+    );
+    // Detected cells are exactly the cells reporting a violation, and a
+    // detected cell stops at the fault instead of draining.
+    assert_eq!(report.violations() as u64, detected);
 }
 
 /// Corruption without checksums stays *detectable*: the plain v2 backup
