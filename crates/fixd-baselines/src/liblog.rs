@@ -65,7 +65,7 @@ impl Liblog {
     /// Offline deterministic replay of one process against a fresh
     /// program instance. Returns whether the replay was exact.
     pub fn replay(&self, pid: Pid, fresh: &mut dyn Program) -> Fidelity {
-        replay_process(pid, self.width, self.seed, fresh, self.store.scroll(pid)).fidelity
+        replay_process(pid, self.width, self.seed, fresh, &self.store.scroll(pid)).fidelity
     }
 
     /// Log size in bytes (the cost liblog pays for full recording).

@@ -11,8 +11,7 @@
 //!
 //! Run: `cargo run -p fixd-bench --bin payload_demo --release`
 
-use fixd_campaign::{run_campaign_with_threads, standard_matrix};
-use fixd_runtime::payload;
+use fixd_campaign::{run_campaign, standard_matrix};
 
 /// Copied bytes per delivered message above which the bench fails.
 /// Measured headroom: the standard matrix sits around 3–4 bytes/msg
@@ -28,11 +27,9 @@ fn main() {
     let seeds: Vec<u64> = (0..16).collect();
     let spec = standard_matrix(&seeds);
 
-    let before = payload::stats();
     let t0 = std::time::Instant::now();
-    let report = run_campaign_with_threads(&spec, 1);
+    let report = run_campaign(&spec);
     let wall = t0.elapsed();
-    let delta = payload::stats().since(before);
 
     assert_eq!(report.total_cells(), spec.expected_cells());
     assert_eq!(report.violations(), 0, "standard matrix must stay clean");
@@ -40,13 +37,18 @@ fn main() {
 
     let delivered: u64 = report.cells.iter().map(|c| c.delivered).sum();
     let deliveries_per_sec = delivered as f64 / wall.as_secs_f64().max(1e-9);
-    // `copied` is what the zero-copy path still pays (one materialization
-    // per send plus one CoW split per actual corruption). `aliased` is
-    // what each observation point — delivery duplication, trace records,
-    // scroll entries, in-flight checkpoint capture — *would have copied*
-    // when `Message.payload` was a `Vec<u8>`.
-    let copied_per_msg = delta.copied as f64 / delivered.max(1) as f64;
-    let before_per_msg = (delta.copied + delta.aliased) as f64 / delivered.max(1) as f64;
+    // Per-cell payload accounting (thread-local counters snapshotted by
+    // each cell's world) summed over the matrix — exact for any worker
+    // thread count, unlike the old process-global counters that forced a
+    // single-threaded run. `copied` is what the zero-copy path still
+    // pays (one materialization per send plus one CoW split per actual
+    // corruption). `aliased` is what each observation point — delivery
+    // duplication, trace records, scroll entries, in-flight checkpoint
+    // capture — *would have copied* when `Message.payload` was `Vec<u8>`.
+    let copied: u64 = report.cells.iter().map(|c| c.payload_copied).sum();
+    let aliased: u64 = report.cells.iter().map(|c| c.payload_aliased).sum();
+    let copied_per_msg = copied as f64 / delivered.max(1) as f64;
+    let before_per_msg = (copied + aliased) as f64 / delivered.max(1) as f64;
     let ratio = before_per_msg / copied_per_msg.max(1e-9);
 
     println!("{}", report.summary());
@@ -55,7 +57,7 @@ fn main() {
          payload bytes copied:  {} ({copied_per_msg:.2}/msg)\n\
          payload bytes aliased: {} (would-have-copied)\n\
          bytes/msg before {before_per_msg:.2} -> after {copied_per_msg:.2} ({ratio:.1}x reduction)",
-        delta.copied, delta.aliased,
+        copied, aliased,
     );
 
     let bench = format!(
@@ -64,8 +66,8 @@ fn main() {
         delivered,
         wall.as_millis(),
         deliveries_per_sec,
-        delta.copied,
-        delta.aliased,
+        copied,
+        aliased,
         copied_per_msg,
         before_per_msg,
         ratio,

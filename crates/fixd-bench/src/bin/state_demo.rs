@@ -1,0 +1,244 @@
+//! Content-addressed state-store demo: the two storage claims of the
+//! tentpole, measured and gated.
+//!
+//! 1. **Checkpoint dedup** — run the standard campaign matrix with every
+//!    cell's Time Machine interning checkpoint pages into ONE shared
+//!    [`PageStore`], and compare the store's resident footprint against
+//!    the per-process baseline (each process's history deduplicated only
+//!    against itself — what the pre-store `PagedImage` could do at
+//!    best). Gate: ≥ 1.5x reduction.
+//! 2. **Bounded scroll residency** — supervise a 10x-length run with
+//!    scroll spilling enabled and sample the resident-entry-bytes curve.
+//!    Gates: resident bytes stay below `threshold × width` at every
+//!    sample, and the spilled store re-reads to byte-identical wire
+//!    segments (same `encode_segment` output as a fully resident
+//!    control run).
+//!
+//! Emits `BENCH_state.json` and exits non-zero when a gate fails, so the
+//! CI `state-bench` step turns both claims into regressions tests.
+//!
+//! Run: `cargo run -p fixd-bench --bin state_demo --release`
+
+use fixd_core::{Fixd, FixdConfig};
+use fixd_runtime::{Context, Message, PageStore, Pid, Program, SharedDisk, World, WorldConfig};
+use fixd_scroll::SpillConfig;
+
+/// Minimum required cross-process/cross-cell dedup ratio.
+const MIN_DEDUP_RATIO: f64 = 1.5;
+/// Scroll spill threshold (bytes of resident entries per process).
+const SPILL_THRESHOLD: usize = 4096;
+/// Ring width for the long-run scroll measurement.
+const RING: usize = 4;
+/// Baseline hop count; the measured run is 10x this.
+const BASE_HOPS: u64 = 200;
+
+/// A long-running ring pump with a payload big enough that scroll
+/// residency is dominated by entries, not fixed overhead.
+struct Pump {
+    count: u64,
+}
+impl Program for Pump {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            let mut payload = vec![0u8; 64];
+            payload[..8].copy_from_slice(&(BASE_HOPS * 10).to_le_bytes());
+            ctx.send(Pid(1), 1, payload);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        self.count += 1;
+        let hops = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+        if hops > 0 {
+            let mut payload = msg.payload.to_vec();
+            payload[..8].copy_from_slice(&(hops - 1).to_le_bytes());
+            let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+            ctx.send(next, 1, payload);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.count.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.count = u64::from_le_bytes(b.try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Pump { count: self.count })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn pump_world(seed: u64) -> World {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    for _ in 0..RING {
+        w.add_process(Box::new(Pump { count: 0 }));
+    }
+    w
+}
+
+/// Part 1: the standard campaign matrix, one shared page store.
+fn measure_dedup() -> (usize, usize, usize, f64) {
+    let seeds: Vec<u64> = (0..5).collect();
+    let spec = fixd_campaign::standard_matrix(&seeds);
+    let shared = PageStore::new();
+    // Keep every cell's supervisor alive so its checkpoints pin their
+    // pages — the store footprint at the end is the real cost of holding
+    // the whole matrix's checkpoint state at once.
+    let mut supervisors = Vec::new();
+    for cell in spec.cells() {
+        let app = &spec.apps[cell.app];
+        let case = &spec.cases[cell.case];
+        let mut wcfg = WorldConfig::seeded(cell.seed);
+        wcfg.net = case.net.clone();
+        let mut world = (app.build)(wcfg);
+        let n = world.num_procs();
+        world.set_fault_plan((case.plan)(n, cell.seed));
+        let mut cfg = FixdConfig::seeded(cell.seed);
+        cfg.page_store = Some(shared.clone());
+        let mut fixd = Fixd::new(n, cfg);
+        for m in (app.monitors)() {
+            fixd = fixd.monitor(m);
+        }
+        let out = fixd.supervise(&mut world, spec.max_steps);
+        assert!(out.fault.is_none(), "standard matrix must stay clean");
+        supervisors.push(fixd);
+    }
+    // Per-process baseline: each process history deduplicated against
+    // itself only (the strongest layout the pre-store code could reach;
+    // the historical identity-based COW held strictly more bytes, so
+    // the reported ratio is conservative).
+    let mut baseline = 0usize;
+    for fixd in &mut supervisors {
+        let tm = fixd.time_machine();
+        for pid in 0..tm.width() as u32 {
+            baseline += tm.store(Pid(pid)).unique_bytes();
+        }
+    }
+    let shared_bytes = shared.unique_bytes();
+    let ratio = baseline as f64 / shared_bytes.max(1) as f64;
+    (supervisors.len(), baseline, shared_bytes, ratio)
+}
+
+/// Part 2: 10x-length supervised run with scroll spilling.
+#[allow(clippy::type_complexity)]
+fn measure_scroll() -> (u64, usize, usize, usize, usize, bool, Vec<(u64, usize)>) {
+    let disk = SharedDisk::new();
+    let mut cfg = FixdConfig::seeded(42);
+    cfg.scroll_spill = Some(SpillConfig::new(disk.clone(), SPILL_THRESHOLD));
+    let mut fixd = Fixd::new(RING, cfg);
+    let mut world = pump_world(42);
+
+    let mut control = Fixd::new(RING, FixdConfig::seeded(42));
+    let mut control_world = pump_world(42);
+
+    let mut curve = Vec::new();
+    let mut resident_max = 0usize;
+    let mut steps = 0u64;
+    loop {
+        let out = fixd.supervise(&mut world, 64);
+        steps += out.steps;
+        let resident = fixd.scroll().resident_bytes();
+        resident_max = resident_max.max(resident);
+        if curve.len() < 64 {
+            curve.push((steps, resident));
+        }
+        if out.quiescent {
+            break;
+        }
+    }
+    while !control.supervise(&mut control_world, 4096).quiescent {}
+
+    // The spilled store must re-read to the identical wire bytes.
+    let mut wire_identical = true;
+    for pid in 0..RING as u32 {
+        if fixd.scroll().encode_segment(Pid(pid)) != control.scroll().encode_segment(Pid(pid)) {
+            wire_identical = false;
+        }
+    }
+    assert_eq!(
+        fixd.scroll().total_entries(),
+        control.scroll().total_entries()
+    );
+    (
+        steps,
+        resident_max,
+        fixd.scroll().spilled_segments(),
+        fixd.scroll().spilled_bytes(),
+        fixd.scroll().resident_entries(),
+        wire_identical,
+        curve,
+    )
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let (cells, baseline_bytes, shared_bytes, dedup_ratio) = measure_dedup();
+    let (
+        steps,
+        resident_max,
+        spilled_segments,
+        spilled_bytes,
+        resident_entries,
+        wire_identical,
+        curve,
+    ) = measure_scroll();
+    let wall = t0.elapsed();
+    let resident_bound = SPILL_THRESHOLD * RING;
+
+    println!(
+        "checkpoint dedup: {cells} cells, per-process baseline {baseline_bytes} B \
+         -> shared store {shared_bytes} B ({dedup_ratio:.2}x)"
+    );
+    println!(
+        "scroll residency: {steps} steps (10x run), resident max {resident_max} B \
+         (bound {resident_bound} B), {spilled_segments} segments / {spilled_bytes} B spilled, \
+         {resident_entries} entries resident, wire identical: {wire_identical}"
+    );
+
+    let curve_json: Vec<String> = curve.iter().map(|(s, b)| format!("[{s}, {b}]")).collect();
+    let bench = format!(
+        "{{\n  \"bench\": \"state\",\n  \"wall_ms\": {},\n  \"cells\": {},\n  \
+         \"baseline_bytes\": {},\n  \"shared_bytes\": {},\n  \"dedup_ratio\": {:.3},\n  \
+         \"min_dedup_ratio\": {:.1},\n  \"scroll_steps\": {},\n  \"spill_threshold\": {},\n  \
+         \"width\": {},\n  \"resident_max\": {},\n  \"resident_bound\": {},\n  \
+         \"resident_entries\": {},\n  \"spilled_segments\": {},\n  \"spilled_bytes\": {},\n  \
+         \"wire_identical\": {},\n  \"resident_curve\": [{}]\n}}\n",
+        wall.as_millis(),
+        cells,
+        baseline_bytes,
+        shared_bytes,
+        dedup_ratio,
+        MIN_DEDUP_RATIO,
+        steps,
+        SPILL_THRESHOLD,
+        RING,
+        resident_max,
+        resident_bound,
+        resident_entries,
+        spilled_segments,
+        spilled_bytes,
+        wire_identical,
+        curve_json.join(", "),
+    );
+    let path = "BENCH_state.json";
+    std::fs::write(path, &bench).expect("write BENCH_state.json");
+    println!("wrote {path}");
+
+    assert!(
+        dedup_ratio >= MIN_DEDUP_RATIO,
+        "cross-process checkpoint dedup {dedup_ratio:.2}x below the required {MIN_DEDUP_RATIO}x"
+    );
+    assert!(
+        resident_max < resident_bound,
+        "scroll resident bytes {resident_max} breached the bound {resident_bound}"
+    );
+    assert!(spilled_segments > 0, "the 10x run must have spilled");
+    assert!(
+        wire_identical,
+        "spilled scroll segments must re-read to identical wire bytes"
+    );
+}

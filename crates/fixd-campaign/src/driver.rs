@@ -96,6 +96,10 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellOutcome {
     let check = (app.check)(&world, case, out.fault.as_ref());
     let net = world.stats();
     let sup = fixd.stats();
+    // Exact per-cell payload accounting: the counters are thread-local
+    // and this cell ran start-to-finish on this thread with no other
+    // world interleaved, so the world's delta is the cell's delta.
+    let pay = world.payload_stats();
     CellOutcome {
         app: app.name.to_string(),
         case: case.name.to_string(),
@@ -114,6 +118,8 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellOutcome {
         scroll_entries: sup.scroll_entries as u64,
         checkpoints: sup.checkpoints as u64,
         checkpoint_bytes: sup.checkpoint_bytes as u64,
+        payload_copied: pay.copied,
+        payload_aliased: pay.aliased,
         fingerprint: world.global_snapshot().fingerprint(),
         metrics: check.metrics,
     }
@@ -146,6 +152,35 @@ mod tests {
             assert_eq!(spec.apps[cell.app].name, out.app);
             assert_eq!(spec.cases[cell.case].name, out.case);
             assert_eq!(cell.seed, out.seed);
+        }
+    }
+
+    #[test]
+    fn cells_report_exact_payload_accounting() {
+        let spec = standard_matrix(&[3]);
+        let report = run_campaign_with_threads(&spec, 4);
+        // Every cell delivers mail, so every cell materialized payloads.
+        for c in &report.cells {
+            if c.delivered > 0 {
+                assert!(
+                    c.payload_copied > 0,
+                    "{}/{} delivered {} msgs but copied 0 payload bytes",
+                    c.app,
+                    c.case,
+                    c.delivered
+                );
+                assert!(
+                    c.payload_aliased > c.payload_copied,
+                    "observation points alias far more than the one send copy"
+                );
+            }
+        }
+        // Thread-local attribution makes the figures placement-invariant:
+        // the same spec on one thread yields identical per-cell numbers.
+        let single = run_campaign_with_threads(&spec, 1);
+        for (a, b) in report.cells.iter().zip(&single.cells) {
+            assert_eq!(a.payload_copied, b.payload_copied, "{}/{}", a.app, a.case);
+            assert_eq!(a.payload_aliased, b.payload_aliased);
         }
     }
 

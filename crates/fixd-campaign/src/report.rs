@@ -43,6 +43,11 @@ pub struct CellOutcome {
     pub checkpoints: u64,
     /// Bytes held in checkpoint pages (after COW sharing).
     pub checkpoint_bytes: u64,
+    /// Payload bytes physically copied while running this cell
+    /// (per-world accounting; see `fixd_runtime::World::payload_stats`).
+    pub payload_copied: u64,
+    /// Payload bytes aliased (shared instead of copied) in this cell.
+    pub payload_aliased: u64,
     /// Fingerprint of the final global state (replay anchor).
     pub fingerprint: u64,
     /// App-specific counters.
@@ -221,6 +226,8 @@ impl CampaignReport {
             s.push_str(&format!("\"scroll_entries\": {}, ", c.scroll_entries));
             s.push_str(&format!("\"checkpoints\": {}, ", c.checkpoints));
             s.push_str(&format!("\"checkpoint_bytes\": {}, ", c.checkpoint_bytes));
+            s.push_str(&format!("\"payload_copied\": {}, ", c.payload_copied));
+            s.push_str(&format!("\"payload_aliased\": {}, ", c.payload_aliased));
             s.push_str(&format!("\"fingerprint\": {}, ", c.fingerprint));
             let metrics: Vec<String> = c
                 .metrics
@@ -297,6 +304,8 @@ mod tests {
             scroll_entries: i * 2,
             checkpoints: i,
             checkpoint_bytes: i * 64,
+            payload_copied: i * 3,
+            payload_aliased: i * 30,
             fingerprint: 0xFEED ^ i,
             metrics: vec![("m".into(), i)],
         }

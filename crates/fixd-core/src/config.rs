@@ -1,7 +1,8 @@
 //! FixD configuration.
 
 use fixd_investigator::{ExploreConfig, NetModel};
-use fixd_timemachine::{CheckpointPolicy, TimeMachineConfig};
+use fixd_scroll::SpillConfig;
+use fixd_timemachine::{CheckpointPolicy, PageStore, TimeMachineConfig};
 
 /// Configuration for a [`crate::Fixd`] supervisor.
 #[derive(Clone, Debug)]
@@ -11,8 +12,15 @@ pub struct FixdConfig {
     pub seed: u64,
     /// Checkpointing discipline of the Time Machine.
     pub policy: CheckpointPolicy,
-    /// Page size for COW checkpoint images.
+    /// Page size for content-addressed checkpoint images.
     pub page_size: usize,
+    /// Intern checkpoint pages into this store instead of a private one.
+    /// Hand one store to many supervisors (e.g. campaign cells) and
+    /// identical pages across their worlds are held once.
+    pub page_store: Option<PageStore>,
+    /// Seal and spill scroll prefixes through this config's disk, so
+    /// arbitrarily long supervised runs keep only scroll tails resident.
+    pub scroll_spill: Option<SpillConfig>,
     /// Environment model the Investigator explores under.
     pub net_model: NetModel,
     /// Investigator limits.
@@ -29,6 +37,8 @@ impl Default for FixdConfig {
             seed: 0xF1BD,
             policy: CheckpointPolicy::EveryReceive,
             page_size: fixd_timemachine::DEFAULT_PAGE_SIZE,
+            page_store: None,
+            scroll_spill: None,
             net_model: NetModel::reliable(),
             explore: ExploreConfig::default(),
             check_every: 1,

@@ -50,16 +50,23 @@ pub struct Fixd {
 }
 
 impl Fixd {
-    /// A supervisor for a world of `n` processes.
+    /// A supervisor for a world of `n` processes. When the config names
+    /// a shared [`fixd_timemachine::PageStore`] the Time Machine interns
+    /// checkpoint pages there; when it names a scroll spill target the
+    /// Scroll seals and spills its prefixes there.
     pub fn new(n: usize, cfg: FixdConfig) -> Self {
+        let record = RecordConfig {
+            record_drops: cfg.record_drops,
+        };
         Self {
-            tm: TimeMachine::new(n, cfg.tm_config()),
-            scroll: ScrollRecorder::new(
-                n,
-                RecordConfig {
-                    record_drops: cfg.record_drops,
-                },
-            ),
+            tm: match &cfg.page_store {
+                Some(store) => TimeMachine::with_store(n, cfg.tm_config(), store.clone()),
+                None => TimeMachine::new(n, cfg.tm_config()),
+            },
+            scroll: match &cfg.scroll_spill {
+                Some(spill) => ScrollRecorder::with_spill(n, record, spill.clone()),
+                None => ScrollRecorder::new(n, record),
+            },
             monitors: Vec::new(),
             healer: Healer::new(),
             steps: 0,
@@ -179,7 +186,7 @@ impl Fixd {
         };
         let explore = self.investigate(outcome.state);
         let scroll_excerpt = match fault.pid {
-            Some(pid) => ScrollQuery::new(self.scroll.store().scroll(pid)).render(),
+            Some(pid) => ScrollQuery::new(&self.scroll.store().scroll(pid)).render(),
             None => String::new(),
         };
         Ok(BugReport::assemble(
@@ -404,6 +411,56 @@ mod tests {
         // All original messages were consumed by v1 before the restart;
         // the restarted v2 has only what arrives afterwards (nothing).
         assert_eq!(w.program::<MaxRegV2>(Pid(1)).unwrap().value, 0);
+    }
+
+    #[test]
+    fn supervised_run_with_spill_and_shared_store_matches_plain_run() {
+        use fixd_runtime::SharedDisk;
+        use fixd_scroll::SpillConfig;
+        use fixd_timemachine::PageStore;
+
+        // Plain supervisor: everything resident, private page store.
+        let mut w1 = World::new(WorldConfig::seeded(7));
+        w1.add_process(Box::new(MaxRegV1 { value: 0 }));
+        w1.add_process(Box::new(MaxRegV1 { value: 0 }));
+        let mut plain = Fixd::new(2, FixdConfig::seeded(7));
+        plain.supervise(&mut w1, 10_000);
+
+        // Storage-backed supervisor: shared page store + scroll spill.
+        let mut w2 = World::new(WorldConfig::seeded(7));
+        w2.add_process(Box::new(MaxRegV1 { value: 0 }));
+        w2.add_process(Box::new(MaxRegV1 { value: 0 }));
+        let pages = PageStore::new();
+        let disk = SharedDisk::new();
+        let mut cfg = FixdConfig::seeded(7);
+        cfg.page_store = Some(pages.clone());
+        cfg.scroll_spill = Some(SpillConfig::new(disk.clone(), 128));
+        let mut backed = Fixd::new(2, cfg);
+        backed.supervise(&mut w2, 10_000);
+
+        // Identical logical scroll, byte for byte, despite spilling.
+        for pid in [Pid(0), Pid(1)] {
+            assert_eq!(
+                backed.scroll().encode_segment(pid),
+                plain.scroll().encode_segment(pid),
+                "spilled scroll must re-read to the identical wire bytes"
+            );
+        }
+        assert!(
+            backed.scroll().spilled_segments() > 0,
+            "the 128-byte threshold must have sealed something"
+        );
+        // Checkpoints were interned into the caller's shared store.
+        assert!(pages.unique_bytes() > 0);
+        assert_eq!(
+            pages.unique_bytes(),
+            backed.time_machine().total_checkpoint_bytes()
+        );
+        // And the two worlds ended in the same state.
+        assert_eq!(
+            w1.global_snapshot().fingerprint(),
+            w2.global_snapshot().fingerprint()
+        );
     }
 
     #[test]

@@ -190,7 +190,7 @@ impl Healer {
         // 4. Migrate and swap, all-or-nothing: validate first.
         let mut staged = Vec::with_capacity(targets.len());
         for &pid in &targets {
-            let old_state = world.checkpoint_process(pid).state;
+            let old_state = world.checkpoint_process(pid).state.into_bytes();
             if !patch.applicable_to(&old_state) {
                 return Err(HealError::PreconditionFailed(pid));
             }

@@ -69,8 +69,12 @@ pub mod world;
 
 pub use clock::{LamportClock, VectorClock};
 pub use disk::{DiskStats, SharedDisk};
+// The content-addressed state store sits below the runtime in the crate
+// DAG; re-export the pieces checkpoint-facing code needs so downstream
+// crates can use `fixd_runtime::{PageStore, SnapshotImage}` directly.
 pub use event::{Effects, Event, EventKind, Message, MsgMeta, Output, TimerId};
 pub use fault::{Fault, FaultPlan};
+pub use fixd_store::{PageStats, PageStore, PagedImage, SnapshotImage, StoreStats};
 pub use harness::SoloHarness;
 pub use network::{DeliveryPolicy, NetStats, NetworkConfig, Partition};
 pub use payload::{Payload, PayloadStats};

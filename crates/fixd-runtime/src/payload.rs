@@ -12,8 +12,8 @@
 //! fault path, which flips a byte through the copy-on-write
 //! [`Payload::to_mut`].
 //!
-//! The module keeps two global (process-wide, relaxed-atomic) counters so
-//! the win is a measured number rather than a claim:
+//! The module keeps two **thread-local** counters so the win is a
+//! measured number rather than a claim:
 //!
 //! * **copied** bytes — bytes physically written into a payload
 //!   allocation (initial materialization and copy-on-write splits);
@@ -21,15 +21,31 @@
 //!   copying, i.e. exactly the bytes the pre-`Payload` code would have
 //!   `memcpy`ed.
 //!
-//! `bench/payload_demo` reads them to emit `BENCH_payload.json`.
+//! Thread-locality is what makes the counters *attributable*: a
+//! deterministic simulation runs one [`crate::World`] per thread at a
+//! time, so a world can snapshot the counters at construction and report
+//! exact per-world (and therefore per-campaign-cell) deltas — see
+//! [`crate::World::payload_stats`]. Campaign cells aggregate those
+//! per-cell figures; `bench/payload_demo` reads them from the campaign
+//! report to emit `BENCH_payload.json`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
-static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
-static BYTES_ALIASED: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static BYTES_COPIED: Cell<u64> = const { Cell::new(0) };
+    static BYTES_ALIASED: Cell<u64> = const { Cell::new(0) };
+}
 
-/// Snapshot of the process-wide payload copy/alias counters.
+fn add_copied(n: u64) {
+    BYTES_COPIED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+fn add_aliased(n: u64) {
+    BYTES_ALIASED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Snapshot of one thread's payload copy/alias counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PayloadStats {
     /// Bytes physically copied into payload allocations (materialization
@@ -50,13 +66,14 @@ impl PayloadStats {
     }
 }
 
-/// Current values of the global payload counters. Counters are
-/// process-wide and monotone; diff two snapshots (see
-/// [`PayloadStats::since`]) to measure a region of interest.
+/// Current values of this thread's payload counters. Counters are
+/// per-thread and monotone; diff two snapshots (see
+/// [`PayloadStats::since`]) to measure a region of interest that runs on
+/// one thread — which every deterministic world does.
 pub fn stats() -> PayloadStats {
     PayloadStats {
-        copied: BYTES_COPIED.load(Ordering::Relaxed),
-        aliased: BYTES_ALIASED.load(Ordering::Relaxed),
+        copied: BYTES_COPIED.with(Cell::get),
+        aliased: BYTES_ALIASED.with(Cell::get),
     }
 }
 
@@ -89,7 +106,7 @@ impl Payload {
 
     /// Copy `bytes` into a fresh shared allocation (counted as copied).
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        BYTES_COPIED.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        add_copied(bytes.len() as u64);
         Payload(Arc::from(bytes))
     }
 
@@ -118,7 +135,7 @@ impl Payload {
     /// in the runtime treats payloads as immutable.
     pub fn to_mut(&mut self) -> &mut [u8] {
         if Arc::get_mut(&mut self.0).is_none() {
-            BYTES_COPIED.fetch_add(self.0.len() as u64, Ordering::Relaxed);
+            add_copied(self.0.len() as u64);
             self.0 = Arc::from(&self.0[..]);
         }
         Arc::get_mut(&mut self.0).expect("payload unique after copy-on-write split")
@@ -126,7 +143,7 @@ impl Payload {
 
     /// Clone the underlying `Arc` (internal helper so `Clone` can count).
     fn share(&self) -> Arc<[u8]> {
-        BYTES_ALIASED.fetch_add(self.0.len() as u64, Ordering::Relaxed);
+        add_aliased(self.0.len() as u64);
         Arc::clone(&self.0)
     }
 }
@@ -161,7 +178,7 @@ impl AsRef<[u8]> for Payload {
 
 impl From<Vec<u8>> for Payload {
     fn from(v: Vec<u8>) -> Self {
-        BYTES_COPIED.fetch_add(v.len() as u64, Ordering::Relaxed);
+        add_copied(v.len() as u64);
         Payload(Arc::from(v))
     }
 }

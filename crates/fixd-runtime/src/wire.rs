@@ -99,14 +99,12 @@ pub fn get_u64s(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
 }
 
 /// A stable 64-bit FNV-1a hash, used for state fingerprints throughout the
-/// workspace (deterministic across runs and platforms, unlike `DefaultHasher`).
+/// workspace (deterministic across runs and platforms, unlike
+/// `DefaultHasher`). One definition for the whole workspace: the
+/// content-addressed page store keys pages with the same function, so
+/// this delegates to [`fixd_store::fnv1a`].
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fixd_store::fnv1a(bytes)
 }
 
 /// Combine two fingerprints order-dependently.

@@ -74,14 +74,18 @@ impl WorldConfig {
 
 /// Everything needed to roll one process back: program state plus the
 /// runtime context that must travel with it (clocks, RNG position,
-/// delivery counters). Produced by [`World::checkpoint_process`], consumed
-/// by [`World::restore_checkpoint`]. The Time Machine stores these
-/// (de-duplicated into copy-on-write pages).
+/// delivery counters). Produced by [`World::checkpoint_process`] (inline
+/// state bytes) or [`World::checkpoint_process_in`] (state paged
+/// straight into a content-addressed [`PageStore`], so equal pages are
+/// stored once across processes, checkpoint generations, and
+/// speculation branches); consumed by [`World::restore_checkpoint`].
+///
+/// [`PageStore`]: fixd_store::PageStore
 #[derive(Clone, Debug)]
 pub struct ProcCheckpoint {
     pub pid: Pid,
-    /// Opaque program snapshot ([`Program::snapshot`]).
-    pub state: Vec<u8>,
+    /// Opaque program snapshot ([`Program::snapshot`]), inline or paged.
+    pub state: fixd_store::SnapshotImage,
     pub vc: VectorClock,
     pub lamport: u64,
     pub rng: DetRng,
@@ -96,8 +100,10 @@ pub struct ProcCheckpoint {
 
 impl ProcCheckpoint {
     /// Stable fingerprint of the checkpointed state (program bytes + vc).
+    /// Streams over pages for paged snapshots — identical to the value
+    /// the inline form produces for the same bytes.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = wire::fnv1a(&self.state);
+        let mut h = self.state.content_fnv1a();
         for &c in self.vc.components() {
             h = wire::fnv_mix(h, c);
         }
@@ -203,6 +209,9 @@ pub struct World {
     trace: Trace,
     stats: NetStats,
     sealed: bool,
+    /// Thread-local payload counter values at construction — the
+    /// baseline [`World::payload_stats`] diffs against.
+    payload_base: crate::payload::PayloadStats,
 }
 
 impl Clone for World {
@@ -222,6 +231,7 @@ impl Clone for World {
             trace: self.trace.clone(),
             stats: self.stats,
             sealed: self.sealed,
+            payload_base: self.payload_base,
         }
     }
 }
@@ -249,6 +259,7 @@ impl World {
             trace,
             stats: NetStats::default(),
             sealed: false,
+            payload_base: crate::payload::stats(),
         }
     }
 
@@ -618,6 +629,23 @@ impl World {
         self.stats
     }
 
+    /// Payload bytes copied/aliased on behalf of this world since its
+    /// construction. The counters are thread-local, so the figure is
+    /// exact whenever the world's events all run on one thread with no
+    /// other world interleaved — which is how the deterministic
+    /// simulator and the campaign driver (one cell at a time per worker
+    /// thread) operate. Campaign cells report this per cell.
+    pub fn payload_stats(&self) -> crate::payload::PayloadStats {
+        crate::payload::stats().since(self.payload_base)
+    }
+
+    /// Rebase the payload accounting to "now" (e.g. after transferring a
+    /// world to another thread, where the thread-local baseline captured
+    /// at construction does not apply).
+    pub fn reset_payload_base(&mut self) {
+        self.payload_base = crate::payload::stats();
+    }
+
     /// The runtime's own complete trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -656,12 +684,34 @@ impl World {
         f(self.procs[pid.idx()].program.as_ref())
     }
 
-    /// Take a full per-process checkpoint (state + runtime context).
+    /// Take a full per-process checkpoint (state + runtime context) with
+    /// the state bytes held inline.
     pub fn checkpoint_process(&self, pid: Pid) -> ProcCheckpoint {
+        self.checkpoint_with(pid, |p| fixd_store::SnapshotImage::inline(p.snapshot()))
+    }
+
+    /// Take a full per-process checkpoint whose state pages straight
+    /// into `store`: unchanged pages — relative to *anything* already
+    /// interned, not just this process's previous checkpoint — cost a
+    /// refcount, not an allocation. This is the Time Machine's path.
+    pub fn checkpoint_process_in(
+        &self,
+        pid: Pid,
+        store: &fixd_store::PageStore,
+        page_size: usize,
+    ) -> ProcCheckpoint {
+        self.checkpoint_with(pid, |p| p.snapshot_into(store, page_size))
+    }
+
+    fn checkpoint_with(
+        &self,
+        pid: Pid,
+        snap: impl FnOnce(&dyn Program) -> fixd_store::SnapshotImage,
+    ) -> ProcCheckpoint {
         let e = &self.procs[pid.idx()];
         ProcCheckpoint {
             pid,
-            state: e.program.snapshot(),
+            state: snap(e.program.as_ref()),
             vc: e.vc.clone(),
             lamport: e.lamport,
             rng: e.rng.clone(),
@@ -679,7 +729,7 @@ impl World {
     /// rolling back communication partners.
     pub fn restore_checkpoint(&mut self, ckpt: &ProcCheckpoint) {
         let e = &mut self.procs[ckpt.pid.idx()];
-        e.program.restore(&ckpt.state);
+        e.program.restore(&ckpt.state.as_bytes());
         e.vc = ckpt.vc.clone();
         e.lamport = ckpt.lamport;
         e.rng = ckpt.rng.clone();

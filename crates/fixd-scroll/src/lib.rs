@@ -45,4 +45,4 @@ pub use query::ScrollQuery;
 pub use record::{RecordConfig, ScrollRecorder};
 pub use replay::{replay_process, Fidelity, ReplayOutcome};
 pub use stats::ScrollStats;
-pub use storage::ScrollStore;
+pub use storage::{ScrollStore, SpillConfig, StorageError};

@@ -25,7 +25,7 @@ pub struct CausalViolation {
 /// causality: sorted by `(lamport, pid, local_seq)`.
 pub fn merge_total_order(store: &ScrollStore) -> Vec<ScrollEntry> {
     let mut all: Vec<ScrollEntry> = (0..store.width())
-        .flat_map(|i| store.scroll(fixd_runtime::Pid(i as u32)).iter().cloned())
+        .flat_map(|i| store.scroll(fixd_runtime::Pid(i as u32)).into_owned())
         .collect();
     all.sort_by_key(|a| (a.lamport, a.pid, a.local_seq));
     all

@@ -65,6 +65,17 @@ impl ScrollRecorder {
         }
     }
 
+    /// A recorder whose store seals and spills scroll prefixes to a
+    /// [`crate::SpillConfig`]'s disk — supervised runs of any length
+    /// keep only each scroll's tail resident.
+    pub fn with_spill(n: usize, cfg: RecordConfig, spill: crate::storage::SpillConfig) -> Self {
+        Self {
+            store: ScrollStore::with_spill(n, spill),
+            cfg,
+            next_seq: vec![0; n],
+        }
+    }
+
     /// Record whatever in this step was nondeterministic. Call with the
     /// world *after* the step executed (the recorder reads post-event
     /// clocks).
@@ -226,8 +237,8 @@ mod tests {
     fn randoms_are_recorded() {
         let mut w = chatter_world(1);
         let (store, _) = record_run(&mut w, RecordConfig::default(), 1_000);
-        let deliver_entries: Vec<_> = store
-            .scroll(Pid(0))
+        let p0 = store.scroll(Pid(0));
+        let deliver_entries: Vec<_> = p0
             .iter()
             .filter(|e| matches!(e.kind, EntryKind::Deliver { .. }))
             .collect();
@@ -273,7 +284,8 @@ mod tests {
         while let Some(step) = w.step() {
             rec.observe(&w, &step);
             if let fixd_runtime::EventKind::Deliver { msg } = &step.event.kind {
-                let e = rec.store().scroll(msg.dst).last().unwrap();
+                let scroll = rec.store().scroll(msg.dst);
+                let e = scroll.last().unwrap();
                 let recorded = e.kind.payload().expect("deliver entry has a payload");
                 assert!(
                     recorded.ptr_eq(&msg.payload),
@@ -296,10 +308,10 @@ mod tests {
         w.add_process(Box::new(Chatter { count: 0 }));
         let (store, report) = record_run(&mut w, RecordConfig::default(), 1_000);
         assert!(report.delivered >= 2, "dup network doubles deliveries");
-        let summed: usize = store
-            .scroll(Pid(0))
+        let (p0, p1) = (store.scroll(Pid(0)), store.scroll(Pid(1)));
+        let summed: usize = p0
             .iter()
-            .chain(store.scroll(Pid(1)))
+            .chain(p1.iter())
             .filter_map(|e| e.kind.payload())
             .map(|p| p.len())
             .sum();

@@ -164,7 +164,7 @@ mod tests {
         w.add_process(Box::new(Acc { sum: 0, noise: 0 }));
         w.add_process(Box::new(Acc { sum: 0, noise: 0 }));
         let (store, _) = record_run(&mut w, RecordConfig::default(), 1_000);
-        let final_state = w.checkpoint_process(Pid(1)).state;
+        let final_state = w.checkpoint_process(Pid(1)).state.to_bytes();
         (store, final_state)
     }
 
@@ -172,7 +172,7 @@ mod tests {
     fn replay_reproduces_final_state_exactly() {
         let (store, want) = record(42);
         let mut fresh = Acc { sum: 0, noise: 0 };
-        let out = replay_process(Pid(1), 2, 42, &mut fresh, store.scroll(Pid(1)));
+        let out = replay_process(Pid(1), 2, 42, &mut fresh, &store.scroll(Pid(1)));
         assert_eq!(out.fidelity, Fidelity::Exact);
         assert_eq!(out.final_state, want);
         assert_eq!(out.steps, 4); // start + 3 deliveries
@@ -212,7 +212,7 @@ mod tests {
             }
         }
         let mut changed = Acc2(Acc { sum: 0, noise: 0 });
-        let out = replay_process(Pid(1), 2, 42, &mut changed, store.scroll(Pid(1)));
+        let out = replay_process(Pid(1), 2, 42, &mut changed, &store.scroll(Pid(1)));
         match out.fidelity {
             Fidelity::Divergent { at_local_seq, .. } => {
                 assert_eq!(at_local_seq, 1, "first delivery diverges (start matches)");
@@ -225,7 +225,7 @@ mod tests {
     fn wrong_seed_diverges_via_rng() {
         let (store, want) = record(42);
         let mut fresh = Acc { sum: 0, noise: 0 };
-        let out = replay_process(Pid(1), 2, 43, &mut fresh, store.scroll(Pid(1)));
+        let out = replay_process(Pid(1), 2, 43, &mut fresh, &store.scroll(Pid(1)));
         // Different RNG stream => different noise => different state,
         // and effect fingerprints (recorded draws) differ.
         assert_ne!(out.fidelity, Fidelity::Exact);
@@ -241,7 +241,7 @@ mod tests {
             2,
             7,
             &mut fresh,
-            store.scroll(Pid(1)),
+            &store.scroll(Pid(1)),
             ReplayConfig {
                 capture_states: true,
                 stop_on_divergence: false,
@@ -266,7 +266,7 @@ mod tests {
             2,
             999, // wrong seed: diverges immediately on rng draw
             &mut fresh,
-            store.scroll(Pid(1)),
+            &store.scroll(Pid(1)),
             ReplayConfig {
                 capture_states: false,
                 stop_on_divergence: true,

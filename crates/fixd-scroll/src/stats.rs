@@ -37,7 +37,7 @@ impl ScrollStats {
         };
         for i in 0..store.width() {
             let pid = Pid(i as u32);
-            for e in store.scroll(pid) {
+            for e in store.scroll(pid).iter() {
                 s.total_entries += 1;
                 s.per_process[i] += 1;
                 s.random_draws += e.randoms.len();

@@ -224,7 +224,7 @@ proptest! {
         for i in 0..n {
             let pid = Pid(i as u32);
             let mut fresh = Pong { n: hops, x: 0 };
-            let out = replay_process(pid, n, seed, &mut fresh, store.scroll(pid));
+            let out = replay_process(pid, n, seed, &mut fresh, &store.scroll(pid));
             prop_assert_eq!(&out.fidelity, &Fidelity::Exact, "P{} diverged", i);
             prop_assert_eq!(out.final_state, w.checkpoint_process(pid).state);
         }

@@ -1,12 +1,17 @@
-//! Per-process checkpoint stores with copy-on-write state images.
+//! Per-process checkpoint stores over the shared content-addressed
+//! page store.
 
-use fixd_runtime::{DetRng, MsgMeta, Pid, ProcCheckpoint, VTime, VectorClock, World};
+use fixd_runtime::{
+    DetRng, MsgMeta, Pid, ProcCheckpoint, SnapshotImage, VTime, VectorClock, World,
+};
 
-use crate::page::{PageStats, PagedImage};
+use crate::page::{PageStats, PageStore, PagedImage};
 
 /// A Time-Machine checkpoint: the runtime context of
 /// [`fixd_runtime::ProcCheckpoint`] with the state bytes held as a
-/// [`PagedImage`] so consecutive checkpoints share unchanged pages.
+/// [`PagedImage`] whose pages are interned in the Time Machine's shared
+/// [`PageStore`] — so equal pages dedup across checkpoint generations,
+/// across processes, and across speculation branches.
 #[derive(Clone, Debug)]
 pub struct TmCheckpoint {
     pub pid: Pid,
@@ -30,10 +35,12 @@ pub struct TmCheckpoint {
 
 impl TmCheckpoint {
     /// Convert back to a runtime checkpoint for [`World::restore_checkpoint`].
+    /// The state travels as a paged snapshot (refcount bumps, no copy);
+    /// the restore path materializes bytes exactly once.
     pub fn to_proc_checkpoint(&self) -> ProcCheckpoint {
         ProcCheckpoint {
             pid: self.pid,
-            state: self.image.to_bytes(),
+            state: SnapshotImage::Paged(self.image.clone()),
             vc: self.vc.clone(),
             lamport: self.lamport,
             rng: self.rng.clone(),
@@ -46,38 +53,55 @@ impl TmCheckpoint {
     }
 }
 
-/// The checkpoint history of one process.
+/// The checkpoint history of one process. All page data lives in the
+/// [`PageStore`] handed in at construction; `CheckpointStore`s of
+/// different processes (and of different worlds, when the caller shares
+/// one store) deduplicate equal pages against each other.
 #[derive(Clone, Debug)]
 pub struct CheckpointStore {
     pid: Pid,
     checkpoints: Vec<TmCheckpoint>,
     page_size: usize,
+    pages: PageStore,
 }
 
 impl CheckpointStore {
-    /// An empty store for `pid`.
+    /// An empty store for `pid` backed by a private page store. Prefer
+    /// [`CheckpointStore::with_store`] so processes share pages.
     pub fn new(pid: Pid, page_size: usize) -> Self {
+        Self::with_store(pid, page_size, PageStore::new())
+    }
+
+    /// An empty store for `pid` interning pages into `pages`.
+    pub fn with_store(pid: Pid, page_size: usize, pages: PageStore) -> Self {
         Self {
             pid,
             checkpoints: Vec::new(),
             page_size,
+            pages,
         }
     }
 
-    /// Take a checkpoint of `pid`'s current state in `world`, sharing
-    /// pages with the previous checkpoint. Returns the new index.
+    /// The backing page store handle.
+    pub fn page_store(&self) -> &PageStore {
+        &self.pages
+    }
+
+    /// Take a checkpoint of `pid`'s current state in `world`, interning
+    /// pages into the shared store (any page already present — from this
+    /// history, another process, or another branch — is reused without a
+    /// copy). Returns the new index.
     pub fn take(&mut self, world: &World, events_at: u64) -> u64 {
-        let pc = world.checkpoint_process(self.pid);
-        let (image, stats) = match self.checkpoints.last() {
-            Some(prev) => prev.image.update_from(&pc.state),
-            None => (
-                PagedImage::from_bytes_with(&pc.state, self.page_size),
-                PageStats {
-                    reused: 0,
-                    fresh: pc.state.len().div_ceil(self.page_size),
-                },
-            ),
+        let pc = world.checkpoint_process_in(self.pid, &self.pages, self.page_size);
+        let image = match pc.state {
+            SnapshotImage::Paged(img) => img,
+            // Unreachable with checkpoint_process_in, but harmless: page
+            // inline bytes now.
+            SnapshotImage::Inline(bytes) => {
+                PagedImage::from_bytes_with(&self.pages, &bytes, self.page_size)
+            }
         };
+        let stats = image.build_stats();
         let index = self.checkpoints.len() as u64;
         self.checkpoints.push(TmCheckpoint {
             pid: self.pid,
@@ -153,7 +177,10 @@ impl CheckpointStore {
         let mut dropped = 0;
         for ck in &mut self.checkpoints[..drop_n] {
             if !ck.image.is_empty() || ck.next_msg_id != u64::MAX {
-                ck.image = PagedImage::from_bytes(&[]);
+                // Dropping the image releases its page refcounts; pages
+                // no longer referenced anywhere are freed by the store
+                // (and counted in `StoreStats::freed_bytes`).
+                ck.image = PagedImage::empty();
                 ck.next_msg_id = u64::MAX; // tombstone marker
                 dropped += 1;
             }
@@ -166,9 +193,16 @@ impl CheckpointStore {
         self.get(index).is_some_and(|c| c.next_msg_id != u64::MAX)
     }
 
-    /// Distinct bytes held by the whole history (COW-aware).
+    /// Distinct bytes held by the whole history (content-dedup-aware,
+    /// within this process only — the per-process baseline figure).
     pub fn unique_bytes(&self) -> usize {
         PagedImage::unique_bytes(self.checkpoints.iter().map(|c| &c.image))
+    }
+
+    /// The images of the retained checkpoints (for cross-store dedup
+    /// accounting).
+    pub fn images(&self) -> impl Iterator<Item = &PagedImage> {
+        self.checkpoints.iter().map(|c| &c.image)
     }
 
     /// Sum of page-sharing stats across the history.
@@ -308,12 +342,31 @@ mod tests {
     }
 
     #[test]
-    fn first_checkpoint_all_fresh() {
+    fn first_checkpoint_interns_constant_pages_once() {
+        // The 4 KiB zero buffer is 16 identical pages: content
+        // addressing stores one and reuses it 15 times even on the very
+        // first checkpoint.
         let w = world();
         let mut store = CheckpointStore::new(Pid(0), 256);
         store.take(&w, 0);
         let c = store.latest().unwrap();
-        assert_eq!(c.stats.reused, 0);
-        assert!(c.stats.fresh > 0);
+        assert!(c.stats.fresh >= 1, "first distinct page is fresh");
+        assert!(c.stats.reused >= 15, "constant region collapses");
+        assert!(store.unique_bytes() < 4096 + 8);
+    }
+
+    #[test]
+    fn two_processes_share_one_store() {
+        // Identical initial states across pids: the shared store holds
+        // one set of pages, the per-process sum counts them twice.
+        let w = world();
+        let pages = PageStore::new();
+        let mut s0 = CheckpointStore::with_store(Pid(0), 256, pages.clone());
+        let mut s1 = CheckpointStore::with_store(Pid(1), 256, pages.clone());
+        s0.take(&w, 0);
+        s1.take(&w, 0);
+        let per_process = s0.unique_bytes() + s1.unique_bytes();
+        assert_eq!(pages.unique_bytes() * 2, per_process);
+        assert!(pages.unique_bytes() < per_process);
     }
 }

@@ -71,6 +71,11 @@ pub(crate) struct DeliveryRecord {
 #[derive(Clone, Debug)]
 pub struct TimeMachine {
     pub(crate) cfg: TimeMachineConfig,
+    /// The shared content-addressed page store every per-process
+    /// [`CheckpointStore`] interns into. Cloning the Time Machine (a
+    /// speculation branch) shares it, so branches pay page refcounts,
+    /// not page copies, until they diverge.
+    pub(crate) page_store: crate::page::PageStore,
     pub(crate) stores: Vec<CheckpointStore>,
     pub(crate) deps: DependencyGraph,
     pub(crate) intervals: Vec<u64>,
@@ -83,13 +88,22 @@ pub struct TimeMachine {
 }
 
 impl TimeMachine {
-    /// A Time Machine for a world of `n` processes.
+    /// A Time Machine for a world of `n` processes, with its own page
+    /// store shared across the world's processes.
     pub fn new(n: usize, cfg: TimeMachineConfig) -> Self {
+        Self::with_store(n, cfg, crate::page::PageStore::new())
+    }
+
+    /// A Time Machine interning checkpoint pages into an externally
+    /// provided store — pass one store to many Time Machines (campaign
+    /// cells, OS processes) to deduplicate identical state across them.
+    pub fn with_store(n: usize, cfg: TimeMachineConfig, pages: crate::page::PageStore) -> Self {
         Self {
             cfg,
             stores: (0..n)
-                .map(|i| CheckpointStore::new(Pid(i as u32), cfg.page_size))
+                .map(|i| CheckpointStore::with_store(Pid(i as u32), cfg.page_size, pages.clone()))
                 .collect(),
+            page_store: pages,
             deps: DependencyGraph::new(),
             intervals: vec![0; n],
             events_handled: vec![0; n],
@@ -329,6 +343,11 @@ impl TimeMachine {
         &self.stores[pid.idx()]
     }
 
+    /// Number of processes this Time Machine supervises.
+    pub fn width(&self) -> usize {
+        self.stores.len()
+    }
+
     /// The dependency graph accumulated so far.
     pub fn dependencies(&self) -> &DependencyGraph {
         &self.deps
@@ -344,9 +363,16 @@ impl TimeMachine {
         self.events_handled[pid.idx()]
     }
 
-    /// Total distinct checkpoint bytes held (COW-aware), across processes.
+    /// Total distinct checkpoint bytes held across **all** processes of
+    /// this Time Machine: each content-addressed page counted once even
+    /// when referenced from several processes' histories.
     pub fn total_checkpoint_bytes(&self) -> usize {
-        self.stores.iter().map(CheckpointStore::unique_bytes).sum()
+        crate::page::PagedImage::unique_bytes(self.stores.iter().flat_map(CheckpointStore::images))
+    }
+
+    /// The shared page store backing this Time Machine's checkpoints.
+    pub fn page_store(&self) -> &crate::page::PageStore {
+        &self.page_store
     }
 
     /// Total checkpoints retained across processes.

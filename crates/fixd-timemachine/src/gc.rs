@@ -18,8 +18,13 @@ pub struct GcReport {
     pub checkpoints_dropped: usize,
     pub log_entries_dropped: usize,
     pub dep_edges_dropped: usize,
-    /// Checkpoint bytes held after the pass (COW-aware).
+    /// Checkpoint bytes held after the pass (content-dedup-aware).
     pub bytes_after: usize,
+    /// Page bytes the shared store **actually freed** during this pass —
+    /// only pages whose refcount dropped to zero count. A page still
+    /// referenced by any live checkpoint, another process's history, or
+    /// a speculation branch is not freed and not reported.
+    pub page_bytes_freed: u64,
 }
 
 impl TimeMachine {
@@ -27,6 +32,7 @@ impl TimeMachine {
     /// (`stable[p]` = lowest checkpoint index of `p` that must stay
     /// restorable; [`NO_ROLLBACK`] = collect everything but the latest).
     pub fn gc(&mut self, stable: &[u64]) -> GcReport {
+        let freed_before = self.page_store.stats().freed_bytes;
         let mut report = GcReport::default();
         for (i, store) in self.stores.iter_mut().enumerate() {
             let keep_from = match stable.get(i).copied() {
@@ -56,6 +62,7 @@ impl TimeMachine {
         });
         report.dep_edges_dropped = before_edges - self.deps.len();
         report.bytes_after = self.total_checkpoint_bytes();
+        report.page_bytes_freed = self.page_store.stats().freed_bytes - freed_before;
         report
     }
 }
@@ -161,6 +168,115 @@ mod tests {
                     | crate::recovery::RollbackError::NoSuchCheckpoint { .. }
             ));
         }
+    }
+
+    /// Pump variant whose state actually mutates, so GC'd checkpoints
+    /// hold pages nothing else references.
+    struct MutPump {
+        buf: Vec<u8>,
+        n: u64,
+    }
+    impl Program for MutPump {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.pid() == Pid(0) {
+                ctx.send(Pid(1), 1, vec![20]);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context, msg: &fixd_runtime::Message) {
+            self.n += 1;
+            let i = (self.n as usize * 131) % self.buf.len();
+            self.buf[i] = self.buf[i].wrapping_add(1);
+            if msg.payload[0] > 0 {
+                let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+                ctx.send(next, 1, vec![msg.payload[0] - 1]);
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            let mut b = self.n.to_le_bytes().to_vec();
+            b.extend_from_slice(&self.buf);
+            b
+        }
+        fn restore(&mut self, b: &[u8]) {
+            self.n = u64::from_le_bytes(b[0..8].try_into().unwrap());
+            self.buf = b[8..].to_vec();
+        }
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(MutPump {
+                buf: self.buf.clone(),
+                n: self.n,
+            })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn gc_reports_bytes_actually_freed() {
+        let mut w = World::new(WorldConfig::seeded(31));
+        for _ in 0..2 {
+            w.add_process(Box::new(MutPump {
+                buf: vec![0; 1024],
+                n: 0,
+            }));
+        }
+        let mut tm = TimeMachine::new(
+            2,
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                page_size: 64,
+            },
+        );
+        tm.run(&mut w, 10_000);
+        let before = tm.total_checkpoint_bytes();
+        let report = tm.gc(&[NO_ROLLBACK, NO_ROLLBACK]);
+        assert!(report.checkpoints_dropped > 0);
+        assert!(
+            report.page_bytes_freed > 0,
+            "mutated pages of dropped checkpoints must be returned"
+        );
+        assert!(report.bytes_after < before);
+        // Store accounting agrees with the live-image view: no leaks,
+        // nothing freed that a live checkpoint still references.
+        assert_eq!(tm.page_store().unique_bytes(), tm.total_checkpoint_bytes());
+    }
+
+    #[test]
+    fn gc_keeps_pages_shared_with_surviving_branch() {
+        // A cloned Time Machine (speculation branch) keeps its own
+        // handles on every page; collecting the trunk's history must not
+        // free pages the branch still references.
+        let mut w = World::new(WorldConfig::seeded(31));
+        for _ in 0..2 {
+            w.add_process(Box::new(MutPump {
+                buf: vec![0; 1024],
+                n: 0,
+            }));
+        }
+        let mut tm = TimeMachine::new(
+            2,
+            TimeMachineConfig {
+                policy: CheckpointPolicy::EveryReceive,
+                page_size: 64,
+            },
+        );
+        tm.run(&mut w, 10_000);
+        let branch = tm.clone();
+        let held_by_branch = branch.total_checkpoint_bytes();
+        let report = tm.gc(&[NO_ROLLBACK, NO_ROLLBACK]);
+        assert!(report.checkpoints_dropped > 0);
+        assert_eq!(
+            report.page_bytes_freed, 0,
+            "every trunk page is still referenced by the branch"
+        );
+        assert_eq!(branch.total_checkpoint_bytes(), held_by_branch);
+        // Dropping the branch releases the now-unreferenced history.
+        let live_after = tm.total_checkpoint_bytes();
+        drop(branch);
+        assert_eq!(tm.page_store().unique_bytes(), live_after);
     }
 
     #[test]

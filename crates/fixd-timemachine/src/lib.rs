@@ -43,7 +43,9 @@ pub use checkpoint::{CheckpointStore, TmCheckpoint};
 pub use cic::{CheckpointPolicy, TimeMachine, TimeMachineConfig};
 pub use dependency::{DepEdge, DependencyGraph};
 pub use gc::GcReport;
-pub use page::{PageStats, PagedImage, DEFAULT_PAGE_SIZE};
+pub use page::{PageStats, PageStore, PagedImage, StoreStats, DEFAULT_PAGE_SIZE};
 pub use recovery::{RecoveryLine, RollbackReport, NO_ROLLBACK};
-pub use snapshot::{coordinated_snapshot, restore_global, GlobalCheckpoint};
+pub use snapshot::{
+    coordinated_snapshot, coordinated_snapshot_in, restore_global, GlobalCheckpoint,
+};
 pub use speculation::{AbortReport, SpecStatus, Speculation};

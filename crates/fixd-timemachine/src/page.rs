@@ -1,147 +1,23 @@
-//! Copy-on-write paged state images.
+//! Content-addressed paged state images.
 //!
 //! A process state snapshot (an opaque byte image) is chunked into
-//! fixed-size pages held behind `Arc`. Building checkpoint *k+1* from
-//! checkpoint *k* reuses the `Arc` of every page whose content is
-//! unchanged, so the marginal cost of a checkpoint is proportional to the
-//! *mutated* portion of the state — the user-level analogue of the
-//! kernel-level copy-on-write "shadow process" mechanism of Flashback and
-//! of the speculation checkpoints of \[6\]. Experiment **F2** measures
-//! this against eager full copies.
+//! fixed-size pages interned in a shared [`PageStore`] keyed by a 64-bit
+//! content hash. Building checkpoint *k+1* from checkpoint *k* reuses
+//! every page whose content is unchanged — the user-level analogue of
+//! the kernel-level copy-on-write "shadow process" mechanism of
+//! Flashback and of the speculation checkpoints of \[6\], which
+//! experiment **F2** measures against eager full copies. Content
+//! addressing strengthens that beyond classic COW: identical pages
+//! deduplicate **across processes, across speculation branches, and
+//! across checkpoint generations**, not just between consecutive
+//! snapshots of one pid.
+//!
+//! The implementation lives in the bottom-layer `fixd-store` crate (the
+//! same store backs `Program::snapshot` images and spilled scroll
+//! segments); this module re-exports it under the Time Machine's
+//! historical names and keeps the Time-Machine-facing laws tested here.
 
-use std::sync::Arc;
-
-/// Default page size in bytes. Small enough that localized mutations
-/// dirty few pages, large enough that page overhead stays negligible.
-pub const DEFAULT_PAGE_SIZE: usize = 256;
-
-/// Sharing statistics from building one image relative to a base.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PageStats {
-    /// Pages reused from the base image (no copy).
-    pub reused: usize,
-    /// Pages freshly allocated (content changed or grew).
-    pub fresh: usize,
-}
-
-impl PageStats {
-    /// Fraction of pages that were shared (0 when empty).
-    pub fn share_ratio(&self) -> f64 {
-        let total = self.reused + self.fresh;
-        if total == 0 {
-            0.0
-        } else {
-            self.reused as f64 / total as f64
-        }
-    }
-}
-
-/// An immutable, paged byte image with structural sharing.
-#[derive(Clone, Debug)]
-pub struct PagedImage {
-    pages: Vec<Arc<Vec<u8>>>,
-    len: usize,
-    page_size: usize,
-}
-
-impl PagedImage {
-    /// Page a byte image with the default page size.
-    pub fn from_bytes(bytes: &[u8]) -> Self {
-        Self::from_bytes_with(bytes, DEFAULT_PAGE_SIZE)
-    }
-
-    /// Page a byte image with an explicit page size.
-    pub fn from_bytes_with(bytes: &[u8], page_size: usize) -> Self {
-        assert!(page_size > 0, "page size must be positive");
-        let pages = bytes
-            .chunks(page_size)
-            .map(|c| Arc::new(c.to_vec()))
-            .collect();
-        Self {
-            pages,
-            len: bytes.len(),
-            page_size,
-        }
-    }
-
-    /// Build a new image from `bytes`, sharing unchanged pages with
-    /// `self`. Returns the image and sharing statistics.
-    pub fn update_from(&self, bytes: &[u8]) -> (PagedImage, PageStats) {
-        let mut stats = PageStats::default();
-        let mut pages = Vec::with_capacity(bytes.len().div_ceil(self.page_size));
-        for (i, chunk) in bytes.chunks(self.page_size).enumerate() {
-            match self.pages.get(i) {
-                Some(p) if p.as_slice() == chunk => {
-                    pages.push(Arc::clone(p));
-                    stats.reused += 1;
-                }
-                _ => {
-                    pages.push(Arc::new(chunk.to_vec()));
-                    stats.fresh += 1;
-                }
-            }
-        }
-        (
-            PagedImage {
-                pages,
-                len: bytes.len(),
-                page_size: self.page_size,
-            },
-            stats,
-        )
-    }
-
-    /// Reassemble the full byte image.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.len);
-        for p in &self.pages {
-            out.extend_from_slice(p);
-        }
-        debug_assert_eq!(out.len(), self.len);
-        out
-    }
-
-    /// Image length in bytes.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True for a zero-length image.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Number of pages.
-    pub fn page_count(&self) -> usize {
-        self.pages.len()
-    }
-
-    /// Configured page size.
-    pub fn page_size(&self) -> usize {
-        self.page_size
-    }
-
-    /// Raw pointers of the pages (identity-based memory accounting).
-    pub fn page_ptrs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.pages.iter().map(|p| Arc::as_ptr(p) as usize)
-    }
-
-    /// Bytes held by pages, counting each distinct page once across all
-    /// the given images — the real memory footprint of a checkpoint
-    /// history under COW sharing.
-    pub fn unique_bytes<'a>(images: impl Iterator<Item = &'a PagedImage>) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut total = 0usize;
-        for img in images {
-            for p in &img.pages {
-                if seen.insert(Arc::as_ptr(p) as usize) {
-                    total += p.len();
-                }
-            }
-        }
-        total
-    }
-}
+pub use fixd_store::{PageHandle, PageStats, PageStore, PagedImage, StoreStats, DEFAULT_PAGE_SIZE};
 
 #[cfg(test)]
 mod tests {
@@ -149,76 +25,80 @@ mod tests {
 
     #[test]
     fn roundtrip_identity() {
+        let store = PageStore::new();
         for len in [0usize, 1, 255, 256, 257, 1000, 4096] {
             let bytes: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-            let img = PagedImage::from_bytes(&bytes);
+            let img = PagedImage::from_bytes(&store, &bytes);
             assert_eq!(img.to_bytes(), bytes);
             assert_eq!(img.len(), len);
         }
     }
 
     #[test]
-    fn unchanged_update_shares_everything() {
-        let bytes = vec![7u8; 1024];
-        let a = PagedImage::from_bytes(&bytes);
-        let (b, stats) = a.update_from(&bytes);
-        assert_eq!(stats.fresh, 0);
-        assert_eq!(stats.reused, 4);
-        assert_eq!(stats.share_ratio(), 1.0);
+    fn unchanged_rebuild_shares_everything() {
+        let store = PageStore::new();
+        let bytes: Vec<u8> = (0..256u32).flat_map(|i| i.to_le_bytes()).collect();
+        let a = PagedImage::from_bytes(&store, &bytes);
+        let b = PagedImage::from_bytes(&store, &bytes);
+        assert_eq!(b.build_stats().fresh, 0);
+        assert_eq!(b.build_stats().reused, 4);
+        assert_eq!(b.build_stats().share_ratio(), 1.0);
         assert_eq!(b.to_bytes(), bytes);
+        assert_eq!(
+            PagedImage::unique_bytes([&a, &b].into_iter()),
+            bytes.len(),
+            "rebuilding an identical image allocates nothing"
+        );
     }
 
     #[test]
     fn localized_mutation_dirties_one_page() {
-        let bytes = vec![0u8; 1024];
-        let a = PagedImage::from_bytes(&bytes);
+        let store = PageStore::new();
+        let bytes: Vec<u8> = (0..256u32).flat_map(|i| i.to_le_bytes()).collect();
+        let a = PagedImage::from_bytes(&store, &bytes);
         let mut mutated = bytes.clone();
-        mutated[300] = 1; // inside page 1
-        let (b, stats) = a.update_from(&mutated);
-        assert_eq!(stats.fresh, 1);
-        assert_eq!(stats.reused, 3);
+        mutated[300] ^= 1; // inside page 1
+        let b = PagedImage::from_bytes(&store, &mutated);
+        assert_eq!(b.build_stats().fresh, 1);
+        assert_eq!(b.build_stats().reused, 3);
         assert_eq!(b.to_bytes(), mutated);
-    }
-
-    #[test]
-    fn growth_allocates_tail_pages() {
-        let a = PagedImage::from_bytes(&vec![1u8; 256]);
-        let (b, stats) = a.update_from(&vec![1u8; 512]);
-        assert_eq!(stats.reused, 1);
-        assert_eq!(stats.fresh, 1);
-        assert_eq!(b.len(), 512);
-    }
-
-    #[test]
-    fn shrink_drops_pages() {
-        let a = PagedImage::from_bytes(&vec![1u8; 512]);
-        let (b, stats) = a.update_from(&[1u8; 100]);
-        assert_eq!(b.page_count(), 1);
-        // The first chunk is now 100 bytes, not equal to the old 256-byte
-        // page, so it is fresh.
-        assert_eq!(stats.fresh, 1);
-        assert_eq!(b.to_bytes(), vec![1u8; 100]);
+        let _ = a;
     }
 
     #[test]
     fn unique_bytes_counts_shared_pages_once() {
-        let bytes = vec![0u8; 1024];
-        let a = PagedImage::from_bytes(&bytes);
+        let store = PageStore::new();
+        let bytes: Vec<u8> = (0..256u32).flat_map(|i| i.to_le_bytes()).collect();
+        let a = PagedImage::from_bytes(&store, &bytes);
         let mut mutated = bytes.clone();
-        mutated[0] = 9;
-        let (b, _) = a.update_from(&mutated);
+        mutated[0] ^= 9;
+        let b = PagedImage::from_bytes(&store, &mutated);
         // a: 4 pages, b shares 3 of them + 1 fresh => 5 distinct pages.
         let total = PagedImage::unique_bytes([&a, &b].into_iter());
         assert_eq!(total, 5 * 256);
-        // Eager copies would be 8 pages.
-        let eager = PagedImage::from_bytes(&mutated);
-        let total_eager = PagedImage::unique_bytes([&a, &eager].into_iter());
-        assert_eq!(total_eager, 8 * 256);
+        assert_eq!(store.unique_bytes(), 5 * 256);
+    }
+
+    #[test]
+    fn cross_process_and_cross_branch_pages_dedup() {
+        // The tentpole property: a second process with equal state, and a
+        // cloned (speculation-branch) image, cost no new page bytes.
+        let store = PageStore::new();
+        let state: Vec<u8> = (0..512u32).flat_map(|i| i.to_le_bytes()).collect();
+        let p0 = PagedImage::from_bytes(&store, &state);
+        let p1 = PagedImage::from_bytes(&store, &state); // other process
+        let branch = p0.clone(); // speculation branch
+        assert_eq!(store.unique_bytes(), state.len());
+        assert_eq!(
+            PagedImage::unique_bytes([&p0, &p1, &branch].into_iter()),
+            state.len()
+        );
     }
 
     #[test]
     fn custom_page_size() {
-        let img = PagedImage::from_bytes_with(&[1, 2, 3, 4, 5], 2);
+        let store = PageStore::new();
+        let img = PagedImage::from_bytes_with(&store, &[1, 2, 3, 4, 5], 2);
         assert_eq!(img.page_count(), 3);
         assert_eq!(img.page_size(), 2);
         assert_eq!(img.to_bytes(), vec![1, 2, 3, 4, 5]);

@@ -53,12 +53,33 @@ impl GlobalCheckpoint {
     }
 }
 
-/// Capture a coordinated snapshot of the whole world.
+/// Capture a coordinated snapshot of the whole world, state bytes held
+/// inline (the eager full-copy baseline of experiment F2).
 pub fn coordinated_snapshot(world: &World) -> GlobalCheckpoint {
     GlobalCheckpoint {
         at: world.now(),
         ckpts: (0..world.num_procs())
             .map(|i| world.checkpoint_process(Pid(i as u32)))
+            .collect(),
+        inflight: world.inflight_messages(),
+        timers: world.pending_timers(),
+    }
+}
+
+/// Capture a coordinated snapshot whose process states page into the
+/// shared content-addressed `store`: a global checkpoint of a world
+/// whose state mostly matches already-interned pages (previous global
+/// checkpoints, the Time Machine's incremental history, replicas with
+/// equal state) costs refcounts, not copies.
+pub fn coordinated_snapshot_in(
+    world: &World,
+    store: &fixd_runtime::PageStore,
+    page_size: usize,
+) -> GlobalCheckpoint {
+    GlobalCheckpoint {
+        at: world.now(),
+        ckpts: (0..world.num_procs())
+            .map(|i| world.checkpoint_process_in(Pid(i as u32), store, page_size))
             .collect(),
         inflight: world.inflight_messages(),
         timers: world.pending_timers(),
@@ -85,7 +106,7 @@ pub fn restore_global(world: &mut World, g: &GlobalCheckpoint) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fixd_runtime::{Context, Program, TimerId as RtTimerId, World, WorldConfig};
+    use fixd_runtime::{Context, PageStore, Program, TimerId as RtTimerId, World, WorldConfig};
 
     struct Beat {
         beats: u64,
@@ -207,6 +228,28 @@ mod tests {
             w.program::<Beat>(Pid(0)).unwrap().acks,
         );
         assert_eq!(got, want, "restore must resume to the same outcome");
+    }
+
+    #[test]
+    fn paged_snapshot_dedups_repeated_captures() {
+        let mut w = beat_world();
+        w.run_steps(4);
+        let store = PageStore::new();
+        let a = coordinated_snapshot_in(&w, &store, 64);
+        let bytes_one = store.unique_bytes();
+        // Capture again without state change: nothing new interned.
+        let b = coordinated_snapshot_in(&w, &store, 64);
+        assert_eq!(store.unique_bytes(), bytes_one);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Paged and inline forms agree byte-for-byte and hash-for-hash.
+        let inline = coordinated_snapshot(&w);
+        assert_eq!(inline.fingerprint(), a.fingerprint());
+        assert_eq!(inline.state_bytes(), a.state_bytes());
+        // Restore from the paged form works like the inline one.
+        w.run_to_quiescence(10_000);
+        restore_global(&mut w, &a);
+        let restored = coordinated_snapshot(&w);
+        assert_eq!(restored.fingerprint(), inline.fingerprint());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use fixd_runtime::{Context, Message, Pid, Program, World, WorldConfig};
 use fixd_timemachine::{
-    CheckpointPolicy, DepEdge, DependencyGraph, PagedImage, TimeMachine, TimeMachineConfig,
-    NO_ROLLBACK,
+    CheckpointPolicy, DepEdge, DependencyGraph, PageStore, PagedImage, TimeMachine,
+    TimeMachineConfig, NO_ROLLBACK,
 };
 
 proptest! {
@@ -16,31 +16,43 @@ proptest! {
     #[test]
     fn paged_image_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..2000),
                              page in 1usize..512) {
-        let img = PagedImage::from_bytes_with(&bytes, page);
+        let store = PageStore::new();
+        let img = PagedImage::from_bytes_with(&store, &bytes, page);
         prop_assert_eq!(img.to_bytes(), bytes);
     }
 
-    /// `update_from` is lossless and its stats add up.
+    /// Interning a second image is lossless, its stats add up, and the
+    /// store's footprint never exceeds the two images' combined size.
     #[test]
-    fn update_from_lossless(a in proptest::collection::vec(any::<u8>(), 0..1500),
-                            b in proptest::collection::vec(any::<u8>(), 0..1500)) {
-        let ia = PagedImage::from_bytes(&a);
-        let (ib, stats) = ia.update_from(&b);
+    fn reintern_lossless(a in proptest::collection::vec(any::<u8>(), 0..1500),
+                         b in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let store = PageStore::new();
+        let ia = PagedImage::from_bytes(&store, &a);
+        let ib = PagedImage::from_bytes(&store, &b);
+        let stats = ib.build_stats();
+        prop_assert_eq!(ia.to_bytes(), a.clone());
         prop_assert_eq!(ib.to_bytes(), b.clone());
         prop_assert_eq!(stats.reused + stats.fresh, ib.page_count());
+        prop_assert!(store.unique_bytes() <= a.len() + b.len());
+        prop_assert_eq!(
+            store.unique_bytes(),
+            PagedImage::unique_bytes([&ia, &ib].into_iter())
+        );
     }
 
-    /// Unchanged prefixes share pages: mutating one byte dirties at most
-    /// one page (plus a possible short tail page).
+    /// Mutating one byte of an already-interned image interns exactly
+    /// one fresh page (constant images collapse to very few pages, and
+    /// the dirtied page is the only new content).
     #[test]
     fn sparse_mutation_sparse_pages(len in 256usize..2048, at in 0usize..2048) {
         let at = at % len;
+        let store = PageStore::new();
         let base = vec![0xAAu8; len];
         let mut mutated = base.clone();
         mutated[at] ^= 1;
-        let ia = PagedImage::from_bytes(&base);
-        let (_, stats) = ia.update_from(&mutated);
-        prop_assert_eq!(stats.fresh, 1);
+        let _ia = PagedImage::from_bytes(&store, &base);
+        let ib = PagedImage::from_bytes(&store, &mutated);
+        prop_assert_eq!(ib.build_stats().fresh, 1);
     }
 }
 
@@ -76,6 +88,162 @@ proptest! {
         }
         // The failed process honors its target.
         prop_assert!(line[fail as usize] <= target);
+    }
+}
+
+/// Worker app with a sizable mutating buffer, so checkpoints hold real
+/// page data and GC passes have something to reclaim.
+struct BufFlow {
+    buf: Vec<u8>,
+    n: u64,
+}
+impl Program for BufFlow {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.send(Pid(1), 1, vec![40]);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        self.n += 1;
+        let i = (self.n as usize * 151) % self.buf.len();
+        self.buf[i] = self.buf[i].wrapping_add(1);
+        if msg.payload[0] > 0 {
+            let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+            ctx.send(next, 1, vec![msg.payload[0] - 1]);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = self.n.to_le_bytes().to_vec();
+        b.extend_from_slice(&self.buf);
+        b
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.n = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        self.buf = b[8..].to_vec();
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(BufFlow {
+            buf: self.buf.clone(),
+            n: self.n,
+        })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn buf_setup(n: usize, seed: u64) -> (World, TimeMachine) {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    for _ in 0..n {
+        w.add_process(Box::new(BufFlow {
+            buf: vec![0; 2048],
+            n: 0,
+        }));
+    }
+    let tm = TimeMachine::new(
+        n,
+        TimeMachineConfig {
+            policy: CheckpointPolicy::EveryReceive,
+            page_size: 64,
+        },
+    );
+    (w, tm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GC accounting safety (the content-addressed-store law): under any
+    /// interleaving of checkpoint takes, `gc_before` passes, and
+    /// speculation-branch clones/drops,
+    ///
+    /// 1. no page referenced by a live checkpoint (of the trunk OR a
+    ///    live branch) is ever reclaimed — every such page keeps a
+    ///    positive store refcount and its checkpoint's content hash is
+    ///    unchanged;
+    /// 2. no page leaks — the store's `unique_bytes` equals the dedup'd
+    ///    footprint of exactly the live images.
+    #[test]
+    fn gc_never_reclaims_referenced_pages(
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0u8..5, 0u64..6), 1..12),
+    ) {
+        const N: usize = 3;
+        let (mut w, mut tm) = buf_setup(N, seed);
+        tm.init(&mut w);
+        let mut branch: Option<TimeMachine> = None;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    tm.run(&mut w, 1 + arg * 3);
+                }
+                1 => {
+                    let pid = Pid((arg % N as u64) as u32);
+                    tm.checkpoint_now(&mut w, pid);
+                }
+                2 => {
+                    // Content hashes of the checkpoints that must survive.
+                    let stable: Vec<u64> = (0..N)
+                        .map(|i| tm.interval(Pid(i as u32)).saturating_sub(arg))
+                        .collect();
+                    let mut keep_hashes = Vec::new();
+                    for (i, &s) in stable.iter().enumerate() {
+                        let store = tm.store(Pid(i as u32));
+                        for idx in s..=tm.interval(Pid(i as u32)) {
+                            if let Some(ck) = store.get(idx) {
+                                if store.is_live(idx) {
+                                    keep_hashes.push((i, idx, ck.image.content_fnv1a()));
+                                }
+                            }
+                        }
+                    }
+                    tm.gc(&stable);
+                    for (i, idx, hash) in keep_hashes {
+                        let store = tm.store(Pid(i as u32));
+                        prop_assert!(store.is_live(idx), "P{i} ckpt {idx} wrongly collected");
+                        let ck = store.get(idx).expect("live checkpoint present");
+                        prop_assert_eq!(
+                            ck.image.content_fnv1a(), hash,
+                            "P{} ckpt {} content changed under gc", i, idx
+                        );
+                    }
+                }
+                3 => {
+                    branch = Some(tm.clone());
+                }
+                _ => {
+                    branch = None;
+                }
+            }
+            // Accounting invariant: the store holds exactly the pages of
+            // the live images — trunk plus any live branch — and every
+            // live page has a positive refcount.
+            let mut imgs: Vec<&PagedImage> = Vec::new();
+            for i in 0..N {
+                imgs.extend(tm.store(Pid(i as u32)).images());
+            }
+            if let Some(b) = &branch {
+                for i in 0..N {
+                    imgs.extend(b.store(Pid(i as u32)).images());
+                }
+            }
+            for img in &imgs {
+                for key in img.page_keys() {
+                    prop_assert!(
+                        tm.page_store().refs_of(key) > 0,
+                        "page {key:#x} of a live checkpoint has no store refcount"
+                    );
+                }
+            }
+            prop_assert_eq!(
+                tm.page_store().unique_bytes(),
+                PagedImage::unique_bytes(imgs.into_iter()),
+                "store bytes must equal the live images' dedup'd footprint"
+            );
+        }
     }
 }
 

@@ -4,6 +4,8 @@
 //! Ţăpuş & Noblet, *FixD: Fault Detection, Bug Reporting, and
 //! Recoverability for Distributed Applications*, IPPS 2007).
 //!
+//! * [`store`] — content-addressed state store: interned, refcounted
+//!   pages backing checkpoints, snapshots, and spilled scroll segments;
 //! * [`runtime`] — deterministic distributed-system substrate
 //!   ([`runtime::Program`], [`runtime::World`]);
 //! * [`scroll`] — the Scroll: logging and deterministic replay;
@@ -41,6 +43,7 @@ pub use fixd_healer as healer;
 pub use fixd_investigator as investigator;
 pub use fixd_runtime as runtime;
 pub use fixd_scroll as scroll;
+pub use fixd_store as store;
 pub use fixd_timemachine as timemachine;
 
 /// The items most applications need.
@@ -54,7 +57,8 @@ pub mod prelude {
     pub use fixd_runtime::{
         Context, FaultPlan, Message, Payload, Pid, Program, TimerId, World, WorldConfig,
     };
-    pub use fixd_scroll::{ScrollQuery, ScrollRecorder, ScrollStore};
+    pub use fixd_scroll::{ScrollQuery, ScrollRecorder, ScrollStore, SpillConfig};
+    pub use fixd_store::{PageStore, SnapshotImage};
     pub use fixd_timemachine::{CheckpointPolicy, TimeMachine, TimeMachineConfig};
 }
 

@@ -189,7 +189,7 @@ fn scroll_supports_liblog_style_offline_replay_of_supervised_run() {
 
     let scroll = fixd.scroll();
     let mut fresh = pipeline::Cruncher::correct(50);
-    let outcome = fixd_scroll::replay_process(Pid(1), 2, seed, &mut fresh, scroll.scroll(Pid(1)));
+    let outcome = fixd_scroll::replay_process(Pid(1), 2, seed, &mut fresh, &scroll.scroll(Pid(1)));
     assert_eq!(outcome.fidelity, fixd_scroll::Fidelity::Exact);
     assert_eq!(fresh.results.len(), 10);
     assert_eq!(
