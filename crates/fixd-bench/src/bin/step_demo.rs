@@ -1,0 +1,280 @@
+//! Hot-loop throughput demo: measure the allocation-free
+//! `step → apply_effects → route_message → trace.push` cycle against a
+//! **modelled clone-per-step baseline** — the exact deep clones the
+//! pre-refactor `World::step` performed on every event:
+//!
+//! * one deep `Message` clone for the handler call
+//!   (`HandlerCall::Message(&msg.clone())`),
+//! * one deep `Message` clone per routed send
+//!   (`route_message(msg.clone())`),
+//! * one deep `StepRecord` clone for the trace
+//!   (`trace.push(record.clone())`: event kind, every send, every
+//!   random, every output),
+//! * one byte copy per output for the trace's side list
+//!   (`push_output(Output { data: data.clone() })`).
+//!
+//! Both modes run the *same* deterministic workload on the *same*
+//! simulator; the baseline mode additionally performs those clones on
+//! each returned record, so the ratio isolates precisely what the
+//! refactor removed. Emits `BENCH_step.json` and **fails** (non-zero
+//! exit) if the measured speedup drops below 2x — the CI campaign job
+//! runs this, so the allocation-free property is a gate, not a claim.
+//!
+//! Run: `cargo run -p fixd-bench --bin step_demo --release`
+
+use std::hint::black_box;
+
+use fixd_runtime::{
+    Context, Message, Pid, Program, SharedStepRecord, TimerId, VectorClock, World, WorldConfig,
+};
+
+/// Required steps/sec improvement over the modelled baseline.
+const MIN_SPEEDUP: f64 = 2.0;
+/// Processes in the gossip mesh (also the vector-clock width every
+/// modelled clone re-allocates).
+const PROCS: usize = 16;
+/// Forwards each process performs before going quiet.
+const FORWARDS_PER_PROC: u64 = 6_000;
+/// Payload bytes per token (materialized once, aliased per hop).
+const PAYLOAD_BYTES: usize = 1024;
+/// Output bytes emitted per delivery (the surface the seed deep-copied
+/// twice per step: once into the record clone, once into the side list).
+const OUTPUT_BYTES: usize = 512;
+/// Timed rounds per mode; the median is reported.
+const ROUNDS: usize = 5;
+
+/// Every process forwards the received token (aliased payload — no
+/// re-materialization) to its neighbour until its forward budget is
+/// spent, emitting an output per delivery. All hot-path surfaces stay
+/// live: sends, outputs, randoms, and an occasional timer.
+struct Gossip {
+    forwards_left: u64,
+}
+
+impl Program for Gossip {
+    fn on_start(&mut self, ctx: &mut Context) {
+        // Every process launches one token: n tokens circulate at once.
+        let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+        ctx.send(next, 1, vec![ctx.pid().0 as u8; PAYLOAD_BYTES]);
+        ctx.set_timer(10);
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        let _ = ctx.random();
+        ctx.output(vec![msg.payload[0]; OUTPUT_BYTES]);
+        if self.forwards_left > 0 {
+            self.forwards_left -= 1;
+            let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
+            ctx.send(next, 1, msg.payload.clone());
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context, _t: TimerId) {}
+    fn snapshot(&self) -> Vec<u8> {
+        self.forwards_left.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.forwards_left = u64::from_le_bytes(b.try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Gossip {
+            forwards_left: self.forwards_left,
+        })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn gossip_world(seed: u64) -> World {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    for _ in 0..PROCS {
+        w.add_process(Box::new(Gossip {
+            forwards_left: FORWARDS_PER_PROC,
+        }));
+    }
+    w
+}
+
+/// Deep-clone a message the way the seed's `Message::clone` did: fresh
+/// vector-clock allocation, aliased payload (post-PR-3 seed state).
+/// Returns the clone and the bytes it allocated.
+fn seed_message_clone(m: &Message) -> (Message, u64) {
+    let vc_bytes = 8 * m.vc.components().len() as u64;
+    let clone = Message {
+        id: m.id,
+        src: m.src,
+        dst: m.dst,
+        tag: m.tag,
+        payload: m.payload.clone(),
+        sent_at: m.sent_at,
+        vc: VectorClock::from_vec(m.vc.components().to_vec()),
+        meta: m.meta,
+    };
+    (clone, vc_bytes)
+}
+
+/// Perform the per-step clones the pre-refactor hot loop performed for
+/// this record, returning the bytes they allocated (the
+/// bytes-allocated-per-step figure the baseline column reports).
+fn modelled_seed_clones(rec: &SharedStepRecord) -> u64 {
+    let mut bytes = 0u64;
+
+    // 1. `HandlerCall::Message(&msg.clone())` on deliveries.
+    if let fixd_runtime::EventKind::Deliver { msg } = &rec.event.kind {
+        let (clone, b) = seed_message_clone(msg);
+        bytes += b;
+        black_box(clone);
+    }
+
+    // 2. `route_message(msg.clone())` per send.
+    for m in &rec.effects.sends {
+        let (clone, b) = seed_message_clone(m);
+        bytes += b;
+        black_box(clone);
+    }
+
+    // 3. `trace.push(record.clone())`: event kind + full effects.
+    let kind_clone = match &rec.event.kind {
+        fixd_runtime::EventKind::Deliver { msg } => {
+            let (clone, b) = seed_message_clone(msg);
+            bytes += b;
+            Some(clone)
+        }
+        fixd_runtime::EventKind::Drop { msg } => {
+            let (clone, b) = seed_message_clone(msg);
+            bytes += b;
+            Some(clone)
+        }
+        _ => None,
+    };
+    black_box(kind_clone);
+    let sends_clone: Vec<(Message, u64)> = rec
+        .effects
+        .sends
+        .iter()
+        .map(|m| seed_message_clone(m))
+        .collect();
+    bytes += sends_clone.iter().map(|(_, b)| b).sum::<u64>();
+    black_box(sends_clone);
+    let randoms_clone = rec.effects.randoms.clone();
+    bytes += 8 * randoms_clone.len() as u64;
+    black_box(randoms_clone);
+    let timers_clone = rec.effects.timers_set.clone();
+    black_box(timers_clone);
+    // Outputs were `Vec<Vec<u8>>`: the record clone byte-copied them...
+    let outputs_clone: Vec<Vec<u8>> = rec.effects.outputs.iter().map(|o| o.to_vec()).collect();
+    bytes += outputs_clone.iter().map(|o| o.len() as u64).sum::<u64>();
+    black_box(outputs_clone);
+
+    // 4. ...and `push_output` copied each one again into the side list.
+    for o in &rec.effects.outputs {
+        let copy: Vec<u8> = o.to_vec();
+        bytes += copy.len() as u64;
+        black_box(copy);
+    }
+
+    bytes
+}
+
+struct RunResult {
+    steps: u64,
+    secs: f64,
+    payload_copied: u64,
+    payload_aliased: u64,
+    modelled_bytes: u64,
+}
+
+fn run_once(seed: u64, modelled_baseline: bool) -> RunResult {
+    let mut w = gossip_world(seed);
+    let t0 = std::time::Instant::now();
+    let mut steps = 0u64;
+    let mut modelled_bytes = 0u64;
+    while let Some(rec) = w.step() {
+        if modelled_baseline {
+            modelled_bytes += modelled_seed_clones(&rec);
+        }
+        black_box(&rec);
+        steps += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let pay = w.payload_stats();
+    RunResult {
+        steps,
+        secs,
+        payload_copied: pay.copied,
+        payload_aliased: pay.aliased,
+        modelled_bytes,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    // Warm-up (page in code + allocator arenas) — not measured.
+    let warm = run_once(1, false);
+
+    let mut fast_rates: Vec<f64> = Vec::new();
+    let mut base_rates: Vec<f64> = Vec::new();
+    let mut fast_last = None;
+    let mut base_last = None;
+    for round in 0..ROUNDS {
+        let seed = 100 + round as u64;
+        // Interleave the modes so drift hits both equally.
+        let fast = run_once(seed, false);
+        let base = run_once(seed, true);
+        assert_eq!(fast.steps, base.steps, "same workload in both modes");
+        fast_rates.push(fast.steps as f64 / fast.secs);
+        base_rates.push(base.steps as f64 / base.secs);
+        fast_last = Some(fast);
+        base_last = Some(base);
+    }
+    let fast = fast_last.expect("rounds ran");
+    let base = base_last.expect("rounds ran");
+    let fast_sps = median(&mut fast_rates);
+    let base_sps = median(&mut base_rates);
+    let speedup = fast_sps / base_sps.max(1e-9);
+
+    let copied_per_step = fast.payload_copied as f64 / fast.steps as f64;
+    let aliased_per_step = fast.payload_aliased as f64 / fast.steps as f64;
+    let modelled_per_step = base.modelled_bytes as f64 / base.steps as f64;
+
+    println!(
+        "step loop: {} procs × {} forwards, payload {} B, output {} B → {} steps/run",
+        PROCS, FORWARDS_PER_PROC, PAYLOAD_BYTES, OUTPUT_BYTES, fast.steps
+    );
+    println!(
+        "optimized:         {:>12.0} steps/sec (median of {ROUNDS})\n\
+         clone-per-step:    {:>12.0} steps/sec (modelled seed behaviour)\n\
+         speedup:           {speedup:>12.2}x (gate ≥ {MIN_SPEEDUP}x)\n\
+         payload bytes/step: copied {copied_per_step:.1}, aliased {aliased_per_step:.1}\n\
+         modelled clone bytes/step: {modelled_per_step:.1} (all removed)",
+        fast_sps, base_sps,
+    );
+    let _ = warm;
+
+    let bench = format!(
+        "{{\n  \"bench\": \"step\",\n  \"procs\": {PROCS},\n  \"steps\": {},\n  \"rounds\": {ROUNDS},\n  \"payload_bytes\": {PAYLOAD_BYTES},\n  \"output_bytes\": {OUTPUT_BYTES},\n  \"steps_per_sec\": {:.1},\n  \"modelled_clone_per_step_steps_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \"payload_copied_per_step\": {:.2},\n  \"payload_aliased_per_step\": {:.2},\n  \"modelled_clone_bytes_per_step\": {:.2},\n  \"min_speedup\": {:.1}\n}}\n",
+        fast.steps,
+        fast_sps,
+        base_sps,
+        speedup,
+        copied_per_step,
+        aliased_per_step,
+        modelled_per_step,
+        MIN_SPEEDUP,
+    );
+    let path = "BENCH_step.json";
+    std::fs::write(path, &bench).expect("write BENCH_step.json");
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "hot-loop regression: {speedup:.2}x over the modelled clone-per-step \
+         baseline is below the required {MIN_SPEEDUP}x"
+    );
+}

@@ -2,9 +2,23 @@
 //! deterministic summary, and emit `BENCH_campaign.json` so the perf
 //! trajectory (cells/sec vs. core count) accumulates data points.
 //!
+//! The 560-cell matrix finishes in tens of milliseconds, so a single
+//! round's `cells_per_sec` is mostly clock quantization noise. The demo
+//! therefore runs several timed rounds and reports the **median**
+//! rate — a stable figure CI can track — alongside the simulation-step
+//! throughput (`steps_per_sec`) the allocation-free hot loop feeds.
+//!
 //! Run: `cargo run -p fixd-campaign --bin campaign_demo --release`
 
 use fixd_campaign::{default_threads, run_campaign_with_threads, standard_matrix};
+
+/// Timed rounds; the median rate is the reported figure.
+const ROUNDS: usize = 7;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
 
 fn main() {
     let seeds: Vec<u64> = (0..16).collect();
@@ -12,14 +26,33 @@ fn main() {
     let expected = spec.expected_cells();
     let threads = default_threads();
 
-    let t0 = std::time::Instant::now();
-    let report = run_campaign_with_threads(&spec, threads);
-    let wall = t0.elapsed();
+    let mut cell_rates: Vec<f64> = Vec::with_capacity(ROUNDS);
+    let mut step_rates: Vec<f64> = Vec::with_capacity(ROUNDS);
+    let mut wall_ms: Vec<u128> = Vec::with_capacity(ROUNDS);
+    let mut report = None;
+    for _ in 0..ROUNDS {
+        let t0 = std::time::Instant::now();
+        let r = run_campaign_with_threads(&spec, threads);
+        let wall = t0.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let steps: u64 = r.cells.iter().map(|c| c.steps).sum();
+        cell_rates.push(r.total_cells() as f64 / secs);
+        step_rates.push(steps as f64 / secs);
+        wall_ms.push(wall.as_millis());
+        if let Some(prev) = &report {
+            assert_eq!(&r, prev, "campaign must be deterministic across rounds");
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one round ran");
+    let total_steps: u64 = report.cells.iter().map(|c| c.steps).sum();
+    let cells_per_sec = median(&mut cell_rates);
+    let steps_per_sec = median(&mut step_rates);
 
     println!("{}", report.summary());
     println!(
-        "threads: {threads}, wall: {wall:.2?}, cells/sec: {:.0}",
-        report.total_cells() as f64 / wall.as_secs_f64().max(1e-9)
+        "threads: {threads}, rounds: {ROUNDS}, wall per round: {wall_ms:?} ms\n\
+         cells/sec (median): {cells_per_sec:.0}, steps/sec (median): {steps_per_sec:.0}"
     );
     assert_eq!(
         report.total_cells(),
@@ -29,12 +62,16 @@ fn main() {
     assert_eq!(report.violations(), 0, "standard matrix must stay clean");
     assert_eq!(report.check_failures(), 0, "app postconditions must hold");
 
+    let walls: Vec<String> = wall_ms.iter().map(u128::to_string).collect();
     let bench = format!(
-        "{{\n  \"bench\": \"campaign\",\n  \"total_cells\": {},\n  \"threads\": {},\n  \"wall_ms\": {},\n  \"cells_per_sec\": {:.1},\n  \"violations\": {},\n  \"check_failures\": {},\n  \"apps\": {},\n  \"pathologies\": {}\n}}\n",
+        "{{\n  \"bench\": \"campaign\",\n  \"total_cells\": {},\n  \"threads\": {},\n  \"rounds\": {},\n  \"wall_ms_per_round\": [{}],\n  \"cells_per_sec\": {:.1},\n  \"total_steps\": {},\n  \"steps_per_sec\": {:.1},\n  \"violations\": {},\n  \"check_failures\": {},\n  \"apps\": {},\n  \"pathologies\": {}\n}}\n",
         report.total_cells(),
         threads,
-        wall.as_millis(),
-        report.total_cells() as f64 / wall.as_secs_f64().max(1e-9),
+        ROUNDS,
+        walls.join(", "),
+        cells_per_sec,
+        total_steps,
+        steps_per_sec,
         report.violations(),
         report.check_failures(),
         report.apps_covered().len(),

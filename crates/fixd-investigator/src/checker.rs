@@ -13,7 +13,7 @@
 //!   [`WorldState`] and exploration starts there, investigating only the
 //!   neighborhood of the fault.
 
-use fixd_runtime::{Message, Pid, Program, SoloHarness, TimerId};
+use fixd_runtime::{Pid, Program, SharedMessage, SoloHarness, TimerId};
 
 use crate::envmodel::NetModel;
 use crate::explorer::{ExploreConfig, ExploreReport, Explorer, GuidedOutcome};
@@ -61,7 +61,7 @@ impl ModelD {
         net: NetModel,
         programs: Vec<Box<dyn Program>>,
         harnesses: Vec<SoloHarness>,
-        inflight: Vec<Message>,
+        inflight: Vec<SharedMessage>,
         timers: Vec<(Pid, TimerId)>,
     ) -> Self {
         let state = WorldModel::assemble_state(programs, harnesses, inflight, timers);
@@ -122,6 +122,7 @@ impl ModelD {
 mod tests {
     use super::*;
     use fixd_runtime::Context;
+    use fixd_runtime::Message;
 
     /// A tiny 2PC-ish protocol with a bug: the coordinator commits after
     /// the FIRST vote instead of waiting for all — classic atomicity

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use fixd_runtime::wire::{fnv1a, fnv_mix};
-use fixd_runtime::{Message, Pid, Program, SoloHarness, TimerId};
+use fixd_runtime::{Payload, Pid, Program, SharedMessage, SoloHarness, TimerId};
 
 use crate::envmodel::NetModel;
 use crate::system::TransitionSystem;
@@ -57,14 +57,15 @@ pub struct WorldState {
     procs: Vec<Box<dyn Program>>,
     harnesses: Vec<SoloHarness>,
     /// FIFO channels, indexed `src * width + dst`.
-    channels: Vec<VecDeque<Message>>,
+    channels: Vec<VecDeque<SharedMessage>>,
     /// Pending timers per process, oldest first.
     timers: Vec<VecDeque<TimerId>>,
     started: Vec<bool>,
     crashed: Vec<bool>,
     crashes_used: usize,
     /// Collected outputs (flat, for invariants over observable behavior).
-    outputs: Vec<(Pid, Vec<u8>)>,
+    /// Shared handles aliasing the producing handlers' effects.
+    outputs: Vec<(Pid, Payload)>,
 }
 
 impl Clone for WorldState {
@@ -106,7 +107,7 @@ impl WorldState {
     }
 
     /// Messages queued on channel `src → dst`.
-    pub fn channel(&self, src: Pid, dst: Pid) -> &VecDeque<Message> {
+    pub fn channel(&self, src: Pid, dst: Pid) -> &VecDeque<SharedMessage> {
         &self.channels[src.idx() * self.procs.len() + dst.idx()]
     }
 
@@ -126,7 +127,7 @@ impl WorldState {
     }
 
     /// Outputs emitted along this branch, in order.
-    pub fn outputs(&self) -> &[(Pid, Vec<u8>)] {
+    pub fn outputs(&self) -> &[(Pid, Payload)] {
         &self.outputs
     }
 
@@ -205,7 +206,7 @@ impl WorldModel {
     pub fn assemble_state(
         programs: Vec<Box<dyn Program>>,
         harnesses: Vec<SoloHarness>,
-        inflight: Vec<Message>,
+        inflight: Vec<SharedMessage>,
         timers: Vec<(Pid, TimerId)>,
     ) -> WorldState {
         let n = programs.len();
@@ -454,6 +455,7 @@ const FINGERPRINT_SEED: u64 = 0x1995_0604_F1BD_0001;
 mod tests {
     use super::*;
     use fixd_runtime::Context;
+    use fixd_runtime::Message;
 
     /// Two-process increment protocol with a deliberate race: both update
     /// a "replicated register" and echo; the register must converge.
@@ -646,7 +648,12 @@ mod tests {
             vc: fixd_runtime::VectorClock::new(2),
             meta: fixd_runtime::MsgMeta::default(),
         };
-        let s = WorldModel::assemble_state(procs, harnesses, vec![msg], vec![(Pid(0), TimerId(4))]);
+        let s = WorldModel::assemble_state(
+            procs,
+            harnesses,
+            vec![msg.into()],
+            vec![(Pid(0), TimerId(4))],
+        );
         assert!(s.is_started(Pid(0)), "restored processes are mid-run");
         assert_eq!(s.channel(Pid(0), Pid(1)).len(), 1);
         assert_eq!(s.timer_count(Pid(0)), 1);

@@ -67,6 +67,74 @@ impl Message {
     }
 }
 
+/// One message, shared by every observer — the runtime's delivery queue,
+/// the sender's recorded [`Effects`], the trace's [`crate::StepRecord`],
+/// the Scroll entry, and the Time Machine's delivery log all hold the
+/// *same* `SharedMessage` (a newtype over `Arc<Message>`, mirroring
+/// [`Payload`]). Stamping a send materializes the message once;
+/// everything downstream is a reference-count bump. Cloning never copies
+/// the vector clock or payload; the single sanctioned mutation point is
+/// [`SharedMessage::to_mut`], used by the corruption fault path (which
+/// copy-on-writes the one private copy it is allowed).
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct SharedMessage(std::sync::Arc<Message>);
+
+// Cloning shares the whole message — and with it the payload bytes a
+// deep-copying representation would have duplicated. Counting them as
+// aliased keeps the payload copy/alias metric meaningful now that the
+// hot path no longer touches the `Payload` refcount at all.
+#[allow(clippy::non_canonical_clone_impl)] // counts aliased bytes
+impl Clone for SharedMessage {
+    fn clone(&self) -> Self {
+        crate::payload::note_aliased(self.0.payload.len());
+        SharedMessage(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl SharedMessage {
+    /// Seal a freshly stamped message into its shared form.
+    pub fn new(msg: Message) -> Self {
+        SharedMessage(std::sync::Arc::new(msg))
+    }
+
+    /// Do two handles share one allocation? (The aliasing regression
+    /// tests pin the one-record property with this.)
+    pub fn ptr_eq(&self, other: &SharedMessage) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// How many handles currently share this message.
+    pub fn strong_count(&self) -> usize {
+        std::sync::Arc::strong_count(&self.0)
+    }
+
+    /// Copy-on-write mutable access (splits off a private `Message` when
+    /// shared). Only the corruption fault path should need this.
+    pub fn to_mut(&mut self) -> &mut Message {
+        std::sync::Arc::make_mut(&mut self.0)
+    }
+}
+
+impl std::ops::Deref for SharedMessage {
+    type Target = Message;
+    #[inline]
+    fn deref(&self) -> &Message {
+        &self.0
+    }
+}
+
+impl From<Message> for SharedMessage {
+    fn from(m: Message) -> Self {
+        SharedMessage::new(m)
+    }
+}
+
+impl From<&SharedMessage> for SharedMessage {
+    fn from(m: &SharedMessage) -> Self {
+        m.clone()
+    }
+}
+
 /// A byte string a program emitted via [`crate::Context::output`] —
 /// the observable "result" channel of an application, used by tests and by
 /// the Healer benchmarks to compare salvaged computation.
@@ -74,7 +142,9 @@ impl Message {
 pub struct Output {
     pub pid: Pid,
     pub at: VTime,
-    pub data: Vec<u8>,
+    /// The emitted bytes — a [`Payload`] view aliasing the handler's
+    /// recorded effects, not a copy.
+    pub data: Payload,
 }
 
 /// What kind of thing happened.
@@ -83,9 +153,9 @@ pub enum EventKind {
     /// A process's `on_start` handler ran.
     Start { pid: Pid },
     /// A message was delivered to its destination's `on_message` handler.
-    Deliver { msg: Message },
+    Deliver { msg: SharedMessage },
     /// A message was dropped by the network or a fault (never delivered).
-    Drop { msg: Message },
+    Drop { msg: SharedMessage },
     /// A timer fired.
     TimerFire { pid: Pid, timer: TimerId },
     /// A process crashed (fault injection or self-crash).
@@ -137,16 +207,18 @@ pub struct Event {
 /// their outcome" of paper §3.1).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Effects {
-    /// Messages sent (already stamped with id/vc/meta).
-    pub sends: Vec<Message>,
+    /// Messages sent (already stamped with id/vc/meta), in shared form:
+    /// routing, the trace record, and the Scroll alias these handles.
+    pub sends: Vec<SharedMessage>,
     /// Timers set: (id, fire-at absolute virtual time).
     pub timers_set: Vec<(TimerId, VTime)>,
     /// Timers cancelled.
     pub timers_cancelled: Vec<TimerId>,
     /// Random draws made by the handler, in order.
     pub randoms: Vec<u64>,
-    /// Observable outputs emitted.
-    pub outputs: Vec<Vec<u8>>,
+    /// Observable outputs emitted (shared buffers: the trace's output
+    /// index aliases these instead of copying them).
+    pub outputs: Vec<Payload>,
     /// The handler asked to crash its own process.
     pub crashed: bool,
 }
@@ -225,9 +297,32 @@ mod tests {
     }
 
     #[test]
+    fn shared_message_clone_is_one_allocation() {
+        let a = SharedMessage::new(msg(0, 1, 3, b"stamped once"));
+        let b = a.clone();
+        assert!(a.ptr_eq(&b), "clone bumps a refcount, nothing more");
+        assert_eq!(a.strong_count(), 2);
+        assert!(
+            a.payload.ptr_eq(&b.payload),
+            "one message, one payload buffer"
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_message_to_mut_splits_when_shared() {
+        let mut a = SharedMessage::new(msg(0, 1, 3, b"corrupt me"));
+        let b = a.clone();
+        a.to_mut().payload.to_mut()[0] ^= 0xFF;
+        assert!(!a.ptr_eq(&b), "mutation split off a private message");
+        assert_eq!(b.payload[0], b'c', "the shared original is untouched");
+        assert_ne!(a.payload[0], b'c');
+    }
+
+    #[test]
     fn event_kind_pid_extraction() {
         let e = EventKind::Deliver {
-            msg: msg(0, 1, 0, b""),
+            msg: msg(0, 1, 0, b"").into(),
         };
         assert_eq!(e.pid(), Some(Pid(1)));
         assert!(e.runs_handler());
@@ -254,11 +349,11 @@ mod tests {
         let m1 = msg(0, 1, 1, b"a");
         let m2 = msg(0, 1, 2, b"b");
         let e1 = Effects {
-            sends: vec![m1.clone(), m2.clone()],
+            sends: vec![m1.clone().into(), m2.clone().into()],
             ..Default::default()
         };
         let e2 = Effects {
-            sends: vec![m2, m1],
+            sends: vec![m2.into(), m1.into()],
             ..Default::default()
         };
         assert_ne!(e1.fingerprint(), e2.fingerprint());

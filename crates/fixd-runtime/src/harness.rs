@@ -157,7 +157,7 @@ mod tests {
         let mut h = SoloHarness::new(Pid(1), 2, seed);
         let mut p = Counter { n: 0 };
         h.start(&mut p);
-        let msgs: Vec<Message> = w
+        let msgs: Vec<crate::event::SharedMessage> = w
             .trace()
             .records()
             .iter()

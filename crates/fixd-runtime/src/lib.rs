@@ -72,7 +72,7 @@ pub use disk::{DiskStats, SharedDisk};
 // The content-addressed state store sits below the runtime in the crate
 // DAG; re-export the pieces checkpoint-facing code needs so downstream
 // crates can use `fixd_runtime::{PageStore, SnapshotImage}` directly.
-pub use event::{Effects, Event, EventKind, Message, MsgMeta, Output, TimerId};
+pub use event::{Effects, Event, EventKind, Message, MsgMeta, Output, SharedMessage, TimerId};
 pub use fault::{Fault, FaultPlan};
 pub use fixd_store::{PageStats, PageStore, PagedImage, SnapshotImage, StoreStats};
 pub use harness::SoloHarness;
@@ -81,7 +81,7 @@ pub use payload::{Payload, PayloadStats};
 pub use program::{Context, Program};
 pub use rng::DetRng;
 pub use topology::Topology;
-pub use trace::{StepRecord, Trace};
+pub use trace::{SharedStepRecord, StepRecord, Trace};
 pub use world::{GlobalSnapshot, ProcCheckpoint, ProcStatus, RunReport, World, WorldConfig};
 
 /// Virtual time, in abstract "nanoseconds". Purely logical; never tied to

@@ -4,12 +4,17 @@
 //! times over: the network delivers it, the Scroll records it (§3.1), and
 //! the Time Machine captures it again inside consistent checkpoints
 //! (§3.2). With `Vec<u8>` payloads each of those observation points paid
-//! for a full byte copy. `Payload` is a newtype over `Arc<[u8]>`: the
-//! bytes are materialized **once**, at send time, and every later
-//! observer — duplicate deliveries, scroll entries, trace records,
-//! in-flight checkpoint captures — aliases the same allocation. The only
-//! component allowed to materialize a *second* copy is the corruption
-//! fault path, which flips a byte through the copy-on-write
+//! for a full byte copy. `Payload` is a **view** (offset + length) into a
+//! shared `Arc<[u8]>` buffer: the bytes are materialized **once**, at
+//! send time, and every later observer — duplicate deliveries, scroll
+//! entries, trace records, in-flight checkpoint captures — aliases the
+//! same allocation. Since the allocation-free-step-loop refactor a view
+//! may also cover a *sub-range* of a larger buffer: decoding a spilled
+//! scroll segment produces one buffer for the whole segment and every
+//! decoded message payload aliases its slice of it
+//! ([`Payload::slice_of`]), instead of one fresh allocation per entry.
+//! The only component allowed to materialize a *second* copy is the
+//! corruption fault path, which flips a byte through the copy-on-write
 //! [`Payload::to_mut`].
 //!
 //! The module keeps two **thread-local** counters so the win is a
@@ -17,9 +22,9 @@
 //!
 //! * **copied** bytes — bytes physically written into a payload
 //!   allocation (initial materialization and copy-on-write splits);
-//! * **aliased** bytes — bytes a [`Payload::clone`] *shared* instead of
-//!   copying, i.e. exactly the bytes the pre-`Payload` code would have
-//!   `memcpy`ed.
+//! * **aliased** bytes — bytes a [`Payload::clone`] (or a zero-copy
+//!   [`Payload::slice_of`]) *shared* instead of copying, i.e. exactly
+//!   the bytes the pre-`Payload` code would have `memcpy`ed.
 //!
 //! Thread-locality is what makes the counters *attributable*: a
 //! deterministic simulation runs one [`crate::World`] per thread at a
@@ -43,6 +48,13 @@ fn add_copied(n: u64) {
 
 fn add_aliased(n: u64) {
     BYTES_ALIASED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Count payload bytes that were *shared* rather than copied by a
+/// non-`Payload` handle (e.g. a [`crate::SharedMessage`] clone, which
+/// aliases its message's payload without touching the `Payload` itself).
+pub(crate) fn note_aliased(n: usize) {
+    add_aliased(n as u64);
 }
 
 /// Snapshot of one thread's payload copy/alias counters.
@@ -77,81 +89,134 @@ pub fn stats() -> PayloadStats {
     }
 }
 
-/// An immutable, cheaply clonable message payload backed by one shared
-/// allocation (`Arc<[u8]>`).
+/// An immutable, cheaply clonable message payload: a `(offset, length)`
+/// view into one shared allocation (`Arc<[u8]>`).
 ///
 /// * Construction from owned or borrowed bytes copies once (counted).
 /// * [`Clone`] is a reference-count bump — O(1), no bytes move.
+/// * [`Payload::slice_of`] carves a sub-view out of an existing payload
+///   without touching the bytes (the segment-decode fast path).
 /// * Reading is transparent: `Payload` derefs to `[u8]`, so indexing,
 ///   slicing, iteration, and `&msg.payload` as a `&[u8]` argument all
 ///   work exactly as they did when the field was a `Vec<u8>`.
 /// * The single sanctioned mutation point is [`Payload::to_mut`]
 ///   (copy-on-write), used by the fault-injection corruption path.
 #[derive(Debug, Eq)]
-pub struct Payload(Arc<[u8]>);
+pub struct Payload {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 // Hash over the byte contents — consistent with `PartialEq`, which is
-// content equality (with a same-allocation fast path).
+// content equality (with a same-view fast path).
 impl std::hash::Hash for Payload {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl Payload {
     /// A payload sharing no bytes with anyone (empty).
     pub fn empty() -> Self {
-        Payload(Arc::from(&[][..]))
+        Payload {
+            buf: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    fn whole(buf: Arc<[u8]>) -> Self {
+        let len = buf.len();
+        Payload { buf, off: 0, len }
     }
 
     /// Copy `bytes` into a fresh shared allocation (counted as copied).
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
         add_copied(bytes.len() as u64);
-        Payload(Arc::from(bytes))
+        Payload::whole(Arc::from(bytes))
+    }
+
+    /// Wrap already-materialized bytes **without** bumping the copied
+    /// counter. For byte strings that are *not* message payloads (e.g.
+    /// program outputs joining the `Payload` representation): the
+    /// counters specifically measure message-payload copy traffic, and
+    /// that metric must not shift when other surfaces adopt the type.
+    pub fn untracked(bytes: Vec<u8>) -> Self {
+        Payload::whole(Arc::from(bytes))
+    }
+
+    /// A zero-copy sub-view of `base`: the returned payload aliases
+    /// `base`'s backing buffer (counted as aliased — these are bytes a
+    /// copying decoder would have materialized afresh).
+    ///
+    /// Panics if `range` is out of bounds of `base`.
+    pub fn slice_of(base: &Payload, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= base.len);
+        add_aliased((range.end - range.start) as u64);
+        Payload {
+            buf: Arc::clone(&base.buf),
+            off: base.off + range.start,
+            len: range.end - range.start,
+        }
     }
 
     /// The payload bytes.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.off..self.off + self.len]
     }
 
-    /// Do `self` and `other` share one allocation? (True aliasing — the
-    /// zero-copy property tests assert with this.)
+    /// Do `self` and `other` denote the same view of one allocation?
+    /// (True aliasing — the zero-copy property tests assert with this.)
     pub fn ptr_eq(&self, other: &Payload) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.buf, &other.buf) && self.off == other.off && self.len == other.len
+    }
+
+    /// Do `self` and `other` share one backing allocation (possibly as
+    /// different sub-views)? Segment-decode aliasing tests assert with
+    /// this: every decoded payload shares the segment's buffer.
+    pub fn shares_buffer(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
     }
 
     /// How many `Payload` handles currently share this allocation.
     pub fn strong_count(&self) -> usize {
-        Arc::strong_count(&self.0)
+        Arc::strong_count(&self.buf)
     }
 
     /// Copy-on-write mutable access: if this handle is the unique owner
-    /// the bytes are mutated in place (zero copies); otherwise the
-    /// payload is split into a private copy first (counted as copied).
+    /// of its whole buffer the bytes are mutated in place (zero copies);
+    /// otherwise the view is split into a private copy first (counted as
+    /// copied).
     ///
     /// Only the corruption fault path should need this — everything else
     /// in the runtime treats payloads as immutable.
     pub fn to_mut(&mut self) -> &mut [u8] {
-        if Arc::get_mut(&mut self.0).is_none() {
-            add_copied(self.0.len() as u64);
-            self.0 = Arc::from(&self.0[..]);
+        let covers_whole = self.off == 0 && self.len == self.buf.len();
+        if !covers_whole || Arc::get_mut(&mut self.buf).is_none() {
+            add_copied(self.len as u64);
+            let private: Arc<[u8]> = Arc::from(self.as_slice());
+            *self = Payload::whole(private);
         }
-        Arc::get_mut(&mut self.0).expect("payload unique after copy-on-write split")
+        Arc::get_mut(&mut self.buf).expect("payload unique after copy-on-write split")
     }
 
-    /// Clone the underlying `Arc` (internal helper so `Clone` can count).
-    fn share(&self) -> Arc<[u8]> {
-        add_aliased(self.0.len() as u64);
-        Arc::clone(&self.0)
+    /// Clone the view (internal helper so `Clone` can count).
+    fn share(&self) -> Payload {
+        add_aliased(self.len as u64);
+        Payload {
+            buf: Arc::clone(&self.buf),
+            off: self.off,
+            len: self.len,
+        }
     }
 }
 
 #[allow(clippy::non_canonical_clone_impl)] // counts aliased bytes
 impl Clone for Payload {
     fn clone(&self) -> Self {
-        Payload(self.share())
+        self.share()
     }
 }
 
@@ -165,21 +230,21 @@ impl std::ops::Deref for Payload {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Payload {
     #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Payload {
     fn from(v: Vec<u8>) -> Self {
         add_copied(v.len() as u64);
-        Payload(Arc::from(v))
+        Payload::whole(Arc::from(v))
     }
 }
 
@@ -209,37 +274,37 @@ impl From<&Payload> for Payload {
 
 impl PartialEq for Payload {
     fn eq(&self, other: &Self) -> bool {
-        self.ptr_eq(other) || self.0 == other.0
+        self.ptr_eq(other) || self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<[u8]> for Payload {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Payload {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.0[..] == *other
+        self.as_slice() == *other
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Payload {
     fn eq(&self, other: &[u8; N]) -> bool {
-        &self.0[..] == other
+        self.as_slice() == other
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Payload {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        &self.0[..] == *other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Payload {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.0[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -274,6 +339,33 @@ mod tests {
     }
 
     #[test]
+    fn slice_of_shares_the_buffer() {
+        let base = Payload::from((0u8..200).collect::<Vec<u8>>());
+        let view = Payload::slice_of(&base, 10..20);
+        assert_eq!(view.len(), 10);
+        assert_eq!(view.as_slice(), &base.as_slice()[10..20]);
+        assert!(view.shares_buffer(&base), "no new allocation");
+        assert!(!view.ptr_eq(&base), "different view of the same buffer");
+        assert_eq!(base.strong_count(), 2);
+        // A sub-view of a sub-view still aliases the original buffer.
+        let inner = Payload::slice_of(&view, 2..5);
+        assert!(inner.shares_buffer(&base));
+        assert_eq!(inner.as_slice(), &base.as_slice()[12..15]);
+        // Content equality against an equal standalone payload holds.
+        assert_eq!(inner, Payload::from(&base.as_slice()[12..15]));
+    }
+
+    #[test]
+    fn slice_counts_aliased_not_copied() {
+        let base = Payload::from(vec![5; 64]);
+        let before = stats();
+        let _v = Payload::slice_of(&base, 8..40);
+        let delta = stats().since(before);
+        assert_eq!(delta.copied, 0, "slicing must not copy");
+        assert_eq!(delta.aliased, 32);
+    }
+
+    #[test]
     fn to_mut_in_place_when_unique() {
         // Pointer identity proves zero copies (counters are process-wide
         // and other test threads may bump them concurrently).
@@ -303,6 +395,18 @@ mod tests {
     }
 
     #[test]
+    fn to_mut_on_a_view_splits_only_the_view() {
+        let base = Payload::from((0u8..100).collect::<Vec<u8>>());
+        let mut view = Payload::slice_of(&base, 50..60);
+        view.to_mut()[0] = 0xAA;
+        assert!(!view.shares_buffer(&base), "view split to a private copy");
+        assert_eq!(view.len(), 10);
+        assert_eq!(view[0], 0xAA);
+        assert_eq!(base[50], 50, "the shared buffer is untouched");
+        assert_eq!(&view[1..], &base.as_slice()[51..60]);
+    }
+
+    #[test]
     fn counters_track_copies_and_aliases() {
         let before = stats();
         let p = Payload::from(vec![0; 50]);
@@ -311,6 +415,15 @@ mod tests {
         let delta = stats().since(before);
         assert!(delta.copied >= 50);
         assert!(delta.aliased >= 100, "two clones alias 50 bytes each");
+    }
+
+    #[test]
+    fn untracked_construction_leaves_counters_alone() {
+        let before = stats();
+        let p = Payload::untracked(vec![3; 4096]);
+        let delta = stats().since(before);
+        assert_eq!(delta.copied, 0, "outputs must not skew the payload metric");
+        assert_eq!(p.len(), 4096);
     }
 
     #[test]
@@ -326,5 +439,10 @@ mod tests {
         let b = Payload::from(vec![1, 2]);
         assert_eq!(a, b);
         assert_eq!(h(&a), h(&b));
+        // A view and a standalone payload with equal bytes hash alike.
+        let base = Payload::from(vec![9, 1, 2, 9]);
+        let v = Payload::slice_of(&base, 1..3);
+        assert_eq!(v, a);
+        assert_eq!(h(&v), h(&a));
     }
 }

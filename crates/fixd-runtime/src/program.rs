@@ -9,7 +9,7 @@
 //! by the Investigator (via [`Program::clone_program`]).
 
 use crate::clock::VectorClock;
-use crate::event::{Effects, Message, MsgMeta, TimerId};
+use crate::event::{Effects, Message, MsgMeta, SharedMessage, TimerId};
 use crate::rng::DetRng;
 use crate::{Pid, VTime};
 
@@ -153,7 +153,7 @@ impl<'a> Context<'a> {
         *self.lamport += 1;
         let mut meta = self.meta_template;
         meta.lamport = *self.lamport;
-        self.effects.sends.push(Message {
+        self.effects.sends.push(SharedMessage::new(Message {
             id,
             src: self.pid,
             dst,
@@ -162,7 +162,7 @@ impl<'a> Context<'a> {
             sent_at: self.now,
             vc: self.vc.clone(),
             meta,
-        });
+        }));
     }
 
     /// Broadcast to every other process. The payload is materialized
@@ -208,8 +208,15 @@ impl<'a> Context<'a> {
     }
 
     /// Emit an observable output (the application's "result" channel).
+    /// The bytes are wrapped in one shared [`Payload`] allocation
+    /// (uncounted: the payload copy/alias counters measure *message*
+    /// traffic only); the trace's output index aliases it.
+    ///
+    /// [`Payload`]: crate::payload::Payload
     pub fn output(&mut self, data: Vec<u8>) {
-        self.effects.outputs.push(data);
+        self.effects
+            .outputs
+            .push(crate::payload::Payload::untracked(data));
     }
 
     /// Ask the runtime to crash this process after the handler returns
@@ -335,6 +342,7 @@ mod tests {
             ctx.crash();
         });
         assert!(eff.crashed);
-        assert_eq!(eff.outputs, vec![b"result".to_vec()]);
+        assert_eq!(eff.outputs.len(), 1);
+        assert_eq!(eff.outputs[0], b"result".to_vec());
     }
 }

@@ -5,6 +5,17 @@
 //! records only the nondeterministic actions needed for replay (paper
 //! §3.1). The Scroll's recorder consumes `StepRecord`s as they are
 //! produced.
+//!
+//! Since the allocation-free-step-loop refactor the trace retains
+//! [`SharedStepRecord`]s: [`crate::World::step`] seals each record into
+//! an `Arc` once and the trace, the step's caller, and any driver that
+//! keeps the record around all alias that single allocation — pushing a
+//! record is a reference-count bump, not a deep clone of the event and
+//! its effects. Outputs are no longer copied into a side list either:
+//! they live (as shared [`Payload`]s) inside each record's effects, and
+//! [`Trace::outputs_of`]/[`Trace::outputs`] read them from there.
+
+use std::sync::Arc;
 
 use crate::event::{Effects, Event, Output};
 use crate::{Pid, VTime};
@@ -16,11 +27,14 @@ pub struct StepRecord {
     pub effects: Effects,
 }
 
-/// A bounded in-memory trace of step records plus collected outputs.
+/// A step record in its shared form: one allocation, aliased by the
+/// trace, the `step()` caller, and every driver that retains it.
+pub type SharedStepRecord = Arc<StepRecord>;
+
+/// A bounded in-memory trace of step records.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    records: Vec<StepRecord>,
-    outputs: Vec<Output>,
+    records: Vec<SharedStepRecord>,
     capacity: Option<usize>,
     dropped: u64,
 }
@@ -39,8 +53,9 @@ impl Trace {
         }
     }
 
-    /// Append a record, evicting the oldest if at capacity.
-    pub fn push(&mut self, rec: StepRecord) {
+    /// Append a record (a refcount bump on the shared allocation),
+    /// evicting the oldest if at capacity.
+    pub fn push(&mut self, rec: SharedStepRecord) {
         if let Some(cap) = self.capacity {
             if self.records.len() == cap {
                 self.records.remove(0);
@@ -50,39 +65,53 @@ impl Trace {
         self.records.push(rec);
     }
 
-    /// Record an observable output.
-    pub fn push_output(&mut self, out: Output) {
-        self.outputs.push(out);
-    }
-
     /// All retained records, oldest first.
-    pub fn records(&self) -> &[StepRecord] {
+    pub fn records(&self) -> &[SharedStepRecord] {
         &self.records
     }
 
-    /// All outputs emitted by `pid`, in order.
+    /// All outputs emitted by `pid`, in order, read straight out of the
+    /// retained records' effects (no copies were made to track them).
+    /// A bounded trace forgets the outputs of evicted records along with
+    /// everything else about them.
     pub fn outputs_of(&self, pid: Pid) -> Vec<&[u8]> {
-        self.outputs
+        self.records
             .iter()
-            .filter(|o| o.pid == pid)
-            .map(|o| o.data.as_slice())
+            .filter(|r| r.event.kind.pid() == Some(pid))
+            .flat_map(|r| r.effects.outputs.iter().map(|p| p.as_slice()))
             .collect()
     }
 
-    /// All outputs, in emission order.
-    pub fn outputs(&self) -> &[Output] {
-        &self.outputs
+    /// All outputs in emission order, materialized as [`Output`] values
+    /// whose `data` aliases the recorded effects (refcount bumps, not
+    /// byte copies).
+    pub fn outputs(&self) -> Vec<Output> {
+        self.records
+            .iter()
+            .filter_map(|r| r.event.kind.pid().map(|pid| (pid, r)))
+            .flat_map(|(pid, r)| {
+                r.effects.outputs.iter().map(move |p| Output {
+                    pid,
+                    at: r.event.at,
+                    data: p.clone(),
+                })
+            })
+            .collect()
     }
 
     /// Records concerning `pid`, oldest first.
-    pub fn records_of(&self, pid: Pid) -> impl Iterator<Item = &StepRecord> {
+    pub fn records_of(&self, pid: Pid) -> impl Iterator<Item = &SharedStepRecord> {
         self.records
             .iter()
             .filter(move |r| r.event.kind.pid() == Some(pid))
     }
 
     /// Records in the virtual-time window `[start, end)`.
-    pub fn records_between(&self, start: VTime, end: VTime) -> impl Iterator<Item = &StepRecord> {
+    pub fn records_between(
+        &self,
+        start: VTime,
+        end: VTime,
+    ) -> impl Iterator<Item = &SharedStepRecord> {
         self.records
             .iter()
             .filter(move |r| (start..end).contains(&r.event.at))
@@ -123,16 +152,27 @@ impl Trace {
 mod tests {
     use super::*;
     use crate::event::EventKind;
+    use crate::payload::Payload;
 
-    fn rec(seq: u64, at: VTime, pid: u32) -> StepRecord {
-        StepRecord {
+    fn rec(seq: u64, at: VTime, pid: u32) -> SharedStepRecord {
+        rec_with_outputs(seq, at, pid, &[])
+    }
+
+    fn rec_with_outputs(seq: u64, at: VTime, pid: u32, outputs: &[&[u8]]) -> SharedStepRecord {
+        Arc::new(StepRecord {
             event: Event {
                 seq,
                 at,
                 kind: EventKind::Start { pid: Pid(pid) },
             },
-            effects: Effects::default(),
-        }
+            effects: Effects {
+                outputs: outputs
+                    .iter()
+                    .map(|o| Payload::untracked(o.to_vec()))
+                    .collect(),
+                ..Effects::default()
+            },
+        })
     }
 
     #[test]
@@ -157,25 +197,32 @@ mod tests {
     }
 
     #[test]
-    fn outputs_by_pid() {
+    fn outputs_read_from_record_effects() {
         let mut t = Trace::unbounded();
-        t.push_output(Output {
-            pid: Pid(0),
-            at: 1,
-            data: b"a".to_vec(),
-        });
-        t.push_output(Output {
-            pid: Pid(1),
-            at: 2,
-            data: b"b".to_vec(),
-        });
-        t.push_output(Output {
-            pid: Pid(0),
-            at: 3,
-            data: b"c".to_vec(),
-        });
+        t.push(rec_with_outputs(0, 1, 0, &[b"a"]));
+        t.push(rec_with_outputs(1, 2, 1, &[b"b"]));
+        t.push(rec_with_outputs(2, 3, 0, &[b"c"]));
         assert_eq!(t.outputs_of(Pid(0)), vec![&b"a"[..], &b"c"[..]]);
-        assert_eq!(t.outputs().len(), 3);
+        let all = t.outputs();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1].pid, Pid(1));
+        assert_eq!(all[1].at, 2);
+        assert!(
+            all[1].data.ptr_eq(&t.records()[1].effects.outputs[0]),
+            "materialized outputs alias the recorded effects"
+        );
+    }
+
+    #[test]
+    fn push_aliases_the_shared_record() {
+        let mut t = Trace::unbounded();
+        let r = rec(0, 0, 0);
+        t.push(r.clone());
+        assert!(
+            Arc::ptr_eq(&r, &t.records()[0]),
+            "the trace holds the same record allocation the caller got"
+        );
+        assert_eq!(Arc::strong_count(&r), 2);
     }
 
     #[test]

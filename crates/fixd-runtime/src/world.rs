@@ -20,14 +20,15 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 use crate::clock::VectorClock;
-use crate::event::{Effects, Event, EventKind, Message, MsgMeta, Output, TimerId};
+use crate::event::{Effects, Event, EventKind, Message, MsgMeta, SharedMessage, TimerId};
 use crate::fault::FaultPlan;
 use crate::network::{DeliveryOutcome, NetStats, NetworkConfig, Partition};
 use crate::program::{Context, Program};
 use crate::rng::DetRng;
-use crate::trace::{StepRecord, Trace};
+use crate::trace::{SharedStepRecord, StepRecord, Trace};
 use crate::wire;
 use crate::{Pid, VTime};
 
@@ -390,7 +391,14 @@ impl World {
     }
 
     /// Execute the next event. Returns `None` when the world is quiescent.
-    pub fn step(&mut self) -> Option<StepRecord> {
+    ///
+    /// The returned record is sealed into one shared allocation
+    /// ([`SharedStepRecord`]); the trace holds the same `Arc`, and any
+    /// driver that retains the record (Scroll, Time Machine, campaign
+    /// tooling) aliases it too — the whole
+    /// step → apply-effects → route → trace cycle performs no deep clone
+    /// of the event, its message, or its effects.
+    pub fn step(&mut self) -> Option<SharedStepRecord> {
         self.seal();
         let qe = self.next_valid()?;
         self.now = self.now.max(qe.at);
@@ -414,7 +422,9 @@ impl World {
                     e.delivered += 1;
                 }
                 self.stats.delivered += 1;
-                let eff = self.run_handler(pid, HandlerCall::Message(&msg.clone()));
+                // Borrow the staged message for the handler call; the
+                // same shared handle then moves into the record's kind.
+                let eff = self.run_handler(pid, HandlerCall::Message(&msg));
                 (EventKind::Deliver { msg }, eff)
             }
             EventKind::Drop { msg } => {
@@ -436,11 +446,11 @@ impl World {
             }
         };
 
-        let record = StepRecord {
+        let record = Arc::new(StepRecord {
             event: Event { seq, at, kind },
             effects,
-        };
-        self.trace.push(record.clone());
+        });
+        self.trace.push(Arc::clone(&record));
         Some(record)
     }
 
@@ -471,11 +481,15 @@ impl World {
             }
             ctx.into_effects()
         };
-        self.apply_effects(pid, &effects);
-        effects
+        self.apply_effects(pid, effects)
     }
 
-    fn apply_effects(&mut self, pid: Pid, effects: &Effects) {
+    /// Apply a handler's effects, taking them by value and handing them
+    /// back for the step record. Routed sends alias the effects' shared
+    /// message handles (a refcount bump each, no `Message` clone), and
+    /// outputs stay where they are — the trace reads them out of the
+    /// record's effects instead of copying them into a side list.
+    fn apply_effects(&mut self, pid: Pid, effects: Effects) -> Effects {
         for msg in &effects.sends {
             self.route_message(msg.clone());
         }
@@ -485,29 +499,23 @@ impl World {
         for t in &effects.timers_cancelled {
             self.cancelled_timers.insert((pid.0, t.0));
         }
-        for data in &effects.outputs {
-            self.trace.push_output(Output {
-                pid,
-                at: self.now,
-                data: data.clone(),
-            });
-        }
         if effects.crashed {
             self.procs[pid.idx()].status = ProcStatus::Crashed;
             let seq = self.exec_seq;
             self.exec_seq += 1;
-            self.trace.push(StepRecord {
+            self.trace.push(Arc::new(StepRecord {
                 event: Event {
                     seq,
                     at: self.now,
                     kind: EventKind::Crash { pid },
                 },
                 effects: Effects::default(),
-            });
+            }));
         }
+        effects
     }
 
-    fn route_message(&mut self, mut msg: Message) {
+    fn route_message(&mut self, mut msg: SharedMessage) {
         self.stats.sent += 1;
         self.stats.payload_bytes += msg.payload.len() as u64;
         // Fault-plan rules first (they are targeted and override chance).
@@ -518,10 +526,10 @@ impl World {
         if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
             let i = (self.net_rng.next_u64() as usize) % msg.payload.len();
             // Copy-on-write: the sender's Effects still alias the clean
-            // buffer, so the flip splits off the one private copy the
-            // corruption path is allowed. An empty payload (guarded
-            // above) never copies at all.
-            msg.payload.to_mut()[i] ^= 0xFF;
+            // message and buffer, so the flip splits off the one private
+            // copy the corruption path is allowed. An empty payload
+            // (guarded above) never copies at all.
+            msg.to_mut().payload.to_mut()[i] ^= 0xFF;
             self.stats.corrupted += 1;
         }
         let connected = self.partition.connected(msg.src, msg.dst);
@@ -542,7 +550,7 @@ impl World {
                     first = false;
                     let mut m = msg.clone();
                     if let Some(p) = corrupted_payload {
-                        m.payload = p;
+                        m.to_mut().payload = p;
                         self.stats.corrupted += 1;
                     }
                     self.push_event(at, EventKind::Deliver { msg: m });
@@ -740,14 +748,14 @@ impl World {
         e.status = ProcStatus::Running;
         let seq = self.exec_seq;
         self.exec_seq += 1;
-        self.trace.push(StepRecord {
+        self.trace.push(Arc::new(StepRecord {
             event: Event {
                 seq,
                 at: self.now,
                 kind: EventKind::Restart { pid: ckpt.pid },
             },
             effects: Effects::default(),
-        });
+        }));
     }
 
     /// Crash a process immediately (external fault injection).
@@ -755,14 +763,14 @@ impl World {
         self.procs[pid.idx()].status = ProcStatus::Crashed;
         let seq = self.exec_seq;
         self.exec_seq += 1;
-        self.trace.push(StepRecord {
+        self.trace.push(Arc::new(StepRecord {
             event: Event {
                 seq,
                 at: self.now,
                 kind: EventKind::Crash { pid },
             },
             effects: Effects::default(),
-        });
+        }));
     }
 
     /// Mark a crashed process running again **without** restoring state
@@ -819,12 +827,22 @@ impl World {
         removed
     }
 
-    /// All messages currently in flight (queued `Deliver` events), in
-    /// scheduling order.
-    pub fn inflight_messages(&self) -> Vec<Message> {
+    /// Every queued event (staged one included) in scheduling order —
+    /// the one sort both [`World::inflight_messages`] and
+    /// [`World::pending_timers`] used to duplicate inline.
+    fn queue_in_order(&self) -> Vec<&QueuedEvent> {
         let mut qes: Vec<&QueuedEvent> = self.queue.iter().chain(self.staged.iter()).collect();
         qes.sort_by_key(|qe| (qe.at, qe.seq));
-        qes.into_iter()
+        qes
+    }
+
+    /// All messages currently in flight (queued `Deliver` events), in
+    /// scheduling order. The returned handles alias the queued messages
+    /// (refcount bumps — capturing a checkpoint of heavy in-flight mail
+    /// copies nothing).
+    pub fn inflight_messages(&self) -> Vec<SharedMessage> {
+        self.queue_in_order()
+            .into_iter()
             .filter_map(|qe| match &qe.kind {
                 EventKind::Deliver { msg } => Some(msg.clone()),
                 _ => None,
@@ -834,16 +852,20 @@ impl World {
 
     /// Inject a message directly into the network (drivers use this to
     /// re-send recorded messages during replay-style investigations).
-    pub fn inject_message(&mut self, msg: Message, deliver_at: VTime) {
-        self.push_event(deliver_at.max(self.now), EventKind::Deliver { msg });
+    /// Accepts an owned [`Message`] or an already-shared handle (which
+    /// is aliased, not copied).
+    pub fn inject_message(&mut self, msg: impl Into<SharedMessage>, deliver_at: VTime) {
+        self.push_event(
+            deliver_at.max(self.now),
+            EventKind::Deliver { msg: msg.into() },
+        );
     }
 
     /// All pending (not yet fired, not cancelled) timers:
     /// `(pid, timer, fire_at)`, in scheduling order.
     pub fn pending_timers(&self) -> Vec<(Pid, TimerId, VTime)> {
-        let mut qes: Vec<&QueuedEvent> = self.queue.iter().chain(self.staged.iter()).collect();
-        qes.sort_by_key(|qe| (qe.at, qe.seq));
-        qes.into_iter()
+        self.queue_in_order()
+            .into_iter()
             .filter_map(|qe| match &qe.kind {
                 EventKind::TimerFire { pid, timer }
                     if !self.cancelled_timers.contains(&(pid.0, timer.0)) =>
@@ -876,7 +898,9 @@ impl World {
         &self.partition
     }
 
-    /// Outputs emitted by `pid` so far.
+    /// Outputs emitted by `pid`, read from the retained trace records.
+    /// With a bounded trace ([`WorldConfig::trace_cap`]) outputs of
+    /// evicted records are forgotten along with the records themselves.
     pub fn outputs_of(&self, pid: Pid) -> Vec<&[u8]> {
         self.trace.outputs_of(pid)
     }
@@ -1060,7 +1084,7 @@ mod tests {
     }
 
     /// The send and deliver records for P0 → P1's single message.
-    fn sent_and_delivered(w: &World) -> (Message, Message) {
+    fn sent_and_delivered(w: &World) -> (SharedMessage, SharedMessage) {
         let records = w.trace().records();
         let sent = records
             .iter()

@@ -5,7 +5,7 @@
 //! reproduction's analogue of liblog's on-disk log (§4.1).
 
 use fixd_runtime::wire::{get_payload, get_u64s, get_varint, put_bytes, put_u64s, put_varint};
-use fixd_runtime::{Message, MsgMeta, Pid, TimerId, VectorClock};
+use fixd_runtime::{Message, MsgMeta, Payload, Pid, TimerId, VectorClock};
 
 use crate::entry::{EntryKind, ScrollEntry};
 
@@ -41,6 +41,39 @@ fn need<T>(v: Option<T>) -> Result<T> {
     v.ok_or(CodecError::Truncated)
 }
 
+/// Where decoded payload bytes come from.
+///
+/// * [`PayloadSource::Copy`] materializes each payload into its own
+///   fresh allocation (the pre-refactor behaviour, kept for decoding
+///   from a plain byte slice);
+/// * [`PayloadSource::View`] carves zero-copy [`Payload`] views out of
+///   one shared segment buffer — decoding a segment of N messages costs
+///   N reference-count bumps instead of N allocations.
+enum PayloadSource<'a> {
+    Copy,
+    View(&'a Payload),
+}
+
+impl PayloadSource<'_> {
+    /// Read one length-prefixed payload (the `put_bytes` framing).
+    fn take(&self, buf: &[u8], pos: &mut usize) -> Option<Payload> {
+        match self {
+            // One implementation owns the wire framing.
+            PayloadSource::Copy => get_payload(buf, pos),
+            PayloadSource::View(seg) => {
+                let len = get_varint(buf, pos)? as usize;
+                let end = pos.checked_add(len)?;
+                if end > buf.len() {
+                    return None;
+                }
+                let p = Payload::slice_of(seg, *pos..end);
+                *pos = end;
+                Some(p)
+            }
+        }
+    }
+}
+
 /// Encode a message (full fidelity: clocks and metadata included).
 pub fn encode_message(buf: &mut Vec<u8>, m: &Message) {
     put_varint(buf, m.id);
@@ -55,13 +88,20 @@ pub fn encode_message(buf: &mut Vec<u8>, m: &Message) {
     put_varint(buf, m.meta.lamport);
 }
 
-/// Decode a message written by [`encode_message`].
+/// Decode a message written by [`encode_message`], copying its payload
+/// into a fresh allocation. Prefer [`decode_segment_shared`] (or decode
+/// from a [`Payload`]) on whole segments: there every entry's payload
+/// aliases the one segment buffer instead.
 pub fn decode_message(buf: &[u8], pos: &mut usize) -> Result<Message> {
+    decode_message_from(buf, pos, &PayloadSource::Copy)
+}
+
+fn decode_message_from(buf: &[u8], pos: &mut usize, source: &PayloadSource<'_>) -> Result<Message> {
     let id = need(get_varint(buf, pos))?;
     let src = Pid(need(get_varint(buf, pos))? as u32);
     let dst = Pid(need(get_varint(buf, pos))? as u32);
     let tag = need(get_varint(buf, pos))? as u16;
-    let payload = need(get_payload(buf, pos))?;
+    let payload = need(source.take(buf, pos))?;
     let sent_at = need(get_varint(buf, pos))?;
     let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
     let ckpt_index = need(get_varint(buf, pos))?;
@@ -101,8 +141,16 @@ pub fn encode_entry(buf: &mut Vec<u8>, e: &ScrollEntry) {
     }
 }
 
-/// Decode one scroll entry.
+/// Decode one scroll entry (payloads copied; see [`decode_segment_shared`]).
 pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
+    decode_entry_from(buf, pos, &PayloadSource::Copy)
+}
+
+fn decode_entry_from(
+    buf: &[u8],
+    pos: &mut usize,
+    source: &PayloadSource<'_>,
+) -> Result<ScrollEntry> {
     let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
     *pos += 1;
     let pid = Pid(need(get_varint(buf, pos))? as u32);
@@ -116,7 +164,7 @@ pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
     let kind = match tag {
         0 => EntryKind::Start,
         1 => EntryKind::Deliver {
-            msg: decode_message(buf, pos)?,
+            msg: decode_message_from(buf, pos, source)?.into(),
         },
         2 => EntryKind::TimerFire {
             timer: TimerId(need(get_varint(buf, pos))?),
@@ -124,7 +172,7 @@ pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
         3 => EntryKind::Crash,
         4 => EntryKind::Restart,
         5 => EntryKind::DroppedMail {
-            msg: decode_message(buf, pos)?,
+            msg: decode_message_from(buf, pos, source)?.into(),
         },
         t => return Err(CodecError::BadTag(t)),
     };
@@ -152,8 +200,27 @@ pub fn encode_segment(entries: &[ScrollEntry]) -> Vec<u8> {
     buf
 }
 
-/// Decode a whole segment written by [`encode_segment`].
+/// Decode a whole segment written by [`encode_segment`], copying each
+/// payload into its own allocation.
 pub fn decode_segment(buf: &[u8]) -> Result<Vec<ScrollEntry>> {
+    decode_segment_from(buf, &PayloadSource::Copy)
+}
+
+/// Decode a whole segment held in a shared [`Payload`] buffer: every
+/// decoded message payload is a zero-copy view aliasing `seg`'s
+/// allocation ([`Payload::slice_of`]) — no per-entry payload
+/// materialization at all. This is the spill re-read path: one buffer
+/// per segment re-read, reference-count bumps per entry.
+///
+/// The views pin the whole segment buffer: retaining even one decoded
+/// payload keeps `seg`'s allocation alive. Callers holding a payload
+/// long past the segment should copy it out
+/// ([`Payload::copy_from_slice`]) to release the buffer.
+pub fn decode_segment_shared(seg: &Payload) -> Result<Vec<ScrollEntry>> {
+    decode_segment_from(seg.as_slice(), &PayloadSource::View(seg))
+}
+
+fn decode_segment_from(buf: &[u8], source: &PayloadSource<'_>) -> Result<Vec<ScrollEntry>> {
     let mut pos = 0usize;
     let version = *buf.first().ok_or(CodecError::Truncated)?;
     pos += 1;
@@ -163,7 +230,7 @@ pub fn decode_segment(buf: &[u8]) -> Result<Vec<ScrollEntry>> {
     let n = need(get_varint(buf, &mut pos))? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        out.push(decode_entry(buf, &mut pos)?);
+        out.push(decode_entry_from(buf, &mut pos, source)?);
     }
     Ok(out)
 }
@@ -217,11 +284,15 @@ mod tests {
     fn entry_roundtrip_all_kinds() {
         let kinds = vec![
             EntryKind::Start,
-            EntryKind::Deliver { msg: sample_msg() },
+            EntryKind::Deliver {
+                msg: sample_msg().into(),
+            },
             EntryKind::TimerFire { timer: TimerId(77) },
             EntryKind::Crash,
             EntryKind::Restart,
-            EntryKind::DroppedMail { msg: sample_msg() },
+            EntryKind::DroppedMail {
+                msg: sample_msg().into(),
+            },
         ];
         for kind in kinds {
             let e = sample_entry(kind);
@@ -236,7 +307,9 @@ mod tests {
     fn segment_roundtrip() {
         let entries = vec![
             sample_entry(EntryKind::Start),
-            sample_entry(EntryKind::Deliver { msg: sample_msg() }),
+            sample_entry(EntryKind::Deliver {
+                msg: sample_msg().into(),
+            }),
         ];
         let buf = encode_segment(&entries);
         assert_eq!(decode_segment(&buf).unwrap(), entries);
@@ -251,7 +324,9 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let entries = vec![sample_entry(EntryKind::Deliver { msg: sample_msg() })];
+        let entries = vec![sample_entry(EntryKind::Deliver {
+            msg: sample_msg().into(),
+        })];
         let buf = encode_segment(&entries);
         for cutoff in [1usize, buf.len() / 2, buf.len() - 1] {
             assert!(decode_segment(&buf[..cutoff]).is_err(), "cutoff {cutoff}");

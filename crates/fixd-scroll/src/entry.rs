@@ -1,7 +1,7 @@
 //! Scroll entries: the recorded nondeterministic actions and their
 //! outcomes (paper §3.1).
 
-use fixd_runtime::{Message, Payload, Pid, TimerId, VTime, VectorClock};
+use fixd_runtime::{Payload, Pid, SharedMessage, TimerId, VTime, VectorClock};
 
 /// What kind of nondeterministic action an entry records.
 #[derive(Clone, Debug, PartialEq)]
@@ -10,8 +10,9 @@ pub enum EntryKind {
     Start,
     /// A message arrived and `on_message` ran. The full message (including
     /// sender clock and metadata) is the recorded *outcome* needed for
-    /// black-box replay.
-    Deliver { msg: Message },
+    /// black-box replay. The entry holds the *same* shared handle the
+    /// runtime delivered — recording is a reference-count bump.
+    Deliver { msg: SharedMessage },
     /// A timer fired and `on_timer` ran.
     TimerFire { timer: TimerId },
     /// The process crashed.
@@ -21,7 +22,7 @@ pub enum EntryKind {
     /// A message destined to this process was dropped (recorded only when
     /// [`crate::RecordConfig::record_drops`] is set; diagnostic, not
     /// needed for replay).
-    DroppedMail { msg: Message },
+    DroppedMail { msg: SharedMessage },
 }
 
 impl EntryKind {

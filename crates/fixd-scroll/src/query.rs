@@ -167,8 +167,22 @@ mod tests {
         vec![
             mk(0, 0, 0, EntryKind::Start),
             mk(1, 0, 0, EntryKind::Start),
-            mk(1, 1, 10, EntryKind::Deliver { msg: msg(0, 1, 7) }),
-            mk(1, 2, 20, EntryKind::Deliver { msg: msg(2, 1, 8) }),
+            mk(
+                1,
+                1,
+                10,
+                EntryKind::Deliver {
+                    msg: msg(0, 1, 7).into(),
+                },
+            ),
+            mk(
+                1,
+                2,
+                20,
+                EntryKind::Deliver {
+                    msg: msg(2, 1, 8).into(),
+                },
+            ),
             mk(0, 1, 25, EntryKind::TimerFire { timer: TimerId(1) }),
             mk(1, 3, 30, EntryKind::Crash),
         ]

@@ -219,7 +219,13 @@ impl ScrollStore {
         self.resident_weight[i] = 0;
     }
 
-    /// Re-read one spilled segment from the disk.
+    /// Re-read one spilled segment from the disk. The blob becomes one
+    /// shared buffer and every decoded entry's payload is a zero-copy
+    /// view into it ([`codec::decode_segment_shared`]) — re-reading a
+    /// segment of N messages performs one buffer materialization, not N
+    /// payload allocations. The views pin the blob: a caller retaining
+    /// one entry's payload keeps the whole segment buffer alive (copy
+    /// out via `Payload::copy_from_slice` for long retention).
     fn read_segment(&self, seg: &SegmentRef) -> Vec<ScrollEntry> {
         let cfg = self
             .spill
@@ -231,7 +237,11 @@ impl ScrollStore {
                 seg.key
             )
         });
-        codec::decode_segment(&blob)
+        // Untracked: the segment blob is framing + clocks + payloads,
+        // not message-payload traffic; the per-entry views below count
+        // as aliased (bytes a copying decoder would have re-copied).
+        let shared = fixd_runtime::Payload::untracked(blob);
+        codec::decode_segment_shared(&shared)
             .unwrap_or_else(|e| panic!("spilled scroll segment {:016x} corrupt: {e}", seg.key))
     }
 
@@ -416,7 +426,8 @@ mod tests {
                     sent_at: seq,
                     vc: VectorClock::from_vec(vec![seq, 0]),
                     meta: MsgMeta::default(),
-                },
+                }
+                .into(),
             },
             ..entry(pid, seq)
         }

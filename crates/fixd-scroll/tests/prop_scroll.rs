@@ -50,8 +50,8 @@ fn arb_kind() -> impl Strategy<Value = EntryKind> {
         Just(EntryKind::Crash),
         Just(EntryKind::Restart),
         any::<u64>().prop_map(|t| EntryKind::TimerFire { timer: TimerId(t) }),
-        arb_message().prop_map(|m| EntryKind::Deliver { msg: m }),
-        arb_message().prop_map(|m| EntryKind::DroppedMail { msg: m }),
+        arb_message().prop_map(|m| EntryKind::Deliver { msg: m.into() }),
+        arb_message().prop_map(|m| EntryKind::DroppedMail { msg: m.into() }),
     ]
 }
 
@@ -175,7 +175,7 @@ proptest! {
         let entry = ScrollEntry {
             pid: Pid(1), local_seq: 0, at: 0, lamport: 1,
             vc: VectorClock::from_vec(vec![0, 1]),
-            kind: EntryKind::Deliver { msg },
+            kind: EntryKind::Deliver { msg: msg.into() },
             randoms: vec![], effects_fp: 0, sends: 0,
         };
         let seg = codec::encode_segment(std::slice::from_ref(&entry));

@@ -82,13 +82,13 @@ fn golden_entries() -> Vec<ScrollEntry> {
         sample_entry(
             1,
             EntryKind::Deliver {
-                msg: sample_msg(b"payload".to_vec()),
+                msg: sample_msg(b"payload".to_vec()).into(),
             },
         ),
         sample_entry(
             2,
             EntryKind::Deliver {
-                msg: sample_msg(vec![]),
+                msg: sample_msg(vec![]).into(),
             },
         ),
         sample_entry(3, EntryKind::TimerFire { timer: TimerId(77) }),
@@ -97,7 +97,7 @@ fn golden_entries() -> Vec<ScrollEntry> {
         sample_entry(
             6,
             EntryKind::DroppedMail {
-                msg: sample_msg((0u16..600).map(|i| (i % 251) as u8).collect()),
+                msg: sample_msg((0u16..600).map(|i| (i % 251) as u8).collect()).into(),
             },
         ),
     ]

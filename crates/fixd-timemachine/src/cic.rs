@@ -17,7 +17,7 @@
 //!   sent but the rolled-back receivers have not yet received
 //!   (sender-based message logging, as liblog provides in §4.1).
 
-use fixd_runtime::{EventKind, Message, MsgMeta, Pid, StepRecord, VTime, World};
+use fixd_runtime::{EventKind, MsgMeta, Pid, SharedMessage, StepRecord, VTime, World};
 
 use crate::checkpoint::CheckpointStore;
 use crate::dependency::{DepEdge, DependencyGraph, NO_ROLLBACK};
@@ -56,12 +56,12 @@ impl Default for TimeMachineConfig {
 }
 
 /// A delivered message retained for replay after rollback. The retained
-/// message aliases the delivered payload buffer (shared `Payload`), so
-/// the delivery log adds a reference count, not a byte copy, per
-/// delivery.
+/// handle **is** the delivered message (shared `SharedMessage`): logging
+/// a delivery adds one reference count — no payload copy, no vector
+/// clock clone, no `Message` at all.
 #[derive(Clone, Debug)]
 pub(crate) struct DeliveryRecord {
-    pub msg: Message,
+    pub msg: SharedMessage,
     pub dst_interval: u64,
 }
 
@@ -336,6 +336,14 @@ impl TimeMachine {
         self.delivery_log = kept;
         self.deps.retract(&line_vec);
         Ok(report)
+    }
+
+    /// The messages retained for post-rollback replay, in delivery
+    /// order. Each handle aliases the message the runtime delivered
+    /// (and the trace/Scroll recorded) — the aliasing regression tests
+    /// pin that property.
+    pub fn logged_deliveries(&self) -> impl Iterator<Item = &SharedMessage> {
+        self.delivery_log.iter().map(|r| &r.msg)
     }
 
     /// Per-process checkpoint stores (read access).

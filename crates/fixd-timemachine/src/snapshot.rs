@@ -16,20 +16,20 @@
 //! messages and pending timers) captured explicitly is exactly the
 //! consistent snapshot the marker protocol would deliver.
 
-use fixd_runtime::{EventKind, Message, Pid, ProcCheckpoint, TimerId, VTime, World};
+use fixd_runtime::{EventKind, Pid, ProcCheckpoint, SharedMessage, TimerId, VTime, World};
 
 /// A consistent global checkpoint: every process state plus channel
 /// contents (in-flight messages) plus pending timers.
 ///
-/// Captured in-flight messages **alias** the queued messages' payload
-/// buffers (shared `Payload` allocations) rather than copying them, so
+/// Captured in-flight messages **alias** the queued messages themselves
+/// (shared `SharedMessage` handles) rather than copying them, so
 /// checkpointing a world with heavy mail in flight costs reference-count
 /// bumps, not memcpys — see `snapshot_aliases_inflight_payloads`.
 #[derive(Clone, Debug)]
 pub struct GlobalCheckpoint {
     pub at: VTime,
     pub ckpts: Vec<ProcCheckpoint>,
-    pub inflight: Vec<Message>,
+    pub inflight: Vec<SharedMessage>,
     pub timers: Vec<(Pid, TimerId, VTime)>,
 }
 
@@ -177,8 +177,9 @@ mod tests {
 
     #[test]
     fn snapshot_aliases_inflight_payloads() {
-        // Checkpointing in-flight mail must share the queued messages'
-        // payload allocations, not copy them.
+        // Checkpointing in-flight mail must share the queued messages
+        // themselves (clocks, metadata, and payload in one shared
+        // allocation), not copy them.
         let mut w = beat_world();
         for _ in 0..40 {
             w.step();
@@ -191,15 +192,19 @@ mod tests {
             for (captured, live) in g.inflight.iter().zip(&queued) {
                 assert_eq!(captured.id, live.id);
                 assert!(
+                    captured.ptr_eq(live),
+                    "checkpointed message must alias the queued one"
+                );
+                assert!(
                     captured.payload.ptr_eq(&live.payload),
-                    "checkpointed payload must alias the queued message"
+                    "and with it the payload bytes"
                 );
                 // At least: world queue + snapshot + our fresh clone all
-                // share one allocation.
+                // share one message allocation.
                 assert!(
-                    captured.payload.strong_count() >= 3,
-                    "expected ≥3 handles on one buffer, got {}",
-                    captured.payload.strong_count()
+                    captured.strong_count() >= 3,
+                    "expected ≥3 handles on one message, got {}",
+                    captured.strong_count()
                 );
             }
             return; // found and verified a mid-flight snapshot
