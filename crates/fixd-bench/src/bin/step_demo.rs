@@ -99,9 +99,13 @@ fn gossip_world(seed: u64) -> World {
 
 /// Deep-clone a message the way the seed's `Message::clone` did: fresh
 /// vector-clock allocation, aliased payload (post-PR-3 seed state).
-/// Returns the clone and the bytes it allocated.
+/// Returns the clone and the bytes it allocated. The seed's clock was a
+/// dense `Vec<u64>` of world width, so its clone re-allocated 8 bytes
+/// per process regardless of causal footprint — that dense rebuild is
+/// what the model reproduces here.
 fn seed_message_clone(m: &Message) -> (Message, u64) {
-    let vc_bytes = 8 * m.vc.components().len() as u64;
+    let vc_bytes = 8 * PROCS as u64;
+    let dense: Vec<(u32, u64)> = m.vc.entries().map(|(p, c)| (p.0, c)).collect();
     let clone = Message {
         id: m.id,
         src: m.src,
@@ -109,7 +113,7 @@ fn seed_message_clone(m: &Message) -> (Message, u64) {
         tag: m.tag,
         payload: m.payload.clone(),
         sent_at: m.sent_at,
-        vc: VectorClock::from_vec(m.vc.components().to_vec()),
+        vc: VectorClock::from_pairs(dense),
         meta: m.meta,
     };
     (clone, vc_bytes)
@@ -158,7 +162,9 @@ fn modelled_seed_clones(rec: &SharedStepRecord) -> u64 {
         .collect();
     bytes += sends_clone.iter().map(|(_, b)| b).sum::<u64>();
     black_box(sends_clone);
-    let randoms_clone = rec.effects.randoms.clone();
+    // The seed's randoms were a plain `Vec<u64>` deep-copied per clone
+    // (today they are a shared `Randoms`; `to_vec` models the old copy).
+    let randoms_clone: Vec<u64> = rec.effects.randoms.to_vec();
     bytes += 8 * randoms_clone.len() as u64;
     black_box(randoms_clone);
     let timers_clone = rec.effects.timers_set.clone();

@@ -1,5 +1,6 @@
 //! Example application protocols (see crate docs).
 
+pub mod chord;
 pub mod kvstore;
 pub mod pipeline;
 pub mod token_ring;

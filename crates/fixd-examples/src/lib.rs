@@ -17,10 +17,14 @@
 //! * [`apps::two_phase_commit`] — atomic commit; the buggy coordinator
 //!   commits after the *first* YES vote;
 //! * [`apps::pipeline`] — a source/cruncher work pipeline for measuring
-//!   salvaged computation under the Healer's two recovery strategies.
+//!   salvaged computation under the Healer's two recovery strategies;
+//! * [`apps::chord`] — a Chord DHT (finger-routed lookups, stabilize
+//!   rounds, churn) whose behaviour is independent of world width — the
+//!   scenario behind the wide-world scale benchmark.
 
 pub mod apps;
 
+pub use apps::chord;
 pub use apps::kvstore;
 pub use apps::pipeline;
 pub use apps::token_ring;

@@ -294,7 +294,8 @@ impl TransitionSystem for WorldModel {
         }
         if self.strict_fingerprint {
             for hs in &s.harnesses {
-                for &c in hs.vc().components() {
+                for (p, c) in hs.vc().entries() {
+                    h = fnv_mix(h, u64::from(p.0));
                     h = fnv_mix(h, c);
                 }
             }

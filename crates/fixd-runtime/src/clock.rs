@@ -4,6 +4,20 @@
 //! uses them to merge per-process logs into a causally consistent total
 //! order (§3.1 of the paper), and the Time Machine uses them to reason
 //! about consistent cuts when assembling global checkpoints (§3.2, Fig. 6).
+//!
+//! The representation is **sparse**: a clock stores only its nonzero
+//! `(pid, count)` components, sorted by pid, with the first few pairs held
+//! inline (no heap allocation at all for clocks that have observed at most
+//! [`INLINE_PAIRS`] processes). A process's clock therefore costs memory
+//! and time proportional to its *causal footprint* — the set of processes
+//! whose events it has (transitively) observed — not the width of the
+//! world. That is what lets a message or scroll entry in a 10^6-process
+//! world carry a clock of a handful of entries instead of an 8 MB vector,
+//! and it is the load-bearing change behind the `scale_demo` gate
+//! (steps/sec independent of world width). All operations keep semantics
+//! identical to the classic dense fixed-width implementation; the
+//! equivalence is pinned by a property test against a dense reference
+//! model in `tests/prop_runtime.rs`.
 
 use crate::Pid;
 
@@ -54,70 +68,296 @@ pub enum Causality {
     Concurrent,
 }
 
-/// A fixed-width vector clock over the processes of a world.
+/// Pairs held inline before spilling to a heap vector. Three pairs cover
+/// the overwhelmingly common case (a process that has only exchanged
+/// messages with one or two peers) without any allocation.
+pub const INLINE_PAIRS: usize = 3;
+
+/// Sparse storage: either a few inline pairs or a sorted heap vector.
+/// Invariant (both variants): pids strictly increasing, all counts > 0.
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline {
+        len: u8,
+        pids: [u32; INLINE_PAIRS],
+        counts: [u64; INLINE_PAIRS],
+    },
+    Heap(Vec<(u32, u64)>),
+}
+
+/// A sparse vector clock over the processes of a world.
 ///
-/// The width is set at construction (the number of processes) and all
-/// operations require equal widths; mixing widths is a logic error and
-/// panics in debug builds.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+/// Conceptually the clock is an infinite vector of `u64` components, one
+/// per possible pid, almost all zero; only the nonzero components are
+/// stored. A zero clock is the same value regardless of the world's
+/// width, so clocks from worlds of different widths compare meaningfully
+/// (the dense implementation's width-mismatch panic is gone along with
+/// the widths themselves).
+#[derive(Clone, Debug)]
 pub struct VectorClock {
-    counts: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for VectorClock {
+    fn default() -> Self {
+        Self::ZERO
+    }
 }
 
 impl VectorClock {
-    /// A zero clock of width `n`.
-    pub fn new(n: usize) -> Self {
-        Self { counts: vec![0; n] }
+    /// The zero clock. `const`, so dormant (never-materialized) processes
+    /// can share one static clock instead of allocating anything.
+    pub const ZERO: VectorClock = VectorClock {
+        repr: Repr::Inline {
+            len: 0,
+            pids: [0; INLINE_PAIRS],
+            counts: [0; INLINE_PAIRS],
+        },
+    };
+
+    /// A zero clock. The width argument is kept for source compatibility
+    /// with the dense implementation and is ignored: a sparse zero clock
+    /// is the same value at every width.
+    pub fn new(_n: usize) -> Self {
+        Self::ZERO
     }
 
-    /// Construct from explicit components (test helper and codec target).
+    /// Construct from explicit dense components (test helper and the v1
+    /// codec's decode target); zero components are dropped.
     pub fn from_vec(counts: Vec<u64>) -> Self {
-        Self { counts }
+        Self::from_pairs(
+            counts
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(i, c)| (i as u32, c))
+                .collect(),
+        )
     }
 
-    /// Number of components.
+    /// Construct from sorted `(pid, count)` pairs (the v2 codec's decode
+    /// target). Pairs must be strictly increasing by pid with nonzero
+    /// counts; out-of-order or zero-count inputs are normalized.
+    pub fn from_pairs(mut pairs: Vec<(u32, u64)>) -> Self {
+        if !pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+            pairs.sort_unstable_by_key(|&(p, _)| p);
+            pairs.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 = b.1.max(a.1);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        pairs.retain(|&(_, c)| c > 0);
+        let mut vc = Self::ZERO;
+        if pairs.len() <= INLINE_PAIRS {
+            if let Repr::Inline { len, pids, counts } = &mut vc.repr {
+                for (i, (p, c)) in pairs.into_iter().enumerate() {
+                    pids[i] = p;
+                    counts[i] = c;
+                    *len += 1;
+                }
+            }
+        } else {
+            vc.repr = Repr::Heap(pairs);
+        }
+        vc
+    }
+
+    /// The nonzero `(pid, count)` pairs, sorted by pid.
     #[inline]
-    pub fn width(&self) -> usize {
-        self.counts.len()
+    pub fn pairs(&self) -> &[(u32, u64)] {
+        match &self.repr {
+            Repr::Inline { .. } => &[],
+            Repr::Heap(v) => v,
+        }
     }
 
-    /// Component for process `p`.
+    /// Iterate the nonzero components as `(Pid, count)`, in pid order.
+    pub fn entries(&self) -> impl Iterator<Item = (Pid, u64)> + '_ {
+        ClockIter { vc: self, i: 0 }
+    }
+
+    /// Number of nonzero components (the clock's causal footprint).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// True iff every component is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.nnz() == 0
+    }
+
+    /// Position of `p` among the stored pairs, or where it would insert.
+    #[inline]
+    fn find(&self, p: u32) -> Result<usize, usize> {
+        match &self.repr {
+            Repr::Inline { len, pids, .. } => {
+                let len = *len as usize;
+                // Linear scan: at most INLINE_PAIRS comparisons.
+                for (i, &q) in pids[..len].iter().enumerate() {
+                    if q == p {
+                        return Ok(i);
+                    }
+                    if q > p {
+                        return Err(i);
+                    }
+                }
+                Err(len)
+            }
+            Repr::Heap(v) => v.binary_search_by_key(&p, |&(q, _)| q),
+        }
+    }
+
+    /// Component for process `p` (zero if never observed).
     #[inline]
     pub fn get(&self, p: Pid) -> u64 {
-        self.counts.get(p.idx()).copied().unwrap_or(0)
+        match (&self.repr, self.find(p.0)) {
+            (Repr::Inline { counts, .. }, Ok(i)) => counts[i],
+            (Repr::Heap(v), Ok(i)) => v[i].1,
+            (_, Err(_)) => 0,
+        }
     }
 
-    /// Raw components.
-    #[inline]
-    pub fn components(&self) -> &[u64] {
-        &self.counts
+    /// Set component `p` to `c` (`c` is never smaller than the stored
+    /// value on the paths that use this). Internal helper for tick/merge.
+    fn set_at(&mut self, slot: Result<usize, usize>, p: u32, c: u64) {
+        match (&mut self.repr, slot) {
+            (Repr::Inline { counts, .. }, Ok(i)) => counts[i] = c,
+            (Repr::Heap(v), Ok(i)) => v[i].1 = c,
+            (Repr::Inline { len, pids, counts }, Err(i)) => {
+                let n = *len as usize;
+                if n < INLINE_PAIRS {
+                    // Shift the tail right and insert in place.
+                    for j in (i..n).rev() {
+                        pids[j + 1] = pids[j];
+                        counts[j + 1] = counts[j];
+                    }
+                    pids[i] = p;
+                    counts[i] = c;
+                    *len += 1;
+                } else {
+                    // Spill to the heap, inserting the new pair on the way.
+                    let mut v = Vec::with_capacity(INLINE_PAIRS * 2);
+                    v.extend(pids[..i].iter().copied().zip(counts[..i].iter().copied()));
+                    v.push((p, c));
+                    v.extend(pids[i..n].iter().copied().zip(counts[i..n].iter().copied()));
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            (Repr::Heap(v), Err(i)) => v.insert(i, (p, c)),
+        }
     }
 
     /// Increment the component of process `p` (local event rule).
     #[inline]
     pub fn tick(&mut self, p: Pid) -> u64 {
-        debug_assert!(p.idx() < self.counts.len(), "pid out of clock width");
-        self.counts[p.idx()] += 1;
-        self.counts[p.idx()]
+        let slot = self.find(p.0);
+        let c = match (&mut self.repr, slot) {
+            (Repr::Inline { counts, .. }, Ok(i)) => {
+                counts[i] += 1;
+                return counts[i];
+            }
+            (Repr::Heap(v), Ok(i)) => {
+                v[i].1 += 1;
+                return v[i].1;
+            }
+            _ => 1,
+        };
+        self.set_at(slot, p.0, c);
+        c
     }
 
     /// Pointwise maximum with `other` (receive rule, without the tick).
     pub fn merge(&mut self, other: &VectorClock) {
-        debug_assert_eq!(self.width(), other.width(), "vector clock width mismatch");
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            if *b > *a {
-                *a = *b;
+        if other.is_zero() {
+            return;
+        }
+        if self.is_zero() {
+            *self = other.clone();
+            return;
+        }
+        // Fast path: every component of `other` already present in self —
+        // update in place without rebuilding.
+        let all_present = other.entries().all(|(p, _)| self.find(p.0).is_ok());
+        if all_present {
+            for (p, c) in other.entries() {
+                let slot = self.find(p.0);
+                if let Ok(i) = slot {
+                    match &mut self.repr {
+                        Repr::Inline { counts, .. } => counts[i] = counts[i].max(c),
+                        Repr::Heap(v) => v[i].1 = v[i].1.max(c),
+                    }
+                }
+            }
+            return;
+        }
+        // General path: merge the two sorted pair lists.
+        let mut out = Vec::with_capacity(self.nnz() + other.nnz());
+        {
+            let mut a = self.entries().peekable();
+            let mut b = other.entries().peekable();
+            loop {
+                match (a.peek().copied(), b.peek().copied()) {
+                    (Some((pa, ca)), Some((pb, cb))) => {
+                        if pa.0 < pb.0 {
+                            out.push((pa.0, ca));
+                            a.next();
+                        } else if pb.0 < pa.0 {
+                            out.push((pb.0, cb));
+                            b.next();
+                        } else {
+                            out.push((pa.0, ca.max(cb)));
+                            a.next();
+                            b.next();
+                        }
+                    }
+                    (Some((pa, ca)), None) => {
+                        out.push((pa.0, ca));
+                        a.next();
+                    }
+                    (None, Some((pb, cb))) => {
+                        out.push((pb.0, cb));
+                        b.next();
+                    }
+                    (None, None) => break,
+                }
             }
         }
+        *self = Self::from_pairs(out);
     }
 
-    /// `self <= other` pointwise.
+    /// `self <= other` pointwise (over the conceptual infinite vectors).
     pub fn leq(&self, other: &VectorClock) -> bool {
-        debug_assert_eq!(self.width(), other.width(), "vector clock width mismatch");
-        self.counts
-            .iter()
-            .zip(other.counts.iter())
-            .all(|(a, b)| a <= b)
+        // Every nonzero component of self must be covered by other.
+        let mut b = other.entries().peekable();
+        for (p, c) in self.entries() {
+            loop {
+                match b.peek().copied() {
+                    Some((q, _)) if q.0 < p.0 => {
+                        b.next();
+                    }
+                    Some((q, d)) if q.0 == p.0 => {
+                        if c > d {
+                            return false;
+                        }
+                        b.next();
+                        break;
+                    }
+                    // other has no component for p (i.e. zero) but self's
+                    // is nonzero.
+                    _ => return false,
+                }
+            }
+        }
+        true
     }
 
     /// Full causal comparison.
@@ -139,18 +379,72 @@ impl VectorClock {
 
     /// Sum of all components — a convenient monotone "event count" measure.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.entries().map(|(_, c)| c).sum()
+    }
+
+    /// Approximate resident size of this clock in bytes (accounting
+    /// helper for spill thresholds and benches).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Heap(v) => v.capacity() * std::mem::size_of::<(u32, u64)>(),
+        }
+    }
+}
+
+struct ClockIter<'a> {
+    vc: &'a VectorClock,
+    i: usize,
+}
+
+impl Iterator for ClockIter<'_> {
+    type Item = (Pid, u64);
+    #[inline]
+    fn next(&mut self) -> Option<(Pid, u64)> {
+        let i = self.i;
+        self.i += 1;
+        match &self.vc.repr {
+            Repr::Inline { len, pids, counts } => {
+                if i < *len as usize {
+                    Some((Pid(pids[i]), counts[i]))
+                } else {
+                    None
+                }
+            }
+            Repr::Heap(v) => v.get(i).map(|&(p, c)| (Pid(p), c)),
+        }
+    }
+}
+
+// Equality, hashing, and ordering are defined over the *logical* pair
+// sequence so an inline clock and a heap clock with the same components
+// are the same value (the representation is an implementation detail).
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.nnz() == other.nnz() && self.entries().eq(other.entries())
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl std::hash::Hash for VectorClock {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.nnz());
+        for (p, c) in self.entries() {
+            state.write_u32(p.0);
+            state.write_u64(c);
+        }
     }
 }
 
 impl std::fmt::Display for VectorClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "⟨")?;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, (p, c)) in self.entries().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{c}")?;
+            write!(f, "{}:{}", p.0, c)?;
         }
         write!(f, "⟩")
     }
@@ -166,7 +460,7 @@ mod tests {
         assert_eq!(c.tick(), 1);
         assert_eq!(c.tick(), 2);
         assert_eq!(c.observe(10), 11);
-        assert_eq!(c.observe(3), 12); // max(12-1=11? no: max(11,3)=11 then tick -> 12
+        assert_eq!(c.observe(3), 12); // max(11,3)=11 then tick -> 12
         assert_eq!(c.time(), 12);
     }
 
@@ -189,10 +483,11 @@ mod tests {
     #[test]
     fn vc_display_and_total() {
         let v = VectorClock::from_vec(vec![1, 0, 2]);
-        assert_eq!(v.to_string(), "⟨1,0,2⟩");
+        assert_eq!(v.to_string(), "⟨0:1,2:2⟩");
         assert_eq!(v.total(), 3);
         assert_eq!(v.get(Pid(2)), 2);
         assert_eq!(v.get(Pid(9)), 0, "out-of-range reads as 0");
+        assert_eq!(v.nnz(), 2, "zero components are not stored");
     }
 
     #[test]
@@ -202,5 +497,114 @@ mod tests {
         assert!(a.leq(&a));
         assert!(a.leq(&b));
         assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn zero_clocks_equal_at_any_width() {
+        assert_eq!(VectorClock::new(0), VectorClock::new(1_000_000));
+        assert_eq!(VectorClock::ZERO, VectorClock::from_vec(vec![0; 64]));
+        assert!(VectorClock::ZERO.is_zero());
+        assert_eq!(VectorClock::ZERO.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn inline_spills_to_heap_and_back_compares() {
+        // Fill past the inline capacity and check every op still agrees
+        // with the dense picture.
+        let mut v = VectorClock::ZERO;
+        for p in [7u32, 3, 11, 1, 9] {
+            v.tick(Pid(p));
+        }
+        assert_eq!(v.nnz(), 5);
+        for p in [1u32, 3, 7, 9, 11] {
+            assert_eq!(v.get(Pid(p)), 1, "pid {p}");
+        }
+        assert_eq!(v.get(Pid(0)), 0);
+        let pairs: Vec<(u32, u64)> = v.entries().map(|(p, c)| (p.0, c)).collect();
+        assert_eq!(pairs, vec![(1, 1), (3, 1), (7, 1), (9, 1), (11, 1)]);
+        // Equality across representations.
+        let rebuilt = VectorClock::from_pairs(pairs);
+        assert_eq!(v, rebuilt);
+        assert!(v.resident_bytes() > 0, "spilled clock is heap-backed");
+    }
+
+    #[test]
+    fn inline_insert_keeps_sorted_order() {
+        let mut v = VectorClock::ZERO;
+        v.tick(Pid(5));
+        v.tick(Pid(2)); // inserts before 5
+        v.tick(Pid(8)); // appends
+        let pairs: Vec<(u32, u64)> = v.entries().map(|(p, c)| (p.0, c)).collect();
+        assert_eq!(pairs, vec![(2, 1), (5, 1), (8, 1)]);
+        v.tick(Pid(5));
+        assert_eq!(v.get(Pid(5)), 2);
+    }
+
+    #[test]
+    fn merge_in_place_and_rebuild_paths() {
+        // In-place path: other's support ⊆ self's support.
+        let mut a = VectorClock::from_vec(vec![1, 5, 2]);
+        let b = VectorClock::from_vec(vec![4, 2, 2]);
+        a.merge(&b);
+        assert_eq!(a, VectorClock::from_vec(vec![4, 5, 2]));
+        // Rebuild path: disjoint supports.
+        let mut c = VectorClock::from_pairs(vec![(0, 1), (10, 3)]);
+        let d = VectorClock::from_pairs(vec![(5, 2), (20, 7)]);
+        c.merge(&d);
+        assert_eq!(
+            c,
+            VectorClock::from_pairs(vec![(0, 1), (5, 2), (10, 3), (20, 7)])
+        );
+        // Merging zero is a no-op; merging into zero is a copy.
+        let mut z = VectorClock::ZERO;
+        z.merge(&c);
+        assert_eq!(z, c);
+        c.merge(&VectorClock::ZERO);
+        assert_eq!(z, c);
+    }
+
+    #[test]
+    fn leq_handles_missing_components_as_zero() {
+        let a = VectorClock::from_pairs(vec![(3, 1)]);
+        let b = VectorClock::from_pairs(vec![(2, 9), (3, 1)]);
+        assert!(a.leq(&b), "a's implicit zeros are <= b everywhere");
+        assert!(!b.leq(&a), "b[2]=9 > a[2]=0");
+        assert_eq!(a.compare(&b), Causality::Before);
+    }
+
+    #[test]
+    fn from_pairs_normalizes_unsorted_and_zero_counts() {
+        let v = VectorClock::from_pairs(vec![(9, 1), (2, 0), (4, 3)]);
+        let pairs: Vec<(u32, u64)> = v.entries().map(|(p, c)| (p.0, c)).collect();
+        assert_eq!(pairs, vec![(4, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn hash_agrees_across_reprs() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &VectorClock| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        let mut inline = VectorClock::ZERO;
+        inline.tick(Pid(4));
+        inline.tick(Pid(4));
+        let heap = {
+            // Force the heap representation of the same logical value.
+            let mut v = VectorClock::ZERO;
+            for p in 0..=4u32 {
+                v.tick(Pid(p));
+            }
+            VectorClock::from_pairs(
+                v.entries()
+                    .filter(|(p, _)| p.0 == 4)
+                    .map(|(p, c)| (p.0, c + 1))
+                    .collect(),
+            )
+        };
+        assert_eq!(inline, heap);
+        assert_eq!(hash(&inline), hash(&heap));
     }
 }

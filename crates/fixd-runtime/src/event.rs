@@ -135,6 +135,62 @@ impl From<&SharedMessage> for SharedMessage {
     }
 }
 
+/// The random draws one handler run made, in order, shared by every
+/// observer (the step record, the trace, and the Scroll entry all hold
+/// the *same* allocation — recording the draws is a reference-count
+/// bump, not a `Vec` clone). The common case of a handler that draws
+/// nothing is represented as `None`, so an empty `Randoms` costs no
+/// allocation at all and the hot step loop stays allocation-free.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Randoms(Option<std::sync::Arc<[u64]>>);
+
+impl Randoms {
+    /// The draw-free value (`const`, allocation-free).
+    pub const EMPTY: Randoms = Randoms(None);
+
+    /// The draws as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        self.0.as_deref().unwrap_or(&[])
+    }
+
+    /// Do two handles share one allocation? (Both being empty counts:
+    /// neither owns anything to duplicate.)
+    pub fn ptr_eq(&self, other: &Randoms) -> bool {
+        match (&self.0, &other.0) {
+            (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::ops::Deref for Randoms {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u64>> for Randoms {
+    fn from(v: Vec<u64>) -> Self {
+        if v.is_empty() {
+            Randoms(None)
+        } else {
+            Randoms(Some(v.into()))
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Randoms {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A byte string a program emitted via [`crate::Context::output`] —
 /// the observable "result" channel of an application, used by tests and by
 /// the Healer benchmarks to compare salvaged computation.
@@ -214,8 +270,9 @@ pub struct Effects {
     pub timers_set: Vec<(TimerId, VTime)>,
     /// Timers cancelled.
     pub timers_cancelled: Vec<TimerId>,
-    /// Random draws made by the handler, in order.
-    pub randoms: Vec<u64>,
+    /// Random draws made by the handler, in order (shared; see
+    /// [`Randoms`]).
+    pub randoms: Randoms,
     /// Observable outputs emitted (shared buffers: the trace's output
     /// index aliases these instead of copying them).
     pub outputs: Vec<Payload>,
@@ -247,7 +304,7 @@ impl Effects {
             wire::put_varint(&mut buf, t.0);
             wire::put_varint(&mut buf, *at);
         }
-        wire::put_u64s(&mut buf, &self.randoms);
+        wire::put_u64s(&mut buf, self.randoms.as_slice());
         wire::put_varint(&mut buf, self.outputs.len() as u64);
         for o in &self.outputs {
             wire::put_bytes(&mut buf, o);
@@ -336,7 +393,7 @@ mod tests {
         let mut e = Effects::default();
         let base = e.fingerprint();
         assert!(e.is_empty());
-        e.randoms.push(7);
+        e.randoms = vec![7].into();
         assert_ne!(e.fingerprint(), base);
         assert!(!e.is_empty());
         let with_rand = e.fingerprint();

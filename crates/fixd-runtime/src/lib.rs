@@ -72,7 +72,9 @@ pub use disk::{DiskStats, SharedDisk};
 // The content-addressed state store sits below the runtime in the crate
 // DAG; re-export the pieces checkpoint-facing code needs so downstream
 // crates can use `fixd_runtime::{PageStore, SnapshotImage}` directly.
-pub use event::{Effects, Event, EventKind, Message, MsgMeta, Output, SharedMessage, TimerId};
+pub use event::{
+    Effects, Event, EventKind, Message, MsgMeta, Output, Randoms, SharedMessage, TimerId,
+};
 pub use fault::{Fault, FaultPlan};
 pub use fixd_store::{PageStats, PageStore, PagedImage, SnapshotImage, StoreStats};
 pub use harness::SoloHarness;
@@ -82,7 +84,9 @@ pub use program::{Context, Program};
 pub use rng::DetRng;
 pub use topology::Topology;
 pub use trace::{SharedStepRecord, StepRecord, Trace};
-pub use world::{GlobalSnapshot, ProcCheckpoint, ProcStatus, RunReport, World, WorldConfig};
+pub use world::{
+    GlobalSnapshot, ProcCheckpoint, ProcFactory, ProcStatus, RunReport, World, WorldConfig,
+};
 
 /// Virtual time, in abstract "nanoseconds". Purely logical; never tied to
 /// the wall clock, so runs are reproducible.

@@ -89,6 +89,10 @@ pub struct Context<'a> {
     meta_template: MsgMeta,
     /// Collected effects of this handler run.
     pub(crate) effects: Effects,
+    /// Draws accumulate here and are sealed into the shared
+    /// `effects.randoms` once, in [`Context::into_effects`] — a handler
+    /// that draws nothing allocates nothing.
+    randoms: Vec<u64>,
 }
 
 impl<'a> Context<'a> {
@@ -115,6 +119,7 @@ impl<'a> Context<'a> {
             next_timer_id,
             meta_template,
             effects: Effects::default(),
+            randoms: Vec::new(),
         }
     }
 
@@ -196,14 +201,14 @@ impl<'a> Context<'a> {
     /// a nondeterministic outcome, per §3.1).
     pub fn random(&mut self) -> u64 {
         let v = self.rng.next_u64();
-        self.effects.randoms.push(v);
+        self.randoms.push(v);
         v
     }
 
     /// Draw uniformly from `[0, n)`.
     pub fn random_below(&mut self, n: u64) -> u64 {
         let v = self.rng.below(n);
-        self.effects.randoms.push(v);
+        self.randoms.push(v);
         v
     }
 
@@ -230,7 +235,8 @@ impl<'a> Context<'a> {
         self.vc
     }
 
-    pub(crate) fn into_effects(self) -> Effects {
+    pub(crate) fn into_effects(mut self) -> Effects {
+        self.effects.randoms = self.randoms.into();
         self.effects
     }
 }

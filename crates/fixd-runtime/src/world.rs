@@ -105,7 +105,8 @@ impl ProcCheckpoint {
     /// the inline form produces for the same bytes.
     pub fn fingerprint(&self) -> u64 {
         let mut h = self.state.content_fnv1a();
-        for &c in self.vc.components() {
+        for (p, c) in self.vc.entries() {
+            h = wire::fnv_mix(h, u64::from(p.0));
             h = wire::fnv_mix(h, c);
         }
         wire::fnv_mix(h, self.lamport)
@@ -172,6 +173,18 @@ impl Clone for ProcEntry {
     }
 }
 
+/// Builds the program for a lazily materialized process the first time an
+/// event actually touches it.
+pub type ProcFactory = Arc<dyn Fn(Pid) -> Box<dyn Program> + Send + Sync>;
+
+/// A contiguous pid range whose processes materialize on demand.
+#[derive(Clone)]
+struct LazyRange {
+    start: u32,
+    end: u32,
+    factory: ProcFactory,
+}
+
 #[derive(Clone, Debug, PartialEq)]
 struct QueuedEvent {
     at: VTime,
@@ -197,8 +210,18 @@ impl Ord for QueuedEvent {
 /// The deterministic distributed-system simulator. See module docs.
 pub struct World {
     cfg: WorldConfig,
-    procs: Vec<ProcEntry>,
+    /// One slot per pid. `None` = dormant: a lazily added process no
+    /// event has touched yet. A dormant slot costs 8 bytes (the
+    /// null-pointer niche of `Option<Box<_>>`), which is what lets a
+    /// 10^6-process world with 10^3 active processes allocate like a
+    /// 10^3-process world.
+    procs: Vec<Option<Box<ProcEntry>>>,
+    /// Factories for the dormant ranges, looked up on first touch.
+    lazy: Vec<LazyRange>,
     queue: BinaryHeap<QueuedEvent>,
+    /// Reusable scratch for [`World::apply_effects`]: events of one
+    /// effects batch collect here, then extend the heap in one call.
+    event_batch: Vec<QueuedEvent>,
     staged: Option<QueuedEvent>,
     cancelled_timers: HashSet<(u32, u64)>,
     partition: Partition,
@@ -220,7 +243,9 @@ impl Clone for World {
         Self {
             cfg: self.cfg.clone(),
             procs: self.procs.clone(),
+            lazy: self.lazy.clone(),
             queue: self.queue.clone(),
+            event_batch: Vec::new(),
             staged: self.staged.clone(),
             cancelled_timers: self.cancelled_timers.clone(),
             partition: self.partition.clone(),
@@ -250,7 +275,9 @@ impl World {
             now: cfg.start_time,
             cfg,
             procs: Vec::new(),
+            lazy: Vec::new(),
             queue: BinaryHeap::new(),
+            event_batch: Vec::new(),
             staged: None,
             cancelled_timers: HashSet::new(),
             sched_seq: 0,
@@ -269,18 +296,104 @@ impl World {
     pub fn add_process(&mut self, program: Box<dyn Program>) -> Pid {
         assert!(!self.sealed, "cannot add processes after the world started");
         let pid = Pid(self.procs.len() as u32);
-        self.procs.push(ProcEntry {
+        self.procs.push(Some(Box::new(ProcEntry {
             program,
             status: ProcStatus::Running,
-            vc: VectorClock::new(0), // resized at seal
+            vc: VectorClock::ZERO,
             lamport: 0,
             rng: DetRng::derive(self.cfg.seed, u64::from(pid.0)),
             meta_template: MsgMeta::default(),
             delivered: 0,
             next_msg_id: 1,
             next_timer_id: 1,
-        });
+        })));
         pid
+    }
+
+    /// Add `count` processes that materialize lazily: each slot costs 8
+    /// bytes until the first event touches it, at which point `factory`
+    /// builds the program and the full [`ProcEntry`] (clock, RNG stream,
+    /// counters) is created exactly as [`World::add_process`] would have.
+    ///
+    /// Lazy processes get **no** automatic `Start` event at seal time —
+    /// they boot when a driver calls [`World::schedule_start`] or when a
+    /// message is delivered to them (whichever touches them first). This
+    /// is what makes a mostly idle wide world cheap: the event queue and
+    /// the process table both scale with the *active* population.
+    ///
+    /// Returns the pid range added. Must be called before the world
+    /// starts.
+    pub fn add_lazy_processes(
+        &mut self,
+        count: usize,
+        factory: impl Fn(Pid) -> Box<dyn Program> + Send + Sync + 'static,
+    ) -> std::ops::Range<u32> {
+        assert!(!self.sealed, "cannot add processes after the world started");
+        let start = self.procs.len() as u32;
+        let end = start + count as u32;
+        self.procs.resize_with(self.procs.len() + count, || None);
+        self.lazy.push(LazyRange {
+            start,
+            end,
+            factory: Arc::new(factory),
+        });
+        start..end
+    }
+
+    /// Is `pid`'s state materialized (vs. a dormant lazy slot)?
+    pub fn is_materialized(&self, pid: Pid) -> bool {
+        self.procs[pid.idx()].is_some()
+    }
+
+    /// Number of materialized processes (the "active population").
+    pub fn materialized_procs(&self) -> usize {
+        self.procs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Build a fresh entry for a dormant pid, exactly as `add_process`
+    /// would have at world construction (same derived RNG stream, zero
+    /// clocks) — a lazy process is indistinguishable from an eager one
+    /// that has not run yet.
+    fn fresh_entry(&self, pid: Pid) -> Box<ProcEntry> {
+        let range = self
+            .lazy
+            .iter()
+            .find(|r| r.start <= pid.0 && pid.0 < r.end)
+            .expect("dormant pid must belong to a lazy range");
+        Box::new(ProcEntry {
+            program: (range.factory)(pid),
+            status: ProcStatus::Running,
+            vc: VectorClock::ZERO,
+            lamport: 0,
+            rng: DetRng::derive(self.cfg.seed, u64::from(pid.0)),
+            meta_template: MsgMeta::default(),
+            delivered: 0,
+            next_msg_id: 1,
+            next_timer_id: 1,
+        })
+    }
+
+    /// Shared access to a materialized entry (`None` while dormant).
+    #[inline]
+    fn ent(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.procs[pid.idx()].as_deref()
+    }
+
+    /// Mutable access, materializing a dormant slot on first touch.
+    #[inline]
+    fn ent_mut(&mut self, pid: Pid) -> &mut ProcEntry {
+        if self.procs[pid.idx()].is_none() {
+            let e = self.fresh_entry(pid);
+            self.procs[pid.idx()] = Some(e);
+        }
+        self.procs[pid.idx()].as_mut().unwrap()
+    }
+
+    /// Liveness without materializing: dormant processes are `Running`
+    /// (they exist; they just have not done anything yet).
+    #[inline]
+    fn status_of(&self, pid: Pid) -> ProcStatus {
+        self.ent(pid).map_or(ProcStatus::Running, |e| e.status)
     }
 
     /// Install a fault plan. Must be called before the first `peek`/`step`.
@@ -299,9 +412,6 @@ impl World {
         self.sealed = true;
         let n = self.procs.len();
         self.partition = Partition::none(n);
-        for e in &mut self.procs {
-            e.vc = VectorClock::new(n);
-        }
         // Fault-plan events are scheduled before the start events so a
         // fault configured at time t takes effect before application
         // handlers that run at t (same-timestamp ties break by seq).
@@ -311,16 +421,28 @@ impl World {
         for (at, partition) in self.faults.scheduled_partitions(n) {
             self.push_event(at, EventKind::PartitionChange { partition });
         }
+        // Start events only for materialized processes: lazy slots boot
+        // via `schedule_start` or first delivery, so the initial queue
+        // scales with the active population, not the world width.
         let start = self.cfg.start_time;
         for i in 0..n {
-            self.push_event(start, EventKind::Start { pid: Pid(i as u32) });
+            if self.procs[i].is_some() {
+                self.push_event(start, EventKind::Start { pid: Pid(i as u32) });
+            }
         }
     }
 
-    fn push_event(&mut self, at: VTime, kind: EventKind) {
+    /// Stamp the next scheduling sequence number onto an event.
+    #[inline]
+    fn make_event(&mut self, at: VTime, kind: EventKind) -> QueuedEvent {
         let seq = self.sched_seq;
         self.sched_seq += 1;
-        self.queue.push(QueuedEvent { at, seq, kind });
+        QueuedEvent { at, seq, kind }
+    }
+
+    fn push_event(&mut self, at: VTime, kind: EventKind) {
+        let qe = self.make_event(at, kind);
+        self.queue.push(qe);
     }
 
     /// Pop queue entries until one that will actually execute is found.
@@ -334,19 +456,19 @@ impl World {
                     if self.cancelled_timers.remove(&(pid.0, timer.0)) {
                         continue; // cancelled: silent skip
                     }
-                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                    if self.status_of(*pid) == ProcStatus::Crashed {
                         continue; // timers die with the process
                     }
                     return Some(qe);
                 }
                 EventKind::Start { pid } => {
-                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                    if self.status_of(*pid) == ProcStatus::Crashed {
                         continue;
                     }
                     return Some(qe);
                 }
                 EventKind::Deliver { msg } => {
-                    if self.procs[msg.dst.idx()].status == ProcStatus::Crashed {
+                    if self.status_of(msg.dst) == ProcStatus::Crashed {
                         // Surface as an observable drop.
                         return Some(QueuedEvent {
                             at: qe.at,
@@ -357,7 +479,7 @@ impl World {
                     return Some(qe);
                 }
                 EventKind::Crash { pid } => {
-                    if self.procs[pid.idx()].status == ProcStatus::Crashed {
+                    if self.status_of(*pid) == ProcStatus::Crashed {
                         continue; // already dead
                     }
                     return Some(qe);
@@ -414,7 +536,7 @@ impl World {
             EventKind::Deliver { msg } => {
                 let pid = msg.dst;
                 {
-                    let e = &mut self.procs[pid.idx()];
+                    let e = self.ent_mut(pid);
                     e.vc.tick(pid);
                     let m = &msg.vc;
                     e.vc.merge(m);
@@ -436,7 +558,7 @@ impl World {
                 (EventKind::TimerFire { pid, timer }, eff)
             }
             EventKind::Crash { pid } => {
-                self.procs[pid.idx()].status = ProcStatus::Crashed;
+                self.ent_mut(pid).status = ProcStatus::Crashed;
                 (EventKind::Crash { pid }, Effects::default())
             }
             EventKind::Restart { pid } => (EventKind::Restart { pid }, Effects::default()),
@@ -458,7 +580,7 @@ impl World {
         let n = self.procs.len();
         let now = self.now;
         let effects = {
-            let e = &mut self.procs[pid.idx()];
+            let e = self.ent_mut(pid);
             if matches!(call, HandlerCall::Start) {
                 e.vc.tick(pid);
                 e.lamport += 1;
@@ -489,18 +611,27 @@ impl World {
     /// message handles (a refcount bump each, no `Message` clone), and
     /// outputs stay where they are — the trace reads them out of the
     /// record's effects instead of copying them into a side list.
+    ///
+    /// All events one effects batch generates (deliveries, drops, timer
+    /// firings) collect into a reusable scratch vector and extend the
+    /// heap in a single call, instead of a `queue.push` per send — a
+    /// broadcast of N messages sifts into the heap once, not N times.
     fn apply_effects(&mut self, pid: Pid, effects: Effects) -> Effects {
+        let mut batch = std::mem::take(&mut self.event_batch);
         for msg in &effects.sends {
-            self.route_message(msg.clone());
+            self.route_message(msg.clone(), &mut batch);
         }
         for (timer, fire_at) in &effects.timers_set {
-            self.push_event(*fire_at, EventKind::TimerFire { pid, timer: *timer });
+            let qe = self.make_event(*fire_at, EventKind::TimerFire { pid, timer: *timer });
+            batch.push(qe);
         }
+        self.queue.extend(batch.drain(..));
+        self.event_batch = batch;
         for t in &effects.timers_cancelled {
             self.cancelled_timers.insert((pid.0, t.0));
         }
         if effects.crashed {
-            self.procs[pid.idx()].status = ProcStatus::Crashed;
+            self.ent_mut(pid).status = ProcStatus::Crashed;
             let seq = self.exec_seq;
             self.exec_seq += 1;
             self.trace.push(Arc::new(StepRecord {
@@ -515,12 +646,17 @@ impl World {
         effects
     }
 
-    fn route_message(&mut self, mut msg: SharedMessage) {
+    /// Plan one send's deliveries/drops into `batch` (scheduling order is
+    /// identical to pushing straight into the heap: sequence numbers are
+    /// minted here, and the heap orders by `(at, seq)` regardless of
+    /// insertion order).
+    fn route_message(&mut self, mut msg: SharedMessage, batch: &mut Vec<QueuedEvent>) {
         self.stats.sent += 1;
         self.stats.payload_bytes += msg.payload.len() as u64;
         // Fault-plan rules first (they are targeted and override chance).
         if self.faults.should_drop(msg.src, msg.dst, self.now) {
-            self.push_event(self.now, EventKind::Drop { msg });
+            let qe = self.make_event(self.now, EventKind::Drop { msg });
+            batch.push(qe);
             return;
         }
         if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
@@ -553,10 +689,12 @@ impl World {
                         m.to_mut().payload = p;
                         self.stats.corrupted += 1;
                     }
-                    self.push_event(at, EventKind::Deliver { msg: m });
+                    let qe = self.make_event(at, EventKind::Deliver { msg: m });
+                    batch.push(qe);
                 }
                 DeliveryOutcome::Drop { reason: _ } => {
-                    self.push_event(self.now, EventKind::Drop { msg: msg.clone() });
+                    let qe = self.make_event(self.now, EventKind::Drop { msg: msg.clone() });
+                    batch.push(qe);
                 }
             }
         }
@@ -659,37 +797,44 @@ impl World {
         &self.trace
     }
 
-    /// Liveness of a process.
+    /// Liveness of a process (dormant lazy processes are `Running`).
     pub fn status(&self, pid: Pid) -> ProcStatus {
-        self.procs[pid.idx()].status
+        self.status_of(pid)
     }
 
-    /// A process's current vector clock.
+    /// A process's current vector clock. Dormant processes share the one
+    /// static zero clock — reading a million idle clocks allocates
+    /// nothing.
     pub fn proc_vc(&self, pid: Pid) -> &VectorClock {
-        &self.procs[pid.idx()].vc
+        self.ent(pid).map_or(&VectorClock::ZERO, |e| &e.vc)
     }
 
     /// A process's delivered-message count.
     pub fn delivered_count(&self, pid: Pid) -> u64 {
-        self.procs[pid.idx()].delivered
+        self.ent(pid).map_or(0, |e| e.delivered)
     }
 
-    /// Typed read access to a process's program.
+    /// Typed read access to a process's program (`None` for dormant lazy
+    /// processes — their program does not exist yet).
     pub fn program<T: 'static>(&self, pid: Pid) -> Option<&T> {
-        self.procs[pid.idx()].program.as_any().downcast_ref::<T>()
+        self.ent(pid)?.program.as_any().downcast_ref::<T>()
     }
 
     /// Typed write access to a process's program (tests / fault setup).
+    /// Materializes a dormant lazy process.
     pub fn program_mut<T: 'static>(&mut self, pid: Pid) -> Option<&mut T> {
-        self.procs[pid.idx()]
-            .program
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.ent_mut(pid).program.as_any_mut().downcast_mut::<T>()
     }
 
-    /// Run a closure over the untyped program (for generic drivers).
+    /// Run a closure over the untyped program (for generic drivers). For
+    /// a dormant lazy process the closure sees a transient fresh program
+    /// (exactly the state it would materialize with); the slot itself
+    /// stays dormant.
     pub fn with_program<R>(&self, pid: Pid, f: impl FnOnce(&dyn Program) -> R) -> R {
-        f(self.procs[pid.idx()].program.as_ref())
+        match self.ent(pid) {
+            Some(e) => f(e.program.as_ref()),
+            None => f(self.fresh_entry(pid).program.as_ref()),
+        }
     }
 
     /// Take a full per-process checkpoint (state + runtime context) with
@@ -716,7 +861,17 @@ impl World {
         pid: Pid,
         snap: impl FnOnce(&dyn Program) -> fixd_store::SnapshotImage,
     ) -> ProcCheckpoint {
-        let e = &self.procs[pid.idx()];
+        // Checkpointing a dormant lazy process captures the fresh state
+        // it would materialize with (deterministic: factory + derived
+        // RNG), without materializing the slot.
+        let fresh;
+        let e = match self.ent(pid) {
+            Some(e) => e,
+            None => {
+                fresh = self.fresh_entry(pid);
+                &*fresh
+            }
+        };
         ProcCheckpoint {
             pid,
             state: snap(e.program.as_ref()),
@@ -736,7 +891,7 @@ impl World {
     /// in-flight messages that the restored past has not yet sent, and
     /// rolling back communication partners.
     pub fn restore_checkpoint(&mut self, ckpt: &ProcCheckpoint) {
-        let e = &mut self.procs[ckpt.pid.idx()];
+        let e = self.ent_mut(ckpt.pid);
         e.program.restore(&ckpt.state.as_bytes());
         e.vc = ckpt.vc.clone();
         e.lamport = ckpt.lamport;
@@ -760,7 +915,7 @@ impl World {
 
     /// Crash a process immediately (external fault injection).
     pub fn crash_now(&mut self, pid: Pid) {
-        self.procs[pid.idx()].status = ProcStatus::Crashed;
+        self.ent_mut(pid).status = ProcStatus::Crashed;
         let seq = self.exec_seq;
         self.exec_seq += 1;
         self.trace.push(Arc::new(StepRecord {
@@ -777,14 +932,14 @@ impl World {
     /// (used by restart-from-scratch strategies; pair with
     /// [`World::replace_program`] or [`World::restore_checkpoint`]).
     pub fn revive(&mut self, pid: Pid) {
-        self.procs[pid.idx()].status = ProcStatus::Running;
+        self.ent_mut(pid).status = ProcStatus::Running;
     }
 
     /// Replace a process's program wholesale (the Healer's dynamic update
     /// entry point). Clocks and RNG position are preserved; the new
     /// program's state must already be migrated.
     pub fn replace_program(&mut self, pid: Pid, program: Box<dyn Program>) {
-        self.procs[pid.idx()].program = program;
+        self.ent_mut(pid).program = program;
     }
 
     /// Schedule a fresh `on_start` for `pid` at the current time (used
@@ -796,12 +951,13 @@ impl World {
     /// Set the Time-Machine metadata template stamped on `pid`'s future
     /// sends (checkpoint index, speculation id).
     pub fn set_meta_template(&mut self, pid: Pid, meta: MsgMeta) {
-        self.procs[pid.idx()].meta_template = meta;
+        self.ent_mut(pid).meta_template = meta;
     }
 
     /// Current metadata template of `pid`.
     pub fn meta_template(&self, pid: Pid) -> MsgMeta {
-        self.procs[pid.idx()].meta_template
+        self.ent(pid)
+            .map_or_else(MsgMeta::default, |e| e.meta_template)
     }
 
     /// Remove queued events matching `pred` (e.g. in-flight messages made
@@ -830,6 +986,12 @@ impl World {
     /// Every queued event (staged one included) in scheduling order —
     /// the one sort both [`World::inflight_messages`] and
     /// [`World::pending_timers`] used to duplicate inline.
+    ///
+    /// O(Q log Q) full-queue sort — audited to stay off the per-step
+    /// path: its only callers are checkpoint-capture surfaces
+    /// (`inflight_messages` / `pending_timers`, used by global snapshot
+    /// assembly, quiesce, and restart baselines), which run once per
+    /// checkpoint or rollback, never per event.
     fn queue_in_order(&self) -> Vec<&QueuedEvent> {
         let mut qes: Vec<&QueuedEvent> = self.queue.iter().chain(self.staged.iter()).collect();
         qes.sort_by_key(|qe| (qe.at, qe.seq));
@@ -884,12 +1046,34 @@ impl World {
     }
 
     /// Snapshot every process (states, clocks, liveness) at this instant.
+    /// Dormant lazy processes contribute the fresh state they would
+    /// materialize with (deterministic), so the snapshot is well-defined
+    /// at any width — but it is inherently O(N); wide-world tooling
+    /// should iterate materialized pids instead.
     pub fn global_snapshot(&self) -> GlobalSnapshot {
+        let mut states = Vec::with_capacity(self.procs.len());
+        let mut vcs = Vec::with_capacity(self.procs.len());
+        let mut statuses = Vec::with_capacity(self.procs.len());
+        for (i, slot) in self.procs.iter().enumerate() {
+            match slot {
+                Some(e) => {
+                    states.push(e.program.snapshot());
+                    vcs.push(e.vc.clone());
+                    statuses.push(e.status);
+                }
+                None => {
+                    let fresh = self.fresh_entry(Pid(i as u32));
+                    states.push(fresh.program.snapshot());
+                    vcs.push(VectorClock::ZERO);
+                    statuses.push(ProcStatus::Running);
+                }
+            }
+        }
         GlobalSnapshot {
             at: self.now,
-            states: self.procs.iter().map(|e| e.program.snapshot()).collect(),
-            vcs: self.procs.iter().map(|e| e.vc.clone()).collect(),
-            statuses: self.procs.iter().map(|e| e.status).collect(),
+            states,
+            vcs,
+            statuses,
         }
     }
 

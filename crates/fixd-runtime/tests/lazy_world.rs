@@ -1,0 +1,150 @@
+//! Lazy process slots: a wide world must allocate like its *active*
+//! population. These tests pin the contract — an untouched process is
+//! an 8-byte `None` slot with no program, clock, or RNG state, and
+//! materializing late yields exactly the state an eager world had.
+
+use fixd_runtime::{Context, Message, Pid, Program, TimerId, VectorClock, World, WorldConfig};
+
+/// Echoes one message back to its sender, counting deliveries.
+struct Echo {
+    seen: u64,
+}
+
+impl Program for Echo {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.send(Pid(1), 1, vec![1]);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        self.seen += 1;
+        let _ = ctx.random();
+        if msg.payload[0] > 0 {
+            ctx.send(msg.src, 1, vec![msg.payload[0] - 1]);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context, _t: TimerId) {}
+    fn snapshot(&self) -> Vec<u8> {
+        self.seen.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.seen = u64::from_le_bytes(b.try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Echo { seen: self.seen })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn lazy_world(width: usize, seed: u64) -> World {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    w.add_lazy_processes(width, |_pid| Box::new(Echo { seen: 0 }));
+    w
+}
+
+#[test]
+fn untouched_processes_never_materialize() {
+    let width = 10_000;
+    let mut w = lazy_world(width, 42);
+    w.schedule_start(Pid(0));
+    w.schedule_start(Pid(1));
+    w.run_to_quiescence(10_000);
+
+    // Only the two scheduled processes (who only talked to each other)
+    // ever materialized; the other 9 998 slots are still `None`.
+    assert_eq!(w.materialized_procs(), 2);
+    assert!(w.is_materialized(Pid(0)));
+    assert!(w.is_materialized(Pid(1)));
+    assert!(!w.is_materialized(Pid(2)));
+    assert!(!w.is_materialized(Pid(width as u32 - 1)));
+
+    // Dormant reads are cheap and allocation-free: a zero clock (the
+    // shared static, not a per-call allocation) and zero counters.
+    let dormant = Pid(777);
+    assert!(w.proc_vc(dormant).is_zero());
+    assert_eq!(w.proc_vc(dormant).resident_bytes(), 0);
+    assert_eq!(w.delivered_count(dormant), 0);
+    assert!(w.program::<Echo>(dormant).is_none());
+    // ...and reading them did not materialize anything.
+    assert_eq!(w.materialized_procs(), 2);
+}
+
+#[test]
+fn first_delivery_materializes_with_eager_identity() {
+    // The same two-process conversation in an eager 3-process world and
+    // embedded at the same pids in a lazy 1000-process world must
+    // produce identical per-process states: a lazy process is an eager
+    // one that has not run yet (same derived RNG stream, same clocks).
+    let eager_fp = {
+        let mut w = World::new(WorldConfig::seeded(7));
+        for _ in 0..3 {
+            w.add_process(Box::new(Echo { seen: 0 }));
+        }
+        w.run_to_quiescence(10_000);
+        (
+            w.checkpoint_process(Pid(0)).fingerprint(),
+            w.checkpoint_process(Pid(1)).fingerprint(),
+        )
+    };
+    let lazy_fp = {
+        let mut w = lazy_world(1_000, 7);
+        w.schedule_start(Pid(0));
+        w.schedule_start(Pid(1));
+        w.schedule_start(Pid(2));
+        w.run_to_quiescence(10_000);
+        (
+            w.checkpoint_process(Pid(0)).fingerprint(),
+            w.checkpoint_process(Pid(1)).fingerprint(),
+        )
+    };
+    assert_eq!(eager_fp, lazy_fp, "lazy must equal eager at the same seed");
+}
+
+#[test]
+fn dormant_checkpoint_and_snapshot_are_deterministic() {
+    let mut a = lazy_world(100, 9);
+    let mut b = lazy_world(100, 9);
+    a.schedule_start(Pid(0));
+    b.schedule_start(Pid(0));
+    a.run_to_quiescence(1_000);
+    b.run_to_quiescence(1_000);
+
+    // Checkpointing a dormant process builds a transient fresh entry —
+    // no materialization, same fingerprint every time.
+    let dormant = Pid(55);
+    let fp1 = a.checkpoint_process(dormant).fingerprint();
+    let fp2 = a.checkpoint_process(dormant).fingerprint();
+    let fp3 = b.checkpoint_process(dormant).fingerprint();
+    assert_eq!(fp1, fp2);
+    assert_eq!(fp1, fp3);
+    assert!(
+        !a.is_materialized(dormant),
+        "checkpoint must not materialize"
+    );
+
+    // Global snapshots cover every slot and agree across identical runs.
+    assert_eq!(
+        a.global_snapshot().fingerprint(),
+        b.global_snapshot().fingerprint()
+    );
+    assert!(!a.is_materialized(dormant), "snapshot must not materialize");
+}
+
+#[test]
+fn delivery_to_dormant_process_boots_it() {
+    let mut w = lazy_world(50, 3);
+    w.schedule_start(Pid(0));
+    // Pid(0)'s start sends to Pid(1), which is dormant: the delivery
+    // must materialize it and run its handler.
+    w.run_to_quiescence(1_000);
+    assert!(w.is_materialized(Pid(1)));
+    assert!(w.program::<Echo>(Pid(1)).unwrap().seen > 0);
+    // Its clock advanced past zero once it participated.
+    assert!(w.proc_vc(Pid(1)).total() > 0);
+    assert!(w.proc_vc(Pid(1)) != &VectorClock::ZERO);
+}

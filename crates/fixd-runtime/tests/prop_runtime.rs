@@ -73,8 +73,105 @@ fn noisy_world(n: usize, seed: u64, fanout: u8, jitter: bool, drop: f64) -> Worl
     w
 }
 
+/// Reference model for [`VectorClock`]: the seed's dense
+/// one-slot-per-process representation, kept deliberately naive so the
+/// sparse implementation is checked against obviously-correct code.
+#[derive(Clone, Debug, Default)]
+struct DenseClock(Vec<u64>);
+
+impl DenseClock {
+    fn get(&self, p: usize) -> u64 {
+        self.0.get(p).copied().unwrap_or(0)
+    }
+    fn tick(&mut self, p: usize) -> u64 {
+        if self.0.len() <= p {
+            self.0.resize(p + 1, 0);
+        }
+        self.0[p] += 1;
+        self.0[p]
+    }
+    fn merge(&mut self, other: &DenseClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+    fn leq(&self, other: &DenseClock) -> bool {
+        (0..self.0.len().max(other.0.len())).all(|i| self.get(i) <= other.get(i))
+    }
+    fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+/// One step of a random clock history, applied to both representations.
+#[derive(Clone, Debug)]
+enum ClockOp {
+    Tick(u8),
+    Merge(Vec<u64>),
+}
+
+fn clock_ops() -> impl Strategy<Value = Vec<ClockOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..24).prop_map(ClockOp::Tick),
+            proptest::collection::vec(0u64..8, 0..24).prop_map(ClockOp::Merge),
+        ],
+        0..40,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sparse clock is observationally identical to the seed's
+    /// dense representation over arbitrary tick/merge histories:
+    /// same components, same comparisons, same totals, and equal
+    /// sparse clocks whenever the dense models are equal.
+    #[test]
+    fn sparse_clock_equals_dense_model(ops_a in clock_ops(), ops_b in clock_ops()) {
+        let run = |ops: &[ClockOp]| {
+            let mut sparse = VectorClock::new(0);
+            let mut dense = DenseClock::default();
+            for op in ops {
+                match op {
+                    ClockOp::Tick(p) => {
+                        let s = sparse.tick(Pid(u32::from(*p)));
+                        let d = dense.tick(usize::from(*p));
+                        assert_eq!(s, d, "tick must return the same count");
+                    }
+                    ClockOp::Merge(v) => {
+                        sparse.merge(&VectorClock::from_vec(v.clone()));
+                        dense.merge(&DenseClock(v.clone()));
+                    }
+                }
+            }
+            (sparse, dense)
+        };
+        let (sa, da) = run(&ops_a);
+        let (sb, db) = run(&ops_b);
+
+        // Component-wise agreement (also past both supports).
+        let width = da.0.len().max(db.0.len()) + 2;
+        for i in 0..width {
+            prop_assert_eq!(sa.get(Pid(i as u32)), da.get(i));
+            prop_assert_eq!(sb.get(Pid(i as u32)), db.get(i));
+        }
+        // Order and aggregate agreement.
+        prop_assert_eq!(sa.leq(&sb), da.leq(&db));
+        prop_assert_eq!(sb.leq(&sa), db.leq(&da));
+        prop_assert_eq!(sa.concurrent(&sb), !da.leq(&db) && !db.leq(&da));
+        prop_assert_eq!(sa.total(), da.total());
+        // Logical equality is representation-independent.
+        prop_assert_eq!(sa == sb, da.0.iter().sum::<u64>() == db.0.iter().sum::<u64>()
+            && da.leq(&db) && db.leq(&da));
+        // Round-trip through the dense constructor is the identity.
+        prop_assert_eq!(&VectorClock::from_vec(da.0.clone()), &sa);
+        // nnz counts exactly the nonzero dense components.
+        prop_assert_eq!(sa.nnz(), da.0.iter().filter(|&&c| c != 0).count());
+    }
 
     /// Same seed ⇒ bit-identical execution, regardless of network mode.
     #[test]

@@ -10,7 +10,43 @@ use fixd_runtime::{Message, MsgMeta, Payload, Pid, TimerId, VectorClock};
 use crate::entry::{EntryKind, ScrollEntry};
 
 /// Format version byte written at the head of every segment.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// * v1 — dense vector clocks: a length-prefixed `u64` list with one
+///   component per process, zeros included. Still decoded for old
+///   segments.
+/// * v2 — sparse vector clocks: a length-prefixed list of
+///   `(pid, count)` varint pairs, nonzero components only. An entry's
+///   clock costs bytes proportional to its causal footprint instead of
+///   the world width, which is what keeps segments of a 10^5-process
+///   world readable.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Encode a sparse clock as `nnz` followed by `(pid, count)` varint
+/// pairs (the v2 wire form).
+fn put_clock(buf: &mut Vec<u8>, vc: &VectorClock) {
+    put_varint(buf, vc.nnz() as u64);
+    for (p, c) in vc.entries() {
+        put_varint(buf, u64::from(p.0));
+        put_varint(buf, c);
+    }
+}
+
+/// Decode a clock in the given format version: v1 reads the dense
+/// component list, v2 the sparse pair list. Both land in the same
+/// in-memory [`VectorClock`] (dense zeros are dropped on the way in).
+fn get_clock(buf: &[u8], pos: &mut usize, version: u8) -> Option<VectorClock> {
+    if version == 1 {
+        return Some(VectorClock::from_vec(get_u64s(buf, pos)?));
+    }
+    let n = get_varint(buf, pos)? as usize;
+    let mut pairs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let p = get_varint(buf, pos)? as u32;
+        let c = get_varint(buf, pos)?;
+        pairs.push((p, c));
+    }
+    Some(VectorClock::from_pairs(pairs))
+}
 
 /// Encoding error (only produced on decode).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,7 +118,7 @@ pub fn encode_message(buf: &mut Vec<u8>, m: &Message) {
     put_varint(buf, u64::from(m.tag));
     put_bytes(buf, &m.payload);
     put_varint(buf, m.sent_at);
-    put_u64s(buf, m.vc.components());
+    put_clock(buf, &m.vc);
     put_varint(buf, m.meta.ckpt_index);
     put_varint(buf, m.meta.spec_id);
     put_varint(buf, m.meta.lamport);
@@ -93,17 +129,22 @@ pub fn encode_message(buf: &mut Vec<u8>, m: &Message) {
 /// from a [`Payload`]) on whole segments: there every entry's payload
 /// aliases the one segment buffer instead.
 pub fn decode_message(buf: &[u8], pos: &mut usize) -> Result<Message> {
-    decode_message_from(buf, pos, &PayloadSource::Copy)
+    decode_message_from(buf, pos, &PayloadSource::Copy, FORMAT_VERSION)
 }
 
-fn decode_message_from(buf: &[u8], pos: &mut usize, source: &PayloadSource<'_>) -> Result<Message> {
+fn decode_message_from(
+    buf: &[u8],
+    pos: &mut usize,
+    source: &PayloadSource<'_>,
+    version: u8,
+) -> Result<Message> {
     let id = need(get_varint(buf, pos))?;
     let src = Pid(need(get_varint(buf, pos))? as u32);
     let dst = Pid(need(get_varint(buf, pos))? as u32);
     let tag = need(get_varint(buf, pos))? as u16;
     let payload = need(source.take(buf, pos))?;
     let sent_at = need(get_varint(buf, pos))?;
-    let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
+    let vc = need(get_clock(buf, pos, version))?;
     let ckpt_index = need(get_varint(buf, pos))?;
     let spec_id = need(get_varint(buf, pos))?;
     let lamport = need(get_varint(buf, pos))?;
@@ -130,8 +171,8 @@ pub fn encode_entry(buf: &mut Vec<u8>, e: &ScrollEntry) {
     put_varint(buf, e.local_seq);
     put_varint(buf, e.at);
     put_varint(buf, e.lamport);
-    put_u64s(buf, e.vc.components());
-    put_u64s(buf, &e.randoms);
+    put_clock(buf, &e.vc);
+    put_u64s(buf, e.randoms.as_slice());
     put_varint(buf, e.effects_fp);
     put_varint(buf, e.sends);
     match &e.kind {
@@ -143,13 +184,14 @@ pub fn encode_entry(buf: &mut Vec<u8>, e: &ScrollEntry) {
 
 /// Decode one scroll entry (payloads copied; see [`decode_segment_shared`]).
 pub fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<ScrollEntry> {
-    decode_entry_from(buf, pos, &PayloadSource::Copy)
+    decode_entry_from(buf, pos, &PayloadSource::Copy, FORMAT_VERSION)
 }
 
 fn decode_entry_from(
     buf: &[u8],
     pos: &mut usize,
     source: &PayloadSource<'_>,
+    version: u8,
 ) -> Result<ScrollEntry> {
     let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
     *pos += 1;
@@ -157,14 +199,14 @@ fn decode_entry_from(
     let local_seq = need(get_varint(buf, pos))?;
     let at = need(get_varint(buf, pos))?;
     let lamport = need(get_varint(buf, pos))?;
-    let vc = VectorClock::from_vec(need(get_u64s(buf, pos))?);
-    let randoms = need(get_u64s(buf, pos))?;
+    let vc = need(get_clock(buf, pos, version))?;
+    let randoms = need(get_u64s(buf, pos))?.into();
     let effects_fp = need(get_varint(buf, pos))?;
     let sends = need(get_varint(buf, pos))?;
     let kind = match tag {
         0 => EntryKind::Start,
         1 => EntryKind::Deliver {
-            msg: decode_message_from(buf, pos, source)?.into(),
+            msg: decode_message_from(buf, pos, source, version)?.into(),
         },
         2 => EntryKind::TimerFire {
             timer: TimerId(need(get_varint(buf, pos))?),
@@ -172,7 +214,7 @@ fn decode_entry_from(
         3 => EntryKind::Crash,
         4 => EntryKind::Restart,
         5 => EntryKind::DroppedMail {
-            msg: decode_message_from(buf, pos, source)?.into(),
+            msg: decode_message_from(buf, pos, source, version)?.into(),
         },
         t => return Err(CodecError::BadTag(t)),
     };
@@ -224,13 +266,15 @@ fn decode_segment_from(buf: &[u8], source: &PayloadSource<'_>) -> Result<Vec<Scr
     let mut pos = 0usize;
     let version = *buf.first().ok_or(CodecError::Truncated)?;
     pos += 1;
-    if version != FORMAT_VERSION {
+    // v1 (dense clocks) stays decodable: old segments on disk outlive
+    // the in-memory representation that wrote them.
+    if version == 0 || version > FORMAT_VERSION {
         return Err(CodecError::BadVersion(version));
     }
     let n = need(get_varint(buf, &mut pos))? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        out.push(decode_entry_from(buf, &mut pos, source)?);
+        out.push(decode_entry_from(buf, &mut pos, source, version)?);
     }
     Ok(out)
 }
@@ -264,7 +308,7 @@ mod tests {
             lamport: 10,
             vc: VectorClock::from_vec(vec![3, 2, 5]),
             kind,
-            randoms: vec![7, 0, u64::MAX],
+            randoms: vec![7, 0, u64::MAX].into(),
             effects_fp: 0xdeadbeef,
             sends: 3,
         }

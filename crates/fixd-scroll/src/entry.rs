@@ -1,7 +1,7 @@
 //! Scroll entries: the recorded nondeterministic actions and their
 //! outcomes (paper §3.1).
 
-use fixd_runtime::{Payload, Pid, SharedMessage, TimerId, VTime, VectorClock};
+use fixd_runtime::{Payload, Pid, Randoms, SharedMessage, TimerId, VTime, VectorClock};
 
 /// What kind of nondeterministic action an entry records.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,8 +75,9 @@ pub struct ScrollEntry {
     /// The action itself.
     pub kind: EntryKind,
     /// Random draws the handler made, in order (recorded outcomes of the
-    /// process's internal nondeterminism).
-    pub randoms: Vec<u64>,
+    /// process's internal nondeterminism). Shared with the runtime's
+    /// step record — recording them is a reference-count bump.
+    pub randoms: Randoms,
     /// Fingerprint of the handler's full [`fixd_runtime::Effects`];
     /// replay must reproduce it exactly.
     pub effects_fp: u64,
@@ -103,7 +104,7 @@ mod tests {
             lamport: 1,
             vc: VectorClock::new(2),
             kind,
-            randoms: vec![],
+            randoms: Randoms::EMPTY,
             effects_fp: 0,
             sends: 0,
         }

@@ -13,7 +13,7 @@ use crate::entry::{EntryKind, ScrollEntry};
 /// # let entry = |pid: u32, at: u64| ScrollEntry {
 /// #     pid: Pid(pid), local_seq: 0, at, lamport: at,
 /// #     vc: VectorClock::from_vec(vec![0; 3]),
-/// #     kind: EntryKind::Start, randoms: Vec::new(), effects_fp: 0, sends: 0,
+/// #     kind: EntryKind::Start, randoms: Default::default(), effects_fp: 0, sends: 0,
 /// # };
 /// # let merged = vec![entry(1, 50), entry(2, 120), entry(2, 700)];
 /// let p2_early = ScrollQuery::new(&merged)
@@ -144,7 +144,7 @@ mod tests {
             lamport: seq + 1,
             vc: VectorClock::new(3),
             kind,
-            randoms: vec![],
+            randoms: vec![].into(),
             effects_fp: 0,
             sends: 0,
         }

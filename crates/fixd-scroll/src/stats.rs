@@ -95,7 +95,7 @@ mod tests {
             lamport: seq,
             vc: VectorClock::new(2),
             kind,
-            randoms,
+            randoms: randoms.into(),
             effects_fp: 0,
             sends: 2,
         });

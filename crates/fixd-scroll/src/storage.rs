@@ -106,7 +106,7 @@ fn disk_key(key: u64) -> Vec<u8> {
 /// its [`SegmentRef`].
 fn entry_weight(e: &ScrollEntry) -> usize {
     let payload = e.kind.payload().map_or(0, |p| p.len());
-    48 + payload + 8 * e.randoms.len() + 8 * e.vc.components().len()
+    48 + payload + 8 * e.randoms.len() + 16 * e.vc.nnz()
 }
 
 /// In-memory store of per-process scrolls. The "common Scroll" of the
@@ -408,7 +408,7 @@ mod tests {
             lamport: seq + 1,
             vc: VectorClock::from_vec(vec![seq + 1, 0]),
             kind: EntryKind::Start,
-            randoms: vec![],
+            randoms: vec![].into(),
             effects_fp: 0,
             sends: 0,
         }

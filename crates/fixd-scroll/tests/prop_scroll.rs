@@ -75,7 +75,7 @@ fn arb_entry() -> impl Strategy<Value = ScrollEntry> {
                 lamport,
                 vc: VectorClock::from_vec(vc),
                 kind,
-                randoms,
+                randoms: randoms.into(),
                 effects_fp: fp,
                 sends,
             },
@@ -176,7 +176,7 @@ proptest! {
             pid: Pid(1), local_seq: 0, at: 0, lamport: 1,
             vc: VectorClock::from_vec(vec![0, 1]),
             kind: EntryKind::Deliver { msg: msg.into() },
-            randoms: vec![], effects_fp: 0, sends: 0,
+            randoms: vec![].into(), effects_fp: 0, sends: 0,
         };
         let seg = codec::encode_segment(std::slice::from_ref(&entry));
         prop_assert_eq!(codec::decode_segment(&seg).unwrap(), vec![entry]);

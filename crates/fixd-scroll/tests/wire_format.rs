@@ -1,14 +1,25 @@
 //! Wire-format stability: the scroll segment encoding is a persistent,
-//! versioned on-disk format, so refactors of the in-memory payload
-//! representation (`Vec<u8>` → shared `Arc<[u8]>` `Payload`) must not
-//! move a single byte. The golden bytes below were produced by the
-//! pre-`Payload` codec; `encode_segment` must reproduce them exactly.
+//! versioned on-disk format. Two guarantees are pinned here:
+//!
+//! 1. **v2 golden** — the current codec (sparse varint clocks) must
+//!    reproduce the blessed fixture byte-for-byte. The fixture lives in
+//!    `tests/fixtures/golden_segment_v2.hex`; re-bless (only ever on a
+//!    deliberate, versioned format change) with
+//!    `FIXD_BLESS=1 cargo test -p fixd-scroll --test wire_format`.
+//! 2. **v1 back-compat** — segments written by the v1 codec (dense
+//!    `u64`-list clocks, pre-sparse refactor) must still decode to the
+//!    same entries. The v1 bytes are frozen inline below; the v1
+//!    encoder is gone, so these can never be regenerated — do not edit.
 
 use fixd_runtime::{Message, MsgMeta, Pid, TimerId, VectorClock};
 use fixd_scroll::codec::{decode_segment, encode_segment, FORMAT_VERSION};
 use fixd_scroll::entry::{EntryKind, ScrollEntry};
 
-const GOLDEN_SEGMENT_HEX: &[&str] = &[
+const V2_FIXTURE: &str = "tests/fixtures/golden_segment_v2.hex";
+
+/// Frozen v1 segment (version byte 0x01, dense clocks) produced by the
+/// pre-sparse codec on exactly the entries from [`golden_entries`].
+const GOLDEN_SEGMENT_V1_HEX: &[&str] = &[
     "0107000200f8060a03030205030700ffffffffffffffffff01effdb6f50d03010201f806",
     "0a03030205030700ffffffffffffffffff01effdb6f50d032a0102ac02077061796c6f61",
     "64d20903030100020009010202f8060a03030205030700ffffffffffffffffff01effdb6",
@@ -35,12 +46,28 @@ const GOLDEN_SEGMENT_HEX: &[&str] = &[
     "4c4d4e4f505152535455565758595a5b5c5d5e5f6061d20903030100020009",
 ];
 
-fn golden_bytes() -> Vec<u8> {
-    let hex: String = GOLDEN_SEGMENT_HEX.concat();
+fn hex_to_bytes(hex: &str) -> Vec<u8> {
+    let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
     (0..hex.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
         .collect()
+}
+
+fn bytes_to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 36 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 36 == 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{b:02x}"));
+    }
+    out.push('\n');
+    out
+}
+
+fn v1_golden_bytes() -> Vec<u8> {
+    hex_to_bytes(&GOLDEN_SEGMENT_V1_HEX.concat())
 }
 
 fn sample_msg(payload: Vec<u8>) -> Message {
@@ -68,14 +95,14 @@ fn sample_entry(local_seq: u64, kind: EntryKind) -> ScrollEntry {
         lamport: 10,
         vc: VectorClock::from_vec(vec![3, 2, 5]),
         kind,
-        randoms: vec![7, 0, u64::MAX],
+        randoms: vec![7, 0, u64::MAX].into(),
         effects_fp: 0xdeadbeef,
         sends: 3,
     }
 }
 
 /// Every entry kind, with empty, short, and multi-hundred-byte payloads
-/// (the exact inputs the pre-refactor codec was run on).
+/// (the exact inputs both codec generations were run on).
 fn golden_entries() -> Vec<ScrollEntry> {
     vec![
         sample_entry(0, EntryKind::Start),
@@ -104,20 +131,68 @@ fn golden_entries() -> Vec<ScrollEntry> {
 }
 
 #[test]
-fn segment_encoding_matches_pre_refactor_golden() {
+fn segment_encoding_matches_blessed_golden() {
     let encoded = encode_segment(&golden_entries());
-    let golden = golden_bytes();
-    assert_eq!(golden[0], FORMAT_VERSION, "golden was written as v1");
+    assert_eq!(encoded[0], FORMAT_VERSION, "segment leads with its version");
+    if std::env::var("FIXD_BLESS").is_ok() {
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        std::fs::write(V2_FIXTURE, bytes_to_hex(&encoded)).unwrap();
+        return;
+    }
+    let want = hex_to_bytes(
+        &std::fs::read_to_string(V2_FIXTURE)
+            .expect("golden fixture missing — run with FIXD_BLESS=1 on known-good code"),
+    );
     assert_eq!(
         encoded.len(),
-        golden.len(),
+        want.len(),
         "segment length drifted from the recorded format"
     );
-    assert_eq!(encoded, golden, "wire format must not change");
+    assert_eq!(encoded, want, "wire format must not change");
 }
 
 #[test]
-fn golden_bytes_still_decode() {
-    let entries = decode_segment(&golden_bytes()).expect("golden segment decodes");
+fn blessed_golden_round_trips() {
+    let Ok(fixture) = std::fs::read_to_string(V2_FIXTURE) else {
+        return; // first bless run
+    };
+    let entries = decode_segment(&hex_to_bytes(&fixture)).expect("v2 golden decodes");
     assert_eq!(entries, golden_entries(), "decoded = original entries");
+}
+
+#[test]
+fn v1_dense_clock_segments_still_decode() {
+    let bytes = v1_golden_bytes();
+    assert_eq!(bytes[0], 1, "frozen golden was written as v1");
+    let entries = decode_segment(&bytes).expect("v1 segment decodes");
+    assert_eq!(
+        entries,
+        golden_entries(),
+        "v1 dense-clock segments must decode to the same entries"
+    );
+}
+
+/// The point of the v2 clock encoding: cost scales with the causal
+/// footprint (nonzero components), not the world width. A clock whose
+/// support is two processes out of a million must encode in a handful
+/// of bytes — v1's dense list would have needed ~10^6 varints.
+#[test]
+fn v2_clock_cost_scales_with_footprint_not_width() {
+    let narrow = {
+        let mut e = sample_entry(0, EntryKind::Start);
+        e.vc = VectorClock::from_pairs(vec![(0, 3), (1, 5)]);
+        encode_segment(&[e])
+    };
+    let wide = {
+        let mut e = sample_entry(0, EntryKind::Start);
+        e.vc = VectorClock::from_pairs(vec![(0, 3), (999_999, 5)]);
+        encode_segment(&[e])
+    };
+    assert!(
+        wide.len() <= narrow.len() + 4,
+        "wide-world clock must not pay for dormant processes: \
+         {} bytes vs {} at width 2",
+        wide.len(),
+        narrow.len()
+    );
 }
