@@ -21,10 +21,12 @@ use crate::spec::{CampaignSpec, Cell};
 pub const THREADS_ENV: &str = "FIXD_CAMPAIGN_THREADS";
 
 /// Parse a `FIXD_CAMPAIGN_THREADS` value: `Some(n)` only for a positive
-/// integer (zero, garbage, and absence all fall back to auto-detection).
+/// integer (zero, overflow, garbage, and absence all fall back to
+/// auto-detection). Delegates to [`fixd_core::knobs::parse_count`], the
+/// same parser behind `FIXD_SHARDS`, so the two knobs accept identical
+/// grammars.
 fn parse_threads(raw: Option<&str>) -> Option<usize> {
-    raw.and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    raw.and_then(|v| fixd_core::knobs::parse_count(v).ok())
 }
 
 /// Worker threads used by [`run_campaign`]: `FIXD_CAMPAIGN_THREADS` if
@@ -194,6 +196,9 @@ mod tests {
         assert_eq!(parse_threads(Some("many")), None);
         assert_eq!(parse_threads(Some("")), None);
         assert_eq!(parse_threads(None), None);
+        // Overflow is rejected, not wrapped: 2^64 > usize::MAX.
+        assert_eq!(parse_threads(Some("18446744073709551616")), None);
+        assert_eq!(parse_threads(Some("8 threads")), None);
         // And the fallback path always yields a usable worker count.
         assert!(default_threads() >= 1);
     }

@@ -60,8 +60,10 @@ pub mod fault;
 pub mod harness;
 pub mod network;
 pub mod payload;
+mod procs;
 pub mod program;
 pub mod rng;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 pub mod wire;
@@ -82,6 +84,7 @@ pub use network::{DeliveryPolicy, NetStats, NetworkConfig, Partition};
 pub use payload::{Payload, PayloadStats};
 pub use program::{Context, Program};
 pub use rng::DetRng;
+pub use shard::{ShardObserver, ShardTiming, ShardedWorld};
 pub use topology::Topology;
 pub use trace::{SharedStepRecord, StepRecord, Trace};
 pub use world::{

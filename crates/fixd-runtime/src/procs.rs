@@ -1,0 +1,242 @@
+//! The process table: per-pid state slots shared by the serial
+//! [`crate::World`] and the workers of a [`crate::ShardedWorld`].
+//!
+//! A table covers the whole pid space `0..n` but *owns* only the pids of
+//! one residue class `{p | p % stride == offset}` — the serial world is
+//! the degenerate `stride = 1` table, a shard worker owns every
+//! `stride`-th pid. Slots are lazy exactly as before the extraction: a
+//! dormant pid costs 8 bytes (the null niche of `Option<Box<_>>`) until
+//! the first event touches it.
+//!
+//! Fault status of dormant pids is tracked **out of line** in
+//! [`ProcTable::set_status`]: crashing a never-materialized process must
+//! not build its program, clock, and RNG state just to flip a status bit
+//! (and previously did — the spurious-materialization fault-injection
+//! bug). A dormant crashed pid is a set entry, not a slot.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::clock::VectorClock;
+use crate::event::MsgMeta;
+use crate::program::Program;
+use crate::rng::DetRng;
+use crate::world::ProcStatus;
+use crate::Pid;
+
+/// Builds the program for a lazily materialized process the first time an
+/// event actually touches it.
+pub type ProcFactory = Arc<dyn Fn(Pid) -> Box<dyn Program> + Send + Sync>;
+
+/// A contiguous pid range whose processes materialize on demand.
+#[derive(Clone)]
+pub(crate) struct LazyRange {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) factory: ProcFactory,
+}
+
+pub(crate) struct ProcEntry {
+    pub(crate) program: Box<dyn Program>,
+    pub(crate) status: ProcStatus,
+    pub(crate) vc: VectorClock,
+    pub(crate) lamport: u64,
+    pub(crate) rng: DetRng,
+    pub(crate) meta_template: MsgMeta,
+    pub(crate) delivered: u64,
+    pub(crate) next_msg_id: u64,
+    pub(crate) next_timer_id: u64,
+}
+
+impl Clone for ProcEntry {
+    fn clone(&self) -> Self {
+        Self {
+            program: self.program.clone_program(),
+            status: self.status,
+            vc: self.vc.clone(),
+            lamport: self.lamport,
+            rng: self.rng.clone(),
+            meta_template: self.meta_template,
+            delivered: self.delivered,
+            next_msg_id: self.next_msg_id,
+            next_timer_id: self.next_timer_id,
+        }
+    }
+}
+
+/// Per-pid state slots for the pids of one residue class (see module
+/// docs). All materialization flows through here, so a lazy process is
+/// bit-identical whether it boots in a serial world or on a shard.
+#[derive(Clone)]
+pub(crate) struct ProcTable {
+    seed: u64,
+    stride: u32,
+    offset: u32,
+    /// Global world width (pids `0..n` exist; this table owns a subset).
+    n: usize,
+    /// One slot per **owned** pid: `slots[(pid - offset) / stride]`.
+    slots: Vec<Option<Box<ProcEntry>>>,
+    lazy: Vec<LazyRange>,
+    /// Crashed-while-dormant pids (owned ones only): status without state.
+    dormant_crashed: HashSet<u32>,
+}
+
+impl ProcTable {
+    pub(crate) fn new(seed: u64, stride: u32, offset: u32) -> Self {
+        assert!(stride >= 1 && offset < stride);
+        Self {
+            seed,
+            stride,
+            offset,
+            n: 0,
+            slots: Vec::new(),
+            lazy: Vec::new(),
+            dormant_crashed: HashSet::new(),
+        }
+    }
+
+    /// Global world width covered (owned or not).
+    #[inline]
+    pub(crate) fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Does this table own `pid`'s slot?
+    #[inline]
+    pub(crate) fn owns(&self, pid: Pid) -> bool {
+        pid.idx() < self.n && pid.0 % self.stride == self.offset
+    }
+
+    #[inline]
+    fn slot_index(&self, pid: Pid) -> usize {
+        debug_assert!(self.owns(pid), "pid {pid} not owned by this table");
+        ((pid.0 - self.offset) / self.stride) as usize
+    }
+
+    /// Extend the covered pid space to `n`, adding dormant slots for the
+    /// newly owned pids.
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        assert!(n >= self.n, "pid space never shrinks");
+        self.n = n;
+        let owned = (n as u32).saturating_sub(self.offset).div_ceil(self.stride) as usize;
+        if owned > self.slots.len() {
+            self.slots.resize_with(owned, || None);
+        }
+    }
+
+    /// Install an eagerly constructed entry for an owned pid.
+    pub(crate) fn install(&mut self, pid: Pid, program: Box<dyn Program>) {
+        let entry = Self::entry_for(self.seed, pid, program);
+        let i = self.slot_index(pid);
+        debug_assert!(self.slots[i].is_none(), "pid {pid} installed twice");
+        self.slots[i] = Some(entry);
+    }
+
+    /// Register a lazy pid range (slots must already be grown).
+    pub(crate) fn add_lazy(&mut self, start: u32, end: u32, factory: ProcFactory) {
+        self.lazy.push(LazyRange {
+            start,
+            end,
+            factory,
+        });
+    }
+
+    /// The entry any pid would materialize with: same derived RNG stream
+    /// and zero clocks as `add_process` builds eagerly.
+    fn entry_for(seed: u64, pid: Pid, program: Box<dyn Program>) -> Box<ProcEntry> {
+        Box::new(ProcEntry {
+            program,
+            status: ProcStatus::Running,
+            vc: VectorClock::ZERO,
+            lamport: 0,
+            rng: DetRng::derive(seed, u64::from(pid.0)),
+            meta_template: MsgMeta::default(),
+            delivered: 0,
+            next_msg_id: 1,
+            next_timer_id: 1,
+        })
+    }
+
+    /// Build a fresh entry for a dormant pid without installing it.
+    pub(crate) fn fresh_entry(&self, pid: Pid) -> Box<ProcEntry> {
+        let range = self
+            .lazy
+            .iter()
+            .find(|r| r.start <= pid.0 && pid.0 < r.end)
+            .expect("dormant pid must belong to a lazy range");
+        Self::entry_for(self.seed, pid, (range.factory)(pid))
+    }
+
+    #[inline]
+    pub(crate) fn is_materialized(&self, pid: Pid) -> bool {
+        self.slots[self.slot_index(pid)].is_some()
+    }
+
+    pub(crate) fn materialized_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Owned, materialized pids in ascending order.
+    pub(crate) fn materialized_pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| Pid(i as u32 * self.stride + self.offset))
+    }
+
+    /// Shared access to a materialized entry (`None` while dormant).
+    #[inline]
+    pub(crate) fn ent(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.slots[self.slot_index(pid)].as_deref()
+    }
+
+    /// Mutable access, materializing a dormant slot on first touch. A
+    /// crashed-while-dormant status carries over onto the fresh entry.
+    pub(crate) fn ent_mut(&mut self, pid: Pid) -> &mut ProcEntry {
+        let i = self.slot_index(pid);
+        if self.slots[i].is_none() {
+            let mut e = self.fresh_entry(pid);
+            if self.dormant_crashed.remove(&pid.0) {
+                e.status = ProcStatus::Crashed;
+            }
+            self.slots[i] = Some(e);
+        }
+        self.slots[i].as_mut().unwrap()
+    }
+
+    /// Liveness without materializing: dormant pids are `Running` unless
+    /// a fault crashed them while dormant.
+    #[inline]
+    pub(crate) fn status_of(&self, pid: Pid) -> ProcStatus {
+        match self.ent(pid) {
+            Some(e) => e.status,
+            None if self.dormant_crashed.contains(&pid.0) => ProcStatus::Crashed,
+            None => ProcStatus::Running,
+        }
+    }
+
+    /// Set liveness **without materializing**: a dormant target stays an
+    /// 8-byte slot; only its status is tracked (the fault-injection path
+    /// for never-touched lazy pids).
+    pub(crate) fn set_status(&mut self, pid: Pid, status: ProcStatus) {
+        let i = self.slot_index(pid);
+        match &mut self.slots[i] {
+            Some(e) => e.status = status,
+            None => match status {
+                ProcStatus::Crashed => {
+                    self.dormant_crashed.insert(pid.0);
+                }
+                ProcStatus::Running => {
+                    self.dormant_crashed.remove(&pid.0);
+                }
+            },
+        }
+    }
+
+    /// A process's clock; dormant pids share the static zero clock.
+    #[inline]
+    pub(crate) fn vc_of(&self, pid: Pid) -> &VectorClock {
+        self.ent(pid).map_or(&VectorClock::ZERO, |e| &e.vc)
+    }
+}

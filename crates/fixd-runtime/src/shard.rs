@@ -1,0 +1,1002 @@
+//! Sharded worlds: the pid space partitioned across worker shards
+//! (threads), each owning its processes' queues, clocks, and scroll
+//! prefixes, with **deterministic cross-shard message handoff**.
+//!
+//! ```text
+//!             window [T, T+L)          barrier              next window
+//!   shard 0:  run own events  ─┐
+//!   shard 1:  run own events  ─┼─▶  serial replay of all   ─▶  mailboxes
+//!   shard 2:  run own events  ─┘    effects merged by          delivered
+//!                                   (at, seq): route sends,
+//!                                   mint seqs, push trace
+//! ```
+//!
+//! The schedule is **conservative**: with `L` = the network's minimum
+//! delivery latency, any send performed at time `t ≥ T` delivers at
+//! `t + L ≥ T + L`, i.e. beyond the window end. So inside a window a
+//! shard's processes can only be affected by (a) events already queued
+//! before the window and (b) their own timers — both shard-local. All
+//! globally ordered state (the scheduling/execution sequence counters,
+//! the network RNG, routing, partitions, stats, the trace) is touched
+//! only in the serial barrier replay, which processes the shards'
+//! staged steps merged by `(at, seq)` — reproducing the serial
+//! [`World`]'s event sequence, trace, and scroll bytes **byte for
+//! byte** at any shard count.
+//!
+//! Events scheduled *during* a window are only the pid's own timers; a
+//! timer landing inside the current window gets a *provisional* key
+//! (per-shard mint index) that the barrier resolves to its serial
+//! sequence number before the record is merged — valid because every
+//! in-window mint receives a serial seq greater than any pre-window
+//! key at the same timestamp ([`SeqKey`]'s ordering).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::VectorClock;
+use crate::event::{Effects, Event, EventKind, SharedMessage};
+use crate::fault::FaultPlan;
+use crate::network::{DeliveryPolicy, NetStats, Partition};
+use crate::procs::{ProcFactory, ProcTable};
+use crate::program::Context;
+use crate::trace::{SharedStepRecord, StepRecord, Trace};
+use crate::world::{NetSide, ProcStatus, RunReport, WorldConfig};
+use crate::{Pid, VTime};
+
+/// Receives each emitted step record (with the target process's vector
+/// clock after the step) on the shard that owns the record's pid — the
+/// hook per-shard scroll recorders implement. Records arrive in the
+/// pid's serial order; cross-pid order within one shard follows the
+/// global merge.
+pub trait ShardObserver: Send {
+    fn on_record(&mut self, record: &SharedStepRecord, vc_after: &VectorClock);
+}
+
+/// CPU time consumed by the *calling thread* — the right busy metric
+/// for [`ShardTiming`]: on hosts with fewer cores than shards the
+/// workers timeshare, and wall clock would charge each shard for time
+/// it spent preempted while its siblings ran, flattening the critical
+/// path. `CLOCK_THREAD_CPUTIME_ID` counts only cycles this thread
+/// actually executed.
+#[cfg(target_os = "linux")]
+fn thread_cpu_now() -> Duration {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable Timespec matching the C layout;
+    // the thread-cputime clock always exists on Linux.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec.max(0) as u64, ts.tv_nsec.max(0) as u32)
+}
+
+/// Portable fallback: wall clock since an arbitrary epoch. Deltas are
+/// still meaningful, but include preemption on oversubscribed hosts.
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_now() -> Duration {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+/// Queue key: pre-window events carry their final serial scheduling
+/// sequence; events minted inside a window carry a per-shard
+/// provisional mint index, resolved at the barrier. `Final < any
+/// Provisional` at equal time (derive order) is correct because every
+/// in-window mint receives a serial seq greater than all pre-window
+/// seqs — counters only grow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum SeqKey {
+    Final(u64),
+    Provisional(u64),
+}
+
+#[derive(Clone, Debug)]
+struct ShardEvent {
+    at: VTime,
+    key: SeqKey,
+    kind: EventKind,
+}
+
+impl PartialEq for ShardEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+impl Eq for ShardEvent {}
+impl PartialOrd for ShardEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ShardEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted: earliest (at, key) pops first.
+        (other.at, other.key).cmp(&(self.at, self.key))
+    }
+}
+
+/// A route-minted drop awaiting its merge position at the barrier.
+struct DropEvent {
+    at: VTime,
+    seq: u64,
+    msg: SharedMessage,
+}
+
+impl PartialEq for DropEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for DropEvent {}
+impl PartialOrd for DropEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DropEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One executed-but-not-yet-committed step, staged by a shard for the
+/// barrier replay.
+struct PendingStep {
+    at: VTime,
+    key: SeqKey,
+    kind: EventKind,
+    effects: Effects,
+    /// The pid's clock after the step (captured only while observing).
+    vc_after: Option<VectorClock>,
+}
+
+struct Shard {
+    table: ProcTable,
+    queue: BinaryHeap<ShardEvent>,
+    cancelled: HashSet<(u32, u64)>,
+    /// Provisional mint counter for the current window.
+    prov_next: u64,
+    /// Steps executed this window, in shard-local order.
+    out: Vec<PendingStep>,
+    /// Committed records owned by this shard, awaiting the observer
+    /// (drained at the next window start, in parallel across shards).
+    sink: Vec<(SharedStepRecord, VectorClock)>,
+    /// Per-pid clock value before its first touch this window — the
+    /// coordinator's drop-record clock timeline seeds from these.
+    win_vc0: HashMap<u32, VectorClock>,
+    busy: Duration,
+    busy_window: Duration,
+}
+
+impl Shard {
+    fn new(seed: u64, stride: u32, offset: u32) -> Self {
+        Self {
+            table: ProcTable::new(seed, stride, offset),
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            prov_next: 0,
+            out: Vec::new(),
+            sink: Vec::new(),
+            win_vc0: HashMap::new(),
+            busy: Duration::ZERO,
+            busy_window: Duration::ZERO,
+        }
+    }
+
+    fn drain_sink<O: ShardObserver>(&mut self, obs: Option<&mut O>) {
+        if let Some(o) = obs {
+            for (rec, vc) in self.sink.drain(..) {
+                o.on_record(&rec, &vc);
+            }
+        }
+    }
+
+    /// Execute this shard's events with `at < wend`, staging each
+    /// committed step into `out`. Mirrors `World::next_valid` +
+    /// `World::step` exactly for the shard-local half of the work.
+    fn run_window<O: ShardObserver>(
+        &mut self,
+        wend: VTime,
+        n: usize,
+        start_time: VTime,
+        observing: bool,
+        obs: Option<&mut O>,
+    ) {
+        let t0 = thread_cpu_now();
+        self.drain_sink(obs);
+        self.prov_next = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at >= wend {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked head exists");
+            match ev.kind {
+                EventKind::TimerFire { pid, timer } => {
+                    if self.cancelled.remove(&(pid.0, timer.0)) {
+                        continue; // cancelled: silent skip
+                    }
+                    if self.table.status_of(pid) == ProcStatus::Crashed {
+                        continue; // timers die with the process
+                    }
+                    self.exec(
+                        ev.at,
+                        ev.key,
+                        EventKind::TimerFire { pid, timer },
+                        wend,
+                        n,
+                        start_time,
+                        observing,
+                    );
+                }
+                EventKind::Start { pid } => {
+                    if self.table.status_of(pid) == ProcStatus::Crashed {
+                        continue;
+                    }
+                    self.exec(
+                        ev.at,
+                        ev.key,
+                        EventKind::Start { pid },
+                        wend,
+                        n,
+                        start_time,
+                        observing,
+                    );
+                }
+                EventKind::Deliver { msg } => {
+                    if self.table.status_of(msg.dst) == ProcStatus::Crashed {
+                        // Surface as an observable drop (same shard, so
+                        // the clock capture here is position-exact).
+                        let vc_after = observing.then(|| self.table.vc_of(msg.dst).clone());
+                        self.out.push(PendingStep {
+                            at: ev.at,
+                            key: ev.key,
+                            kind: EventKind::Drop { msg },
+                            effects: Effects::default(),
+                            vc_after,
+                        });
+                    } else {
+                        self.exec(
+                            ev.at,
+                            ev.key,
+                            EventKind::Deliver { msg },
+                            wend,
+                            n,
+                            start_time,
+                            observing,
+                        );
+                    }
+                }
+                EventKind::Crash { pid } => {
+                    if self.table.status_of(pid) == ProcStatus::Crashed {
+                        continue; // already dead
+                    }
+                    // Status-only: a dormant target stays dormant.
+                    self.table.set_status(pid, ProcStatus::Crashed);
+                    let vc_after = observing.then(|| self.table.vc_of(pid).clone());
+                    self.out.push(PendingStep {
+                        at: ev.at,
+                        key: ev.key,
+                        kind: EventKind::Crash { pid },
+                        effects: Effects::default(),
+                        vc_after,
+                    });
+                }
+                other => unreachable!("event kind never queued on a shard: {other:?}"),
+            }
+        }
+        self.busy_window = thread_cpu_now().saturating_sub(t0);
+        self.busy += self.busy_window;
+    }
+
+    /// Run one handler and stage its step. Local effect application is
+    /// limited to what cannot escape the shard inside a window: own
+    /// in-window timers (provisional keys), timer cancels, self-crash
+    /// status. Everything global replays at the barrier.
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &mut self,
+        at: VTime,
+        key: SeqKey,
+        kind: EventKind,
+        wend: VTime,
+        n: usize,
+        start_time: VTime,
+        observing: bool,
+    ) {
+        let pid = kind.pid().expect("executable events target a pid");
+        // Virtual "now" as the serial world would see it: monotonic,
+        // floored at the configured start time.
+        let at_eff = at.max(start_time);
+        if observing && !self.win_vc0.contains_key(&pid.0) {
+            self.win_vc0.insert(pid.0, self.table.vc_of(pid).clone());
+        }
+        if let EventKind::Deliver { msg } = &kind {
+            let e = self.table.ent_mut(pid);
+            e.vc.tick(pid);
+            e.vc.merge(&msg.vc);
+            e.lamport = e.lamport.max(msg.meta.lamport) + 1;
+            e.delivered += 1;
+        }
+        let effects = {
+            let e = self.table.ent_mut(pid);
+            if matches!(kind, EventKind::Start { .. }) {
+                e.vc.tick(pid);
+                e.lamport += 1;
+            }
+            let mut ctx = Context::new(
+                pid,
+                at_eff,
+                n,
+                &mut e.rng,
+                &mut e.vc,
+                &mut e.lamport,
+                &mut e.next_msg_id,
+                &mut e.next_timer_id,
+                e.meta_template,
+            );
+            match &kind {
+                EventKind::Start { .. } => e.program.on_start(&mut ctx),
+                EventKind::Deliver { msg } => e.program.on_message(&mut ctx, msg),
+                EventKind::TimerFire { timer, .. } => e.program.on_timer(&mut ctx, *timer),
+                _ => unreachable!("exec only runs handler events"),
+            }
+            ctx.into_effects()
+        };
+        // In-window timers execute this window under a provisional key;
+        // later ones are minted and queued by the barrier replay.
+        for (timer, fire_at) in &effects.timers_set {
+            if *fire_at < wend {
+                let key = SeqKey::Provisional(self.prov_next);
+                self.prov_next += 1;
+                self.queue.push(ShardEvent {
+                    at: *fire_at,
+                    key,
+                    kind: EventKind::TimerFire { pid, timer: *timer },
+                });
+            }
+        }
+        for t in &effects.timers_cancelled {
+            self.cancelled.insert((pid.0, t.0));
+        }
+        if effects.crashed {
+            self.table.set_status(pid, ProcStatus::Crashed);
+        }
+        let vc_after = observing.then(|| self.table.vc_of(pid).clone());
+        self.out.push(PendingStep {
+            at,
+            key,
+            kind,
+            effects,
+            vc_after,
+        });
+    }
+}
+
+/// Wall-clock accounting of one sharded run: per-shard handler time,
+/// the parallel critical path (sum over windows of the slowest shard),
+/// and the serial coordinator time — what a modelled speedup is
+/// computed from on machines with fewer cores than shards.
+#[derive(Clone, Debug)]
+pub struct ShardTiming {
+    /// Total in-window execution time per shard.
+    pub shard_busy: Vec<Duration>,
+    /// Sum over windows of the slowest shard's window time — the
+    /// parallel phase's critical path.
+    pub critical: Duration,
+    /// Time spent in the serial barrier replay.
+    pub coordinator: Duration,
+}
+
+/// A [`World`]-equivalent simulator that executes windows of events on
+/// `S` worker shards and commits them through a serial `(at, seq)`
+/// barrier merge. For any shard count the event sequence, trace, and
+/// observed scroll records are byte-identical to the serial `World`.
+/// See module docs for the discipline.
+pub struct ShardedWorld {
+    cfg: WorldConfig,
+    n: usize,
+    /// Window length `L`: the network's minimum delivery latency.
+    window: VTime,
+    shards: Vec<Shard>,
+    /// Fault-plan partition flips, minted at seal: `(at, seq, next)`,
+    /// sorted by `(at, seq)` — coordinator-owned events.
+    partition_pending: VecDeque<(VTime, u64, Partition)>,
+    partition: Partition,
+    faults: FaultPlan,
+    now: VTime,
+    sched_seq: u64,
+    exec_seq: u64,
+    net_rng: crate::rng::DetRng,
+    stats: NetStats,
+    trace: Trace,
+    steps: u64,
+    sealed: bool,
+    serial: Duration,
+    critical: Duration,
+    event_batch: Vec<crate::world::QueuedEvent>,
+}
+
+/// Minimum delivery latency of a policy — the window length.
+fn min_latency(policy: &DeliveryPolicy) -> VTime {
+    match policy {
+        DeliveryPolicy::Fifo { latency } => *latency,
+        DeliveryPolicy::RandomDelay { min, .. } => *min,
+    }
+}
+
+struct NoObserver;
+impl ShardObserver for NoObserver {
+    fn on_record(&mut self, _record: &SharedStepRecord, _vc_after: &VectorClock) {}
+}
+
+impl ShardedWorld {
+    /// A fresh sharded world with `shards` workers. Panics if the
+    /// network's minimum delivery latency is zero: the conservative
+    /// window needs every send to land strictly after the window it
+    /// was made in.
+    pub fn new(cfg: WorldConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let window = min_latency(&cfg.net.policy);
+        assert!(
+            window >= 1,
+            "sharded execution requires a minimum network delivery latency of at least 1 \
+             virtual tick (got 0): a zero-latency send could influence its own window"
+        );
+        let net_rng = crate::rng::DetRng::derive(cfg.seed, u64::MAX);
+        let trace = match cfg.trace_cap {
+            Some(cap) => Trace::bounded(cap),
+            None => Trace::unbounded(),
+        };
+        let workers = (0..shards)
+            .map(|s| Shard::new(cfg.seed, shards as u32, s as u32))
+            .collect();
+        Self {
+            partition: Partition::none(0),
+            now: cfg.start_time,
+            window,
+            cfg,
+            n: 0,
+            shards: workers,
+            partition_pending: VecDeque::new(),
+            faults: FaultPlan::none(),
+            sched_seq: 0,
+            exec_seq: 0,
+            net_rng,
+            stats: NetStats::default(),
+            trace,
+            steps: 0,
+            sealed: false,
+            serial: Duration::ZERO,
+            critical: Duration::ZERO,
+            event_batch: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn owner(&self, pid: Pid) -> usize {
+        pid.idx() % self.shards.len()
+    }
+
+    /// Add a process (same pid assignment as [`World::add_process`]).
+    pub fn add_process(&mut self, program: Box<dyn crate::program::Program>) -> Pid {
+        assert!(!self.sealed, "cannot add processes after the world started");
+        let pid = Pid(self.n as u32);
+        self.n += 1;
+        for sh in &mut self.shards {
+            sh.table.grow_to(self.n);
+        }
+        let s = self.owner(pid);
+        self.shards[s].table.install(pid, program);
+        pid
+    }
+
+    /// Add `count` lazily materialized processes (see
+    /// [`World::add_lazy_processes`]). The factory is shared by all
+    /// shards; each materializes only the pids it owns.
+    pub fn add_lazy_processes(
+        &mut self,
+        count: usize,
+        factory: impl Fn(Pid) -> Box<dyn crate::program::Program> + Send + Sync + 'static,
+    ) -> std::ops::Range<u32> {
+        assert!(!self.sealed, "cannot add processes after the world started");
+        let start = self.n as u32;
+        let end = start + count as u32;
+        self.n += count;
+        let f: ProcFactory = Arc::new(factory);
+        for sh in &mut self.shards {
+            sh.table.grow_to(self.n);
+            sh.table.add_lazy(start, end, Arc::clone(&f));
+        }
+        start..end
+    }
+
+    /// Install a fault plan. Must precede the first run call.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.sealed,
+            "fault plan must be installed before the world starts"
+        );
+        self.faults = plan;
+    }
+
+    /// Schedule a fresh `on_start` for `pid` at the current time —
+    /// mints its scheduling seq immediately, exactly like
+    /// [`World::schedule_start`].
+    pub fn schedule_start(&mut self, pid: Pid) {
+        let seq = self.sched_seq;
+        self.sched_seq += 1;
+        let s = self.owner(pid);
+        self.shards[s].queue.push(ShardEvent {
+            at: self.now,
+            key: SeqKey::Final(seq),
+            kind: EventKind::Start { pid },
+        });
+    }
+
+    /// Mint the seal-time events in the serial world's exact order:
+    /// fault-plan crashes, partition flips, then start events for
+    /// materialized pids ascending.
+    fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        self.partition = Partition::none(self.n);
+        let crashes = self.faults.scheduled_crashes();
+        for (pid, at) in crashes {
+            let seq = self.sched_seq;
+            self.sched_seq += 1;
+            let s = self.owner(pid);
+            self.shards[s].queue.push(ShardEvent {
+                at,
+                key: SeqKey::Final(seq),
+                kind: EventKind::Crash { pid },
+            });
+        }
+        for (at, partition) in self.faults.scheduled_partitions(self.n) {
+            let seq = self.sched_seq;
+            self.sched_seq += 1;
+            self.partition_pending.push_back((at, seq, partition));
+        }
+        let start = self.cfg.start_time;
+        let mut started: Vec<Pid> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.table.materialized_pids().collect::<Vec<_>>())
+            .collect();
+        started.sort_unstable();
+        for pid in started {
+            let seq = self.sched_seq;
+            self.sched_seq += 1;
+            let s = self.owner(pid);
+            self.shards[s].queue.push(ShardEvent {
+                at: start,
+                key: SeqKey::Final(seq),
+                kind: EventKind::Start { pid },
+            });
+        }
+    }
+
+    /// Earliest pending event time across all shards and the
+    /// coordinator's partition schedule — the next window's start.
+    /// Shard-count-invariant: it is the global queue minimum.
+    fn min_pending(&self) -> Option<VTime> {
+        let mut t: Option<VTime> = None;
+        for sh in &self.shards {
+            if let Some(h) = sh.queue.peek() {
+                t = Some(t.map_or(h.at, |x| x.min(h.at)));
+            }
+        }
+        if let Some((at, _, _)) = self.partition_pending.front() {
+            let at = *at;
+            t = Some(t.map_or(at, |x| x.min(at)));
+        }
+        t
+    }
+
+    /// Run until quiescent or the step budget is exhausted. The budget
+    /// is checked at window granularity (never mid-window), so a run
+    /// may overshoot `max_steps` — deterministically, and identically
+    /// for every shard count, because the window grid is global.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> RunReport {
+        self.run_observed::<NoObserver>(max_steps, &mut [])
+    }
+
+    /// [`ShardedWorld::run_to_quiescence`] with per-shard observers
+    /// (e.g. scroll recorders): `observers[s]` receives, on shard `s`'s
+    /// worker thread, every committed record whose pid shard `s` owns.
+    /// `observers` must be empty or have exactly one entry per shard.
+    pub fn run_observed<O: ShardObserver>(
+        &mut self,
+        max_steps: u64,
+        observers: &mut [O],
+    ) -> RunReport {
+        assert!(
+            observers.is_empty() || observers.len() == self.shards.len(),
+            "observer count must equal shard count"
+        );
+        self.seal();
+        let observing = !observers.is_empty();
+        let d0 = self.stats.delivered;
+        let x0 = self.stats.dropped;
+        let s0 = self.steps;
+        while self.steps - s0 < max_steps {
+            let Some(tmin) = self.min_pending() else {
+                break;
+            };
+            let wend = tmin.saturating_add(self.window);
+            self.run_window(wend, observing, observers);
+            let t0 = thread_cpu_now();
+            self.barrier_replay(wend, observing);
+            self.serial += thread_cpu_now().saturating_sub(t0);
+        }
+        for (sh, obs) in self.shards.iter_mut().zip(observers.iter_mut()) {
+            sh.drain_sink(Some(obs));
+        }
+        RunReport {
+            steps: self.steps - s0,
+            delivered: self.stats.delivered - d0,
+            dropped: self.stats.dropped - x0,
+            end_time: self.now,
+            quiescent: self.min_pending().is_none(),
+        }
+    }
+
+    /// Parallel phase: every shard executes its window concurrently
+    /// (inline when there is a single shard — no thread overhead).
+    fn run_window<O: ShardObserver>(&mut self, wend: VTime, observing: bool, observers: &mut [O]) {
+        let n = self.n;
+        let start_time = self.cfg.start_time;
+        if self.shards.len() == 1 {
+            let obs = observers.first_mut();
+            self.shards[0].run_window(wend, n, start_time, observing, obs);
+        } else {
+            std::thread::scope(|scope| {
+                let mut obs_iter = observers.iter_mut();
+                for sh in self.shards.iter_mut() {
+                    let obs = obs_iter.next();
+                    scope.spawn(move || sh.run_window(wend, n, start_time, observing, obs));
+                }
+            });
+        }
+        self.critical += self
+            .shards
+            .iter()
+            .map(|s| s.busy_window)
+            .max()
+            .unwrap_or_default();
+    }
+
+    /// Serial phase: commit the shards' staged steps merged by
+    /// `(at, seq)`, replaying all globally ordered effects — exec-seq
+    /// minting, routing (network RNG draws, partitions, stats), timer
+    /// scheduling, trace/crash records — in the serial world's order.
+    fn barrier_replay(&mut self, wend: VTime, observing: bool) {
+        let shard_count = self.shards.len();
+        let mut outs: Vec<std::iter::Peekable<std::vec::IntoIter<PendingStep>>> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.out).into_iter().peekable())
+            .collect();
+        // Provisional-key resolution: per shard, mint index → serial
+        // scheduling seq, filled as the minting records are replayed
+        // (a minter always precedes its timer in the same out list).
+        let mut prov_map: Vec<HashMap<u64, u64>> = vec![HashMap::new(); shard_count];
+        let mut prov_ctr = vec![0u64; shard_count];
+        // Drop-record clock timeline: pid → clock at the current merge
+        // position, seeded from each shard's window-start captures.
+        let mut vc_at: HashMap<u32, VectorClock> = HashMap::new();
+        if observing {
+            for sh in &mut self.shards {
+                for (p, vc) in sh.win_vc0.drain() {
+                    vc_at.insert(p, vc);
+                }
+            }
+        } else {
+            for sh in &mut self.shards {
+                sh.win_vc0.clear();
+            }
+        }
+        let mut drops: BinaryHeap<DropEvent> = BinaryHeap::new();
+
+        #[derive(Clone, Copy)]
+        enum Src {
+            Shard(usize),
+            Drop,
+            Partition,
+        }
+
+        loop {
+            let mut best: Option<(VTime, u64, Src)> = None;
+            let consider = |at: VTime, seq: u64, src: Src, best: &mut Option<(VTime, u64, Src)>| {
+                if best.is_none_or(|(ba, bs, _)| (at, seq) < (ba, bs)) {
+                    *best = Some((at, seq, src));
+                }
+            };
+            for (s, out) in outs.iter_mut().enumerate() {
+                if let Some(ps) = out.peek() {
+                    let seq = match ps.key {
+                        SeqKey::Final(q) => q,
+                        SeqKey::Provisional(m) => *prov_map[s]
+                            .get(&m)
+                            .expect("provisional key resolved before its record merges"),
+                    };
+                    consider(ps.at, seq, Src::Shard(s), &mut best);
+                }
+            }
+            if let Some(d) = drops.peek() {
+                consider(d.at, d.seq, Src::Drop, &mut best);
+            }
+            if let Some((at, seq, _)) = self.partition_pending.front() {
+                if *at < wend {
+                    consider(*at, *seq, Src::Partition, &mut best);
+                }
+            }
+            let Some((at, _seq, src)) = best else { break };
+            let at_eff = at.max(self.cfg.start_time);
+            self.now = self.now.max(at_eff);
+
+            match src {
+                Src::Drop => {
+                    let d = drops.pop().expect("peeked drop exists");
+                    let k = self.exec_seq;
+                    self.exec_seq += 1;
+                    self.stats.dropped += 1;
+                    self.steps += 1;
+                    let dst = d.msg.dst;
+                    let record = Arc::new(StepRecord {
+                        event: Event {
+                            seq: k,
+                            at: at_eff,
+                            kind: EventKind::Drop { msg: d.msg },
+                        },
+                        effects: Effects::default(),
+                    });
+                    self.trace.push(Arc::clone(&record));
+                    if observing {
+                        let owner = dst.idx() % shard_count;
+                        let vc = vc_at
+                            .get(&dst.0)
+                            .cloned()
+                            .unwrap_or_else(|| self.shards[owner].table.vc_of(dst).clone());
+                        self.shards[owner].sink.push((record, vc));
+                    }
+                }
+                Src::Partition => {
+                    let (_, _, partition) = self
+                        .partition_pending
+                        .pop_front()
+                        .expect("peeked partition exists");
+                    self.partition = partition.clone();
+                    let k = self.exec_seq;
+                    self.exec_seq += 1;
+                    self.steps += 1;
+                    self.trace.push(Arc::new(StepRecord {
+                        event: Event {
+                            seq: k,
+                            at: at_eff,
+                            kind: EventKind::PartitionChange { partition },
+                        },
+                        effects: Effects::default(),
+                    }));
+                }
+                Src::Shard(s) => {
+                    let ps = outs[s].next().expect("peeked step exists");
+                    let pid = ps.kind.pid().expect("shard steps target a pid");
+                    let k = self.exec_seq;
+                    self.exec_seq += 1;
+                    // Replay effects in apply_effects order: sends
+                    // routed first, then timers minted.
+                    let mut batch = std::mem::take(&mut self.event_batch);
+                    {
+                        let mut side = NetSide {
+                            faults: &self.faults,
+                            net: &self.cfg.net,
+                            partition: &self.partition,
+                            net_rng: &mut self.net_rng,
+                            stats: &mut self.stats,
+                            sched_seq: &mut self.sched_seq,
+                            now: at_eff,
+                        };
+                        for msg in &ps.effects.sends {
+                            side.route_message(msg.clone(), &mut batch);
+                        }
+                    }
+                    for qe in batch.drain(..) {
+                        match qe.kind {
+                            EventKind::Deliver { msg } => {
+                                assert!(
+                                    qe.at >= wend,
+                                    "conservative window violated: a send delivered \
+                                     inside its own window"
+                                );
+                                let owner = msg.dst.idx() % shard_count;
+                                self.shards[owner].queue.push(ShardEvent {
+                                    at: qe.at,
+                                    key: SeqKey::Final(qe.seq),
+                                    kind: EventKind::Deliver { msg },
+                                });
+                            }
+                            EventKind::Drop { msg } => drops.push(DropEvent {
+                                at: qe.at,
+                                seq: qe.seq,
+                                msg,
+                            }),
+                            other => unreachable!("routing plans only deliveries/drops: {other:?}"),
+                        }
+                    }
+                    self.event_batch = batch;
+                    for (timer, fire_at) in &ps.effects.timers_set {
+                        let seq = self.sched_seq;
+                        self.sched_seq += 1;
+                        if *fire_at < wend {
+                            // Executed in-window under a provisional
+                            // key; record its serial seq for the merge.
+                            let m = prov_ctr[s];
+                            prov_ctr[s] += 1;
+                            prov_map[s].insert(m, seq);
+                        } else {
+                            self.shards[s].queue.push(ShardEvent {
+                                at: *fire_at,
+                                key: SeqKey::Final(seq),
+                                kind: EventKind::TimerFire { pid, timer: *timer },
+                            });
+                        }
+                    }
+                    // Self-crash: the side record precedes the main
+                    // record in the trace, with the higher seq — the
+                    // serial world's exact (quirky) order.
+                    if ps.effects.crashed {
+                        let sk = self.exec_seq;
+                        self.exec_seq += 1;
+                        self.trace.push(Arc::new(StepRecord {
+                            event: Event {
+                                seq: sk,
+                                at: at_eff,
+                                kind: EventKind::Crash { pid },
+                            },
+                            effects: Effects::default(),
+                        }));
+                    }
+                    match &ps.kind {
+                        EventKind::Deliver { .. } => self.stats.delivered += 1,
+                        EventKind::Drop { .. } => self.stats.dropped += 1,
+                        _ => {}
+                    }
+                    self.steps += 1;
+                    let record = Arc::new(StepRecord {
+                        event: Event {
+                            seq: k,
+                            at: at_eff,
+                            kind: ps.kind,
+                        },
+                        effects: ps.effects,
+                    });
+                    self.trace.push(Arc::clone(&record));
+                    if observing {
+                        if let Some(vc) = ps.vc_after {
+                            vc_at.insert(pid.0, vc.clone());
+                            self.shards[s].sink.push((record, vc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (the `World` read surface the test suites compare)
+    // ------------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of processes.
+    pub fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Network counters (byte-equal to the serial run's).
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The committed trace, in serial order.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Liveness of a process.
+    pub fn status(&self, pid: Pid) -> ProcStatus {
+        self.shards[self.owner(pid)].table.status_of(pid)
+    }
+
+    /// A process's current vector clock (dormant pids share the static
+    /// zero clock).
+    pub fn proc_vc(&self, pid: Pid) -> &VectorClock {
+        self.shards[self.owner(pid)].table.vc_of(pid)
+    }
+
+    /// Is `pid` materialized on its owning shard?
+    pub fn is_materialized(&self, pid: Pid) -> bool {
+        self.shards[self.owner(pid)].table.is_materialized(pid)
+    }
+
+    /// Materialized processes across all shards.
+    pub fn materialized_procs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.table.materialized_count())
+            .sum()
+    }
+
+    /// Typed read access to a process's program.
+    pub fn program<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.shards[self.owner(pid)]
+            .table
+            .ent(pid)?
+            .program
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Snapshot every process, exactly as [`World::global_snapshot`].
+    pub fn global_snapshot(&self) -> crate::world::GlobalSnapshot {
+        let mut states = Vec::with_capacity(self.n);
+        let mut vcs = Vec::with_capacity(self.n);
+        let mut statuses = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let pid = Pid(i as u32);
+            let table = &self.shards[self.owner(pid)].table;
+            match table.ent(pid) {
+                Some(e) => {
+                    states.push(e.program.snapshot());
+                    vcs.push(e.vc.clone());
+                    statuses.push(e.status);
+                }
+                None => {
+                    let fresh = table.fresh_entry(pid);
+                    states.push(fresh.program.snapshot());
+                    vcs.push(VectorClock::ZERO);
+                    statuses.push(table.status_of(pid));
+                }
+            }
+        }
+        crate::world::GlobalSnapshot {
+            at: self.now,
+            states,
+            vcs,
+            statuses,
+        }
+    }
+
+    /// Timing breakdown of the run so far (see [`ShardTiming`]).
+    pub fn timing(&self) -> ShardTiming {
+        ShardTiming {
+            shard_busy: self.shards.iter().map(|s| s.busy).collect(),
+            critical: self.critical,
+            coordinator: self.serial,
+        }
+    }
+}

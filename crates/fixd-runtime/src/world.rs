@@ -26,11 +26,14 @@ use crate::clock::VectorClock;
 use crate::event::{Effects, Event, EventKind, Message, MsgMeta, SharedMessage, TimerId};
 use crate::fault::FaultPlan;
 use crate::network::{DeliveryOutcome, NetStats, NetworkConfig, Partition};
+use crate::procs::ProcTable;
 use crate::program::{Context, Program};
 use crate::rng::DetRng;
 use crate::trace::{SharedStepRecord, StepRecord, Trace};
 use crate::wire;
 use crate::{Pid, VTime};
+
+pub use crate::procs::ProcFactory;
 
 /// Liveness of a process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,51 +148,11 @@ pub struct RunReport {
     pub quiescent: bool,
 }
 
-struct ProcEntry {
-    program: Box<dyn Program>,
-    status: ProcStatus,
-    vc: VectorClock,
-    lamport: u64,
-    rng: DetRng,
-    meta_template: MsgMeta,
-    delivered: u64,
-    next_msg_id: u64,
-    next_timer_id: u64,
-}
-
-impl Clone for ProcEntry {
-    fn clone(&self) -> Self {
-        Self {
-            program: self.program.clone_program(),
-            status: self.status,
-            vc: self.vc.clone(),
-            lamport: self.lamport,
-            rng: self.rng.clone(),
-            meta_template: self.meta_template,
-            delivered: self.delivered,
-            next_msg_id: self.next_msg_id,
-            next_timer_id: self.next_timer_id,
-        }
-    }
-}
-
-/// Builds the program for a lazily materialized process the first time an
-/// event actually touches it.
-pub type ProcFactory = Arc<dyn Fn(Pid) -> Box<dyn Program> + Send + Sync>;
-
-/// A contiguous pid range whose processes materialize on demand.
-#[derive(Clone)]
-struct LazyRange {
-    start: u32,
-    end: u32,
-    factory: ProcFactory,
-}
-
 #[derive(Clone, Debug, PartialEq)]
-struct QueuedEvent {
-    at: VTime,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct QueuedEvent {
+    pub(crate) at: VTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Eq for QueuedEvent {}
@@ -210,14 +173,12 @@ impl Ord for QueuedEvent {
 /// The deterministic distributed-system simulator. See module docs.
 pub struct World {
     cfg: WorldConfig,
-    /// One slot per pid. `None` = dormant: a lazily added process no
-    /// event has touched yet. A dormant slot costs 8 bytes (the
-    /// null-pointer niche of `Option<Box<_>>`), which is what lets a
+    /// Per-pid state slots (lazy: a dormant slot costs 8 bytes — the
+    /// null-pointer niche of `Option<Box<_>>` — which is what lets a
     /// 10^6-process world with 10^3 active processes allocate like a
-    /// 10^3-process world.
-    procs: Vec<Option<Box<ProcEntry>>>,
-    /// Factories for the dormant ranges, looked up on first touch.
-    lazy: Vec<LazyRange>,
+    /// 10^3-process world). The serial world owns every pid: a
+    /// stride-1 [`ProcTable`].
+    procs: ProcTable,
     queue: BinaryHeap<QueuedEvent>,
     /// Reusable scratch for [`World::apply_effects`]: events of one
     /// effects batch collect here, then extend the heap in one call.
@@ -243,7 +204,6 @@ impl Clone for World {
         Self {
             cfg: self.cfg.clone(),
             procs: self.procs.clone(),
-            lazy: self.lazy.clone(),
             queue: self.queue.clone(),
             event_batch: Vec::new(),
             staged: self.staged.clone(),
@@ -273,9 +233,8 @@ impl World {
         Self {
             partition: Partition::none(0),
             now: cfg.start_time,
+            procs: ProcTable::new(cfg.seed, 1, 0),
             cfg,
-            procs: Vec::new(),
-            lazy: Vec::new(),
             queue: BinaryHeap::new(),
             event_batch: Vec::new(),
             staged: None,
@@ -295,18 +254,9 @@ impl World {
     /// Returns the new process's [`Pid`].
     pub fn add_process(&mut self, program: Box<dyn Program>) -> Pid {
         assert!(!self.sealed, "cannot add processes after the world started");
-        let pid = Pid(self.procs.len() as u32);
-        self.procs.push(Some(Box::new(ProcEntry {
-            program,
-            status: ProcStatus::Running,
-            vc: VectorClock::ZERO,
-            lamport: 0,
-            rng: DetRng::derive(self.cfg.seed, u64::from(pid.0)),
-            meta_template: MsgMeta::default(),
-            delivered: 0,
-            next_msg_id: 1,
-            next_timer_id: 1,
-        })));
+        let pid = Pid(self.procs.width() as u32);
+        self.procs.grow_to(pid.idx() + 1);
+        self.procs.install(pid, program);
         pid
     }
 
@@ -329,71 +279,28 @@ impl World {
         factory: impl Fn(Pid) -> Box<dyn Program> + Send + Sync + 'static,
     ) -> std::ops::Range<u32> {
         assert!(!self.sealed, "cannot add processes after the world started");
-        let start = self.procs.len() as u32;
+        let start = self.procs.width() as u32;
         let end = start + count as u32;
-        self.procs.resize_with(self.procs.len() + count, || None);
-        self.lazy.push(LazyRange {
-            start,
-            end,
-            factory: Arc::new(factory),
-        });
+        self.procs.grow_to(start as usize + count);
+        self.procs.add_lazy(start, end, Arc::new(factory));
         start..end
     }
 
     /// Is `pid`'s state materialized (vs. a dormant lazy slot)?
     pub fn is_materialized(&self, pid: Pid) -> bool {
-        self.procs[pid.idx()].is_some()
+        self.procs.is_materialized(pid)
     }
 
     /// Number of materialized processes (the "active population").
     pub fn materialized_procs(&self) -> usize {
-        self.procs.iter().filter(|s| s.is_some()).count()
-    }
-
-    /// Build a fresh entry for a dormant pid, exactly as `add_process`
-    /// would have at world construction (same derived RNG stream, zero
-    /// clocks) — a lazy process is indistinguishable from an eager one
-    /// that has not run yet.
-    fn fresh_entry(&self, pid: Pid) -> Box<ProcEntry> {
-        let range = self
-            .lazy
-            .iter()
-            .find(|r| r.start <= pid.0 && pid.0 < r.end)
-            .expect("dormant pid must belong to a lazy range");
-        Box::new(ProcEntry {
-            program: (range.factory)(pid),
-            status: ProcStatus::Running,
-            vc: VectorClock::ZERO,
-            lamport: 0,
-            rng: DetRng::derive(self.cfg.seed, u64::from(pid.0)),
-            meta_template: MsgMeta::default(),
-            delivered: 0,
-            next_msg_id: 1,
-            next_timer_id: 1,
-        })
-    }
-
-    /// Shared access to a materialized entry (`None` while dormant).
-    #[inline]
-    fn ent(&self, pid: Pid) -> Option<&ProcEntry> {
-        self.procs[pid.idx()].as_deref()
-    }
-
-    /// Mutable access, materializing a dormant slot on first touch.
-    #[inline]
-    fn ent_mut(&mut self, pid: Pid) -> &mut ProcEntry {
-        if self.procs[pid.idx()].is_none() {
-            let e = self.fresh_entry(pid);
-            self.procs[pid.idx()] = Some(e);
-        }
-        self.procs[pid.idx()].as_mut().unwrap()
+        self.procs.materialized_count()
     }
 
     /// Liveness without materializing: dormant processes are `Running`
-    /// (they exist; they just have not done anything yet).
+    /// unless a fault crashed them while dormant.
     #[inline]
     fn status_of(&self, pid: Pid) -> ProcStatus {
-        self.ent(pid).map_or(ProcStatus::Running, |e| e.status)
+        self.procs.status_of(pid)
     }
 
     /// Install a fault plan. Must be called before the first `peek`/`step`.
@@ -410,7 +317,7 @@ impl World {
             return;
         }
         self.sealed = true;
-        let n = self.procs.len();
+        let n = self.procs.width();
         self.partition = Partition::none(n);
         // Fault-plan events are scheduled before the start events so a
         // fault configured at time t takes effect before application
@@ -425,10 +332,9 @@ impl World {
         // via `schedule_start` or first delivery, so the initial queue
         // scales with the active population, not the world width.
         let start = self.cfg.start_time;
-        for i in 0..n {
-            if self.procs[i].is_some() {
-                self.push_event(start, EventKind::Start { pid: Pid(i as u32) });
-            }
+        let started: Vec<Pid> = self.procs.materialized_pids().collect();
+        for pid in started {
+            self.push_event(start, EventKind::Start { pid });
         }
     }
 
@@ -536,7 +442,7 @@ impl World {
             EventKind::Deliver { msg } => {
                 let pid = msg.dst;
                 {
-                    let e = self.ent_mut(pid);
+                    let e = self.procs.ent_mut(pid);
                     e.vc.tick(pid);
                     let m = &msg.vc;
                     e.vc.merge(m);
@@ -558,7 +464,9 @@ impl World {
                 (EventKind::TimerFire { pid, timer }, eff)
             }
             EventKind::Crash { pid } => {
-                self.ent_mut(pid).status = ProcStatus::Crashed;
+                // Status-only: crashing a dormant lazy process must not
+                // materialize its program just to mark it dead.
+                self.procs.set_status(pid, ProcStatus::Crashed);
                 (EventKind::Crash { pid }, Effects::default())
             }
             EventKind::Restart { pid } => (EventKind::Restart { pid }, Effects::default()),
@@ -577,10 +485,10 @@ impl World {
     }
 
     fn run_handler(&mut self, pid: Pid, call: HandlerCall<'_>) -> Effects {
-        let n = self.procs.len();
+        let n = self.procs.width();
         let now = self.now;
         let effects = {
-            let e = self.ent_mut(pid);
+            let e = self.procs.ent_mut(pid);
             if matches!(call, HandlerCall::Start) {
                 e.vc.tick(pid);
                 e.lamport += 1;
@@ -619,7 +527,7 @@ impl World {
     fn apply_effects(&mut self, pid: Pid, effects: Effects) -> Effects {
         let mut batch = std::mem::take(&mut self.event_batch);
         for msg in &effects.sends {
-            self.route_message(msg.clone(), &mut batch);
+            self.net_side().route_message(msg.clone(), &mut batch);
         }
         for (timer, fire_at) in &effects.timers_set {
             let qe = self.make_event(*fire_at, EventKind::TimerFire { pid, timer: *timer });
@@ -631,7 +539,7 @@ impl World {
             self.cancelled_timers.insert((pid.0, t.0));
         }
         if effects.crashed {
-            self.ent_mut(pid).status = ProcStatus::Crashed;
+            self.procs.set_status(pid, ProcStatus::Crashed);
             let seq = self.exec_seq;
             self.exec_seq += 1;
             self.trace.push(Arc::new(StepRecord {
@@ -646,57 +554,19 @@ impl World {
         effects
     }
 
-    /// Plan one send's deliveries/drops into `batch` (scheduling order is
-    /// identical to pushing straight into the heap: sequence numbers are
-    /// minted here, and the heap orders by `(at, seq)` regardless of
-    /// insertion order).
-    fn route_message(&mut self, mut msg: SharedMessage, batch: &mut Vec<QueuedEvent>) {
-        self.stats.sent += 1;
-        self.stats.payload_bytes += msg.payload.len() as u64;
-        // Fault-plan rules first (they are targeted and override chance).
-        if self.faults.should_drop(msg.src, msg.dst, self.now) {
-            let qe = self.make_event(self.now, EventKind::Drop { msg });
-            batch.push(qe);
-            return;
-        }
-        if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
-            let i = (self.net_rng.next_u64() as usize) % msg.payload.len();
-            // Copy-on-write: the sender's Effects still alias the clean
-            // message and buffer, so the flip splits off the one private
-            // copy the corruption path is allowed. An empty payload
-            // (guarded above) never copies at all.
-            msg.to_mut().payload.to_mut()[i] ^= 0xFF;
-            self.stats.corrupted += 1;
-        }
-        let connected = self.partition.connected(msg.src, msg.dst);
-        let outcomes = self
-            .cfg
-            .net
-            .plan(self.now, &msg.payload, connected, &mut self.net_rng);
-        let mut first = true;
-        for outcome in outcomes {
-            match outcome {
-                DeliveryOutcome::Deliver {
-                    at,
-                    corrupted_payload,
-                } => {
-                    if !first {
-                        self.stats.duplicated += 1;
-                    }
-                    first = false;
-                    let mut m = msg.clone();
-                    if let Some(p) = corrupted_payload {
-                        m.to_mut().payload = p;
-                        self.stats.corrupted += 1;
-                    }
-                    let qe = self.make_event(at, EventKind::Deliver { msg: m });
-                    batch.push(qe);
-                }
-                DeliveryOutcome::Drop { reason: _ } => {
-                    let qe = self.make_event(self.now, EventKind::Drop { msg: msg.clone() });
-                    batch.push(qe);
-                }
-            }
+    /// Borrow the network-side state one routed send needs. The serial
+    /// step loop and the sharded barrier replay both route through the
+    /// resulting [`NetSide`], so their delivery plans cannot drift.
+    #[inline]
+    pub(crate) fn net_side(&mut self) -> NetSide<'_> {
+        NetSide {
+            faults: &self.faults,
+            net: &self.cfg.net,
+            partition: &self.partition,
+            net_rng: &mut self.net_rng,
+            stats: &mut self.stats,
+            sched_seq: &mut self.sched_seq,
+            now: self.now,
         }
     }
 
@@ -762,7 +632,7 @@ impl World {
 
     /// Number of processes.
     pub fn num_procs(&self) -> usize {
-        self.procs.len()
+        self.procs.width()
     }
 
     /// Current virtual time.
@@ -806,24 +676,28 @@ impl World {
     /// static zero clock — reading a million idle clocks allocates
     /// nothing.
     pub fn proc_vc(&self, pid: Pid) -> &VectorClock {
-        self.ent(pid).map_or(&VectorClock::ZERO, |e| &e.vc)
+        self.procs.vc_of(pid)
     }
 
     /// A process's delivered-message count.
     pub fn delivered_count(&self, pid: Pid) -> u64 {
-        self.ent(pid).map_or(0, |e| e.delivered)
+        self.procs.ent(pid).map_or(0, |e| e.delivered)
     }
 
     /// Typed read access to a process's program (`None` for dormant lazy
     /// processes — their program does not exist yet).
     pub fn program<T: 'static>(&self, pid: Pid) -> Option<&T> {
-        self.ent(pid)?.program.as_any().downcast_ref::<T>()
+        self.procs.ent(pid)?.program.as_any().downcast_ref::<T>()
     }
 
     /// Typed write access to a process's program (tests / fault setup).
     /// Materializes a dormant lazy process.
     pub fn program_mut<T: 'static>(&mut self, pid: Pid) -> Option<&mut T> {
-        self.ent_mut(pid).program.as_any_mut().downcast_mut::<T>()
+        self.procs
+            .ent_mut(pid)
+            .program
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Run a closure over the untyped program (for generic drivers). For
@@ -831,9 +705,9 @@ impl World {
     /// (exactly the state it would materialize with); the slot itself
     /// stays dormant.
     pub fn with_program<R>(&self, pid: Pid, f: impl FnOnce(&dyn Program) -> R) -> R {
-        match self.ent(pid) {
+        match self.procs.ent(pid) {
             Some(e) => f(e.program.as_ref()),
-            None => f(self.fresh_entry(pid).program.as_ref()),
+            None => f(self.procs.fresh_entry(pid).program.as_ref()),
         }
     }
 
@@ -865,10 +739,10 @@ impl World {
         // it would materialize with (deterministic: factory + derived
         // RNG), without materializing the slot.
         let fresh;
-        let e = match self.ent(pid) {
+        let e = match self.procs.ent(pid) {
             Some(e) => e,
             None => {
-                fresh = self.fresh_entry(pid);
+                fresh = self.procs.fresh_entry(pid);
                 &*fresh
             }
         };
@@ -891,7 +765,7 @@ impl World {
     /// in-flight messages that the restored past has not yet sent, and
     /// rolling back communication partners.
     pub fn restore_checkpoint(&mut self, ckpt: &ProcCheckpoint) {
-        let e = self.ent_mut(ckpt.pid);
+        let e = self.procs.ent_mut(ckpt.pid);
         e.program.restore(&ckpt.state.as_bytes());
         e.vc = ckpt.vc.clone();
         e.lamport = ckpt.lamport;
@@ -913,9 +787,10 @@ impl World {
         }));
     }
 
-    /// Crash a process immediately (external fault injection).
+    /// Crash a process immediately (external fault injection). A dormant
+    /// lazy target is marked dead without materializing its state.
     pub fn crash_now(&mut self, pid: Pid) {
-        self.ent_mut(pid).status = ProcStatus::Crashed;
+        self.procs.set_status(pid, ProcStatus::Crashed);
         let seq = self.exec_seq;
         self.exec_seq += 1;
         self.trace.push(Arc::new(StepRecord {
@@ -932,14 +807,14 @@ impl World {
     /// (used by restart-from-scratch strategies; pair with
     /// [`World::replace_program`] or [`World::restore_checkpoint`]).
     pub fn revive(&mut self, pid: Pid) {
-        self.ent_mut(pid).status = ProcStatus::Running;
+        self.procs.set_status(pid, ProcStatus::Running);
     }
 
     /// Replace a process's program wholesale (the Healer's dynamic update
     /// entry point). Clocks and RNG position are preserved; the new
     /// program's state must already be migrated.
     pub fn replace_program(&mut self, pid: Pid, program: Box<dyn Program>) {
-        self.ent_mut(pid).program = program;
+        self.procs.ent_mut(pid).program = program;
     }
 
     /// Schedule a fresh `on_start` for `pid` at the current time (used
@@ -951,12 +826,13 @@ impl World {
     /// Set the Time-Machine metadata template stamped on `pid`'s future
     /// sends (checkpoint index, speculation id).
     pub fn set_meta_template(&mut self, pid: Pid, meta: MsgMeta) {
-        self.ent_mut(pid).meta_template = meta;
+        self.procs.ent_mut(pid).meta_template = meta;
     }
 
     /// Current metadata template of `pid`.
     pub fn meta_template(&self, pid: Pid) -> MsgMeta {
-        self.ent(pid)
+        self.procs
+            .ent(pid)
             .map_or_else(MsgMeta::default, |e| e.meta_template)
     }
 
@@ -1051,21 +927,26 @@ impl World {
     /// at any width — but it is inherently O(N); wide-world tooling
     /// should iterate materialized pids instead.
     pub fn global_snapshot(&self) -> GlobalSnapshot {
-        let mut states = Vec::with_capacity(self.procs.len());
-        let mut vcs = Vec::with_capacity(self.procs.len());
-        let mut statuses = Vec::with_capacity(self.procs.len());
-        for (i, slot) in self.procs.iter().enumerate() {
-            match slot {
+        let n = self.procs.width();
+        let mut states = Vec::with_capacity(n);
+        let mut vcs = Vec::with_capacity(n);
+        let mut statuses = Vec::with_capacity(n);
+        for i in 0..n {
+            let pid = Pid(i as u32);
+            match self.procs.ent(pid) {
                 Some(e) => {
                     states.push(e.program.snapshot());
                     vcs.push(e.vc.clone());
                     statuses.push(e.status);
                 }
                 None => {
-                    let fresh = self.fresh_entry(Pid(i as u32));
+                    let fresh = self.procs.fresh_entry(pid);
                     states.push(fresh.program.snapshot());
                     vcs.push(VectorClock::ZERO);
-                    statuses.push(ProcStatus::Running);
+                    // Dormant pids report their tracked liveness: a
+                    // crashed-while-dormant process is Crashed here even
+                    // though its state never materialized.
+                    statuses.push(self.procs.status_of(pid));
                 }
             }
         }
@@ -1090,10 +971,88 @@ impl World {
     }
 }
 
-enum HandlerCall<'a> {
+pub(crate) enum HandlerCall<'a> {
     Start,
     Message(&'a Message),
     Timer(TimerId),
+}
+
+/// The network-side state one routed send consumes: fault rules, the
+/// delivery policy, the live partition, the network RNG, counters, and
+/// the scheduling-sequence mint. Split out of [`World`] so the serial
+/// step loop and the sharded barrier replay ([`crate::ShardedWorld`])
+/// drive byte-identical routing through one function.
+pub(crate) struct NetSide<'a> {
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) net: &'a NetworkConfig,
+    pub(crate) partition: &'a Partition,
+    pub(crate) net_rng: &'a mut DetRng,
+    pub(crate) stats: &'a mut NetStats,
+    pub(crate) sched_seq: &'a mut u64,
+    pub(crate) now: VTime,
+}
+
+impl NetSide<'_> {
+    #[inline]
+    fn make_event(&mut self, at: VTime, kind: EventKind) -> QueuedEvent {
+        let seq = *self.sched_seq;
+        *self.sched_seq += 1;
+        QueuedEvent { at, seq, kind }
+    }
+
+    /// Plan one send's deliveries/drops into `batch` (scheduling order is
+    /// identical to pushing straight into the heap: sequence numbers are
+    /// minted here, and the heap orders by `(at, seq)` regardless of
+    /// insertion order).
+    pub(crate) fn route_message(&mut self, mut msg: SharedMessage, batch: &mut Vec<QueuedEvent>) {
+        self.stats.sent += 1;
+        self.stats.payload_bytes += msg.payload.len() as u64;
+        // Fault-plan rules first (they are targeted and override chance).
+        if self.faults.should_drop(msg.src, msg.dst, self.now) {
+            let qe = self.make_event(self.now, EventKind::Drop { msg });
+            batch.push(qe);
+            return;
+        }
+        if self.faults.should_corrupt(msg.src, msg.dst, self.now) && !msg.payload.is_empty() {
+            let i = (self.net_rng.next_u64() as usize) % msg.payload.len();
+            // Copy-on-write: the sender's Effects still alias the clean
+            // message and buffer, so the flip splits off the one private
+            // copy the corruption path is allowed. An empty payload
+            // (guarded above) never copies at all — and never indexes
+            // `% 0`.
+            msg.to_mut().payload.to_mut()[i] ^= 0xFF;
+            self.stats.corrupted += 1;
+        }
+        let connected = self.partition.connected(msg.src, msg.dst);
+        let outcomes = self
+            .net
+            .plan(self.now, &msg.payload, connected, self.net_rng);
+        let mut first = true;
+        for outcome in outcomes {
+            match outcome {
+                DeliveryOutcome::Deliver {
+                    at,
+                    corrupted_payload,
+                } => {
+                    if !first {
+                        self.stats.duplicated += 1;
+                    }
+                    first = false;
+                    let mut m = msg.clone();
+                    if let Some(p) = corrupted_payload {
+                        m.to_mut().payload = p;
+                        self.stats.corrupted += 1;
+                    }
+                    let qe = self.make_event(at, EventKind::Deliver { msg: m });
+                    batch.push(qe);
+                }
+                DeliveryOutcome::Drop { reason: _ } => {
+                    let qe = self.make_event(self.now, EventKind::Drop { msg: msg.clone() });
+                    batch.push(qe);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -185,3 +185,71 @@ fn wildcard_drop_fault_silences_everything() {
     assert_eq!(report.delivered, 0);
     assert_eq!(w.stats().dropped, w.stats().sent);
 }
+
+/// Sends one *empty* message P0 → P1 on start; counts arrivals.
+struct EmptyShot {
+    got: u64,
+}
+
+impl Program for EmptyShot {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.send(Pid(1), 1, vec![]);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Context, msg: &Message) {
+        assert!(msg.payload.is_empty(), "nothing may grow an empty payload");
+        self.got += 1;
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.got.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.got = u64::from_le_bytes(b.try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(EmptyShot { got: self.got })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// Regression (issue 7): corruption injection indexed the payload with
+// `next_u64() % len`, a guaranteed division-by-zero panic the first time
+// a corrupting link carried an empty payload. Both corruption paths —
+// the targeted fault-plan link and the probabilistic network — must
+// treat an empty payload as an explicit no-op and still deliver.
+
+#[test]
+fn empty_payload_over_corrupt_link_fault_is_a_noop() {
+    let mut w = World::new(WorldConfig::seeded(5));
+    w.add_process(Box::new(EmptyShot { got: 0 }));
+    w.add_process(Box::new(EmptyShot { got: 0 }));
+    w.set_fault_plan(FaultPlan::none().with(Fault::CorruptLink {
+        from: Some(Pid(0)),
+        to: Some(Pid(1)),
+        start: 0,
+        end: u64::MAX,
+    }));
+    let report = w.run_to_quiescence(10_000);
+    assert!(report.quiescent);
+    assert_eq!(w.program::<EmptyShot>(Pid(1)).unwrap().got, 1);
+    assert_eq!(w.stats().corrupted, 0, "nothing to flip in zero bytes");
+}
+
+#[test]
+fn empty_payload_over_corrupting_network_is_a_noop() {
+    let mut cfg = WorldConfig::seeded(5);
+    cfg.net = fixd_runtime::NetworkConfig::corrupting(1.0);
+    let mut w = World::new(cfg);
+    w.add_process(Box::new(EmptyShot { got: 0 }));
+    w.add_process(Box::new(EmptyShot { got: 0 }));
+    let report = w.run_to_quiescence(10_000);
+    assert!(report.quiescent);
+    assert_eq!(w.program::<EmptyShot>(Pid(1)).unwrap().got, 1);
+    assert_eq!(w.stats().corrupted, 0);
+}

@@ -148,3 +148,118 @@ fn delivery_to_dormant_process_boots_it() {
     assert!(w.proc_vc(Pid(1)).total() > 0);
     assert!(w.proc_vc(Pid(1)) != &VectorClock::ZERO);
 }
+
+// ---------------------------------------------------------------------
+// Fault injection against dormant pids (issue 7 bugfix): crash/revive/
+// partition/FaultPlan targeting a never-materialized process must flip
+// status only — no program construction, no panic, no spurious slot.
+// ---------------------------------------------------------------------
+
+use fixd_runtime::{Fault, FaultPlan, Partition, ProcStatus};
+
+#[test]
+fn crash_now_on_dormant_pid_flips_status_without_materializing() {
+    let mut w = lazy_world(50, 11);
+    let dormant = Pid(1);
+    w.crash_now(dormant);
+    assert_eq!(w.status(dormant), ProcStatus::Crashed);
+    assert!(
+        !w.is_materialized(dormant),
+        "crashing a dormant pid must not build its program"
+    );
+
+    // Deliveries to the dead-and-dormant pid drop; it stays dormant.
+    w.schedule_start(Pid(0));
+    let report = w.run_to_quiescence(1_000);
+    assert!(report.quiescent);
+    assert!(w.stats().dropped >= 1, "send to crashed pid must drop");
+    assert!(!w.is_materialized(dormant));
+    assert_eq!(w.materialized_procs(), 1, "only Pid(0) ever ran");
+}
+
+#[test]
+fn revive_dormant_crashed_pid_without_materializing() {
+    let mut w = lazy_world(50, 11);
+    let dormant = Pid(1);
+    w.crash_now(dormant);
+    w.revive(dormant);
+    assert_eq!(w.status(dormant), ProcStatus::Running);
+    assert!(!w.is_materialized(dormant), "revive is status-only too");
+
+    // Once revived, a delivery boots it with its eager identity.
+    w.schedule_start(Pid(0));
+    w.run_to_quiescence(1_000);
+    assert!(w.is_materialized(dormant));
+    assert!(w.program::<Echo>(dormant).unwrap().seen > 0);
+}
+
+#[test]
+fn fault_plan_crash_against_dormant_pid_is_status_only() {
+    let mut w = lazy_world(50, 13);
+    // Pid(7) is never touched by the workload; the plan kills it at t=5.
+    w.set_fault_plan(FaultPlan::none().crash(Pid(7), 5));
+    w.schedule_start(Pid(0));
+    let report = w.run_to_quiescence(1_000);
+    assert!(report.quiescent);
+    assert_eq!(w.status(Pid(7)), ProcStatus::Crashed);
+    assert!(
+        !w.is_materialized(Pid(7)),
+        "a scheduled crash must not materialize its dormant target"
+    );
+}
+
+#[test]
+fn start_scheduled_for_dormant_pid_crashed_first_is_skipped() {
+    let mut w = lazy_world(50, 17);
+    w.schedule_start(Pid(3));
+    w.crash_now(Pid(3));
+    let report = w.run_to_quiescence(1_000);
+    assert!(report.quiescent);
+    // The queued Start was skipped for the dead pid — which therefore
+    // never materialized.
+    assert!(!w.is_materialized(Pid(3)));
+    assert_eq!(w.materialized_procs(), 0);
+}
+
+#[test]
+fn partition_spanning_dormant_pids_does_not_materialize_them() {
+    let mut w = lazy_world(50, 19);
+    // Pid(0) on one side; everyone else (all dormant) on the other.
+    let others: Vec<Pid> = (1..50).map(Pid).collect();
+    let part = Partition::split(50, &[&[Pid(0)], &others]);
+    w.set_fault_plan(FaultPlan::none().with(Fault::PartitionAt {
+        at: 0,
+        partition: part,
+        heal_at: None,
+    }));
+    // Applying a partition whose groups span 49 dormant pids is pure
+    // bookkeeping: nobody materializes.
+    let report = w.run_to_quiescence(1_000);
+    assert!(report.quiescent);
+    assert_eq!(w.materialized_procs(), 0);
+
+    // Traffic started once the cut is active is partitioned away before
+    // it can boot anything on the far side.
+    w.schedule_start(Pid(0));
+    let report = w.run_to_quiescence(1_000);
+    assert!(report.quiescent);
+    assert!(w.stats().dropped >= 1, "cross-cut send must drop");
+    assert_eq!(w.materialized_procs(), 1, "only Pid(0) ever ran");
+    assert!(!w.is_materialized(Pid(1)));
+}
+
+#[test]
+fn global_snapshot_reports_dormant_crashed_status() {
+    let mut w = lazy_world(50, 23);
+    w.crash_now(Pid(40));
+    let snap = w.global_snapshot();
+    assert_eq!(snap.statuses[40], ProcStatus::Crashed);
+    assert!(
+        !w.is_materialized(Pid(40)),
+        "snapshot must not materialize the crashed dormant pid"
+    );
+    // Identical runs agree on the snapshot fingerprint.
+    let mut v = lazy_world(50, 23);
+    v.crash_now(Pid(40));
+    assert_eq!(snap.fingerprint(), v.global_snapshot().fingerprint());
+}

@@ -184,6 +184,40 @@ impl ScrollStore {
         }
     }
 
+    /// Reassemble per-shard stores into one. Each input covers the full
+    /// pid space but holds entries only for the pids its shard owned;
+    /// ownership is disjoint, so column `p` of the result is moved from
+    /// the unique input that recorded for `p`. Two inputs both holding
+    /// entries (resident or spilled) for the same pid is a caller bug
+    /// and panics. The first store's spill config is kept.
+    pub fn merge_disjoint(stores: impl IntoIterator<Item = ScrollStore>) -> ScrollStore {
+        let mut out: Option<ScrollStore> = None;
+        for mut s in stores {
+            let Some(acc) = &mut out else {
+                out = Some(s);
+                continue;
+            };
+            assert_eq!(
+                acc.width(),
+                s.width(),
+                "merge_disjoint: stores must cover the same pid space"
+            );
+            for i in 0..s.per_pid.len() {
+                if s.per_pid[i].is_empty() && s.spilled[i].is_empty() {
+                    continue;
+                }
+                assert!(
+                    acc.per_pid[i].is_empty() && acc.spilled[i].is_empty(),
+                    "merge_disjoint: pid {i} recorded by more than one store"
+                );
+                acc.per_pid[i] = std::mem::take(&mut s.per_pid[i]);
+                acc.spilled[i] = std::mem::take(&mut s.spilled[i]);
+                acc.resident_weight[i] = s.resident_weight[i];
+            }
+        }
+        out.unwrap_or_default()
+    }
+
     /// Seal `pid`'s resident entries into a segment and spill it to the
     /// configured disk. No-op without a spill config or with an empty
     /// resident tail.
