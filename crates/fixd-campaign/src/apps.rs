@@ -11,10 +11,11 @@
 
 use std::sync::Arc;
 
+use fixd_examples::chord::ChordNode;
 use fixd_examples::token_ring::RingNode;
 use fixd_examples::two_phase_commit::{Coordinator, Participant};
 use fixd_examples::wal_counter::WalCounter;
-use fixd_examples::{kvstore, pipeline, token_ring, two_phase_commit, wal_counter};
+use fixd_examples::{chord, kvstore, pipeline, token_ring, two_phase_commit, wal_counter};
 use fixd_runtime::{DeliveryPolicy, FaultPlan, NetworkConfig, Partition, Pid, SharedDisk, World};
 
 use crate::spec::{
@@ -56,7 +57,7 @@ pub fn standard_cases() -> Vec<FaultCase> {
                 policy: DeliveryPolicy::RandomDelay { min: 1, max: 50 },
                 drop_prob: 0.1,
                 dup_prob: 0.2,
-                corrupt_prob: 0.0,
+                ..NetworkConfig::default()
             },
         )
         .also(&[Loss, Reorder]),
@@ -75,12 +76,12 @@ pub fn standard_cases() -> Vec<FaultCase> {
 /// lossless cases.
 pub fn token_ring_app() -> AppSpec {
     const N: usize = 4;
-    AppSpec {
-        name: "token_ring",
-        supports: &[Clean, Crash, Loss, Reorder, Part],
-        build: Arc::new(|cfg| token_ring::ring_world_cfg(cfg, N, None)),
-        monitors: Arc::new(|| vec![token_ring::mutex_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "token_ring",
+        &[Clean, Crash, Loss, Reorder, Part],
+        |host, _seed| token_ring::ring_populate(host, N, None),
+        Arc::new(|| vec![token_ring::mutex_monitor()]),
+        Arc::new(|w, case, fault| {
             let entries: u64 = (0..N)
                 .map(|i| w.program::<RingNode>(Pid(i as u32)).unwrap().entries)
                 .sum();
@@ -100,7 +101,7 @@ pub fn token_ring_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// The shared primary/backup postconditions, over either kv pair:
@@ -133,15 +134,12 @@ fn kv_postconditions(
 /// applied sequence is always gap-free, never ahead of the primary, and
 /// byte-identical to the primary once caught up.
 pub fn kvstore_app() -> AppSpec {
-    AppSpec {
-        name: "kvstore",
-        supports: &[Clean, Crash, Loss, Duplication, Reorder],
-        build: Arc::new(|cfg| {
-            let script = kvstore::script(10, cfg.seed);
-            kvstore::kv_world_v2_cfg(cfg, script)
-        }),
-        monitors: Arc::new(|| vec![kvstore::gap_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "kvstore",
+        &[Clean, Crash, Loss, Duplication, Reorder],
+        |host, seed| kvstore::kv_populate_v2(host, kvstore::script(10, seed)),
+        Arc::new(|| vec![kvstore::gap_monitor()]),
+        Arc::new(|w, case, fault| {
             let p = w.program::<kvstore::Primary>(Pid(1)).unwrap();
             let b = w.program::<kvstore::BackupV2>(Pid(2)).unwrap();
             let metrics = vec![
@@ -162,7 +160,7 @@ pub fn kvstore_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// Primary/backup KV store with the **buggy** arrival-order backup
@@ -178,15 +176,12 @@ pub fn kvstore_app() -> AppSpec {
 /// aggregate detection fraction, so detection power is
 /// regression-tested rather than assumed.
 pub fn kvstore_buggy_app() -> AppSpec {
-    AppSpec {
-        name: "kvstore_buggy",
-        supports: &[Clean, Reorder],
-        build: Arc::new(|cfg| {
-            let script = kvstore::script(12, cfg.seed);
-            kvstore::kv_world_v1_cfg(cfg, script)
-        }),
-        monitors: Arc::new(|| vec![kvstore::gap_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "kvstore_buggy",
+        &[Clean, Reorder],
+        |host, seed| kvstore::kv_populate_v1(host, kvstore::script(12, seed)),
+        Arc::new(|| vec![kvstore::gap_monitor()]),
+        Arc::new(|w, case, fault| {
             let detected = u64::from(fault.is_some());
             let metrics = vec![("detected".to_string(), detected)];
             if case.pathology == Clean && detected == 1 {
@@ -205,22 +200,19 @@ pub fn kvstore_buggy_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// Checksummed KV pair: everything the fixed backup guarantees, plus
 /// corruption survival — a corrupted REPL is rejected (counted in the
 /// `rejected` metric) instead of poisoning the store.
 pub fn kvstore_ck_app() -> AppSpec {
-    AppSpec {
-        name: "kvstore_ck",
-        supports: &[Clean, Loss, Duplication, Reorder, Corruption],
-        build: Arc::new(|cfg| {
-            let script = kvstore::script(10, cfg.seed);
-            kvstore::kv_world_ck_cfg(cfg, script)
-        }),
-        monitors: Arc::new(|| vec![kvstore::gap_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "kvstore_ck",
+        &[Clean, Loss, Duplication, Reorder, Corruption],
+        |host, seed| kvstore::kv_populate_ck(host, kvstore::script(10, seed)),
+        Arc::new(|| vec![kvstore::gap_monitor()]),
+        Arc::new(|w, case, fault| {
             let p = w.program::<kvstore::PrimaryV2>(Pid(1)).unwrap();
             let b = w.program::<kvstore::BackupV3>(Pid(2)).unwrap();
             let metrics = vec![
@@ -245,7 +237,7 @@ pub fn kvstore_ck_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// Source → cruncher pipeline (correct cruncher): every recorded result
@@ -255,12 +247,12 @@ pub fn kvstore_ck_app() -> AppSpec {
 pub fn pipeline_app() -> AppSpec {
     const N_ITEMS: u64 = 8;
     const COST: u64 = 50;
-    AppSpec {
-        name: "pipeline",
-        supports: &[Clean, Crash, Loss, Duplication, Reorder, Corruption],
-        build: Arc::new(|cfg| pipeline::pipeline_world_cfg(cfg, N_ITEMS, COST, None)),
-        monitors: Arc::new(|| vec![pipeline::results_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "pipeline",
+        &[Clean, Crash, Loss, Duplication, Reorder, Corruption],
+        |host, _seed| pipeline::pipeline_populate(host, N_ITEMS, COST, None),
+        Arc::new(|| vec![pipeline::results_monitor()]),
+        Arc::new(|w, case, fault| {
             let c = w.program::<pipeline::Cruncher>(Pid(1)).unwrap();
             let metrics = vec![("results".to_string(), c.results.len() as u64)];
             if let Some(f) = fault {
@@ -285,7 +277,7 @@ pub fn pipeline_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// Write-ahead-logged counter: the in-memory value always equals the
@@ -294,14 +286,13 @@ pub fn pipeline_app() -> AppSpec {
 pub fn wal_counter_app() -> AppSpec {
     const N_OPS: u64 = 20;
     const SYNC_EVERY: u64 = 4;
-    AppSpec {
-        name: "wal_counter",
-        supports: &[Clean, Crash, Loss, Reorder],
-        build: Arc::new(|cfg| {
-            wal_counter::wal_world_cfg(cfg, N_OPS, SYNC_EVERY, SharedDisk::new())
-        }),
-        monitors: Arc::new(Vec::new),
-        check: Arc::new(|w: &World, case, fault| {
+    AppSpec::from_populate(
+        "wal_counter",
+        &[Clean, Crash, Loss, Reorder],
+        // A fresh disk per cell: the closure runs once per world build.
+        |host, _seed| wal_counter::wal_populate(host, N_OPS, SYNC_EVERY, SharedDisk::new()),
+        Arc::new(Vec::new),
+        Arc::new(|w: &World, case, fault| {
             let c = w.program::<WalCounter>(Pid(1)).unwrap();
             let durable = c.durable_value();
             let metrics = vec![
@@ -325,7 +316,7 @@ pub fn wal_counter_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
 }
 
 /// Two-phase commit with the *fixed* coordinator and one NO voter:
@@ -333,12 +324,12 @@ pub fn wal_counter_app() -> AppSpec {
 /// learns the coordinator's, and the lossless cases decide everywhere.
 pub fn two_phase_commit_app() -> AppSpec {
     const VOTES: [bool; 3] = [true, false, true];
-    AppSpec {
-        name: "two_phase_commit",
-        supports: &[Clean, Crash, Loss, Reorder, Part],
-        build: Arc::new(|cfg| two_phase_commit::tpc_world_cfg(cfg, &VOTES, false)),
-        monitors: Arc::new(|| vec![two_phase_commit::atomicity_monitor()]),
-        check: Arc::new(|w, case, fault| {
+    AppSpec::from_populate(
+        "two_phase_commit",
+        &[Clean, Crash, Loss, Reorder, Part],
+        |host, _seed| two_phase_commit::tpc_populate(host, &VOTES, false),
+        Arc::new(|| vec![two_phase_commit::atomicity_monitor()]),
+        Arc::new(|w, case, fault| {
             let c = w.program::<Coordinator>(Pid(0)).unwrap();
             let decided: Vec<Option<bool>> = (1..=VOTES.len() as u32)
                 .map(|i| w.program::<Participant>(Pid(i)).unwrap().committed)
@@ -369,7 +360,61 @@ pub fn two_phase_commit_app() -> AppSpec {
             }
             CellCheck::pass(metrics)
         }),
-    }
+    )
+}
+
+/// Chord DHT column for the **wide** matrix: `n` members stabilize and
+/// issue lookups; every lookup must resolve (`bad == 0`), and the
+/// lossless cases must complete the full lookup workload. Wide cells are
+/// where sharded campaign execution pays off, so this column is used by
+/// `campaign_demo --sharded` and the sharded-equality tests rather than
+/// the standard (narrow) matrix — adding it there would redefine the
+/// golden fixture for no coverage gain.
+pub fn chord_app(n: usize, stabilize_rounds: u32, lookups: u32, work: u64) -> AppSpec {
+    AppSpec::from_populate(
+        "chord",
+        &[Clean, Reorder],
+        move |host, _seed| chord::chord_populate_work(host, n, stabilize_rounds, lookups, work),
+        Arc::new(Vec::new),
+        Arc::new(move |w, case, fault| {
+            let (mut ok, mut bad) = (0u64, 0u64);
+            for i in 0..n {
+                let s = &w.program::<ChordNode>(Pid(i as u32)).unwrap().stats;
+                ok += s.ok;
+                bad += s.bad;
+            }
+            let metrics = vec![("ok".to_string(), ok), ("bad".to_string(), bad)];
+            if let Some(f) = fault {
+                return CellCheck::fail(format!("unexpected violation: {}", f.monitor), metrics);
+            }
+            if bad != 0 {
+                return CellCheck::fail(format!("{bad} lookups resolved wrong"), metrics);
+            }
+            let want = n as u64 * lookups as u64;
+            if case.lossless && ok != want {
+                return CellCheck::fail(format!("incomplete lookups: {ok} != {want}"), metrics);
+            }
+            CellCheck::pass(metrics)
+        }),
+    )
+}
+
+/// The wide matrix: one Chord column over clean + reorder cases. Cells
+/// are wide (many processes) and handler-heavy, which is the regime the
+/// sharded campaign driver targets.
+pub fn wide_matrix(n: usize, seeds: &[u64]) -> CampaignSpec {
+    wide_matrix_work(n, seeds, 0)
+}
+
+/// [`wide_matrix`] with a per-delivery compute burn on every Chord
+/// member — the handler-heavy variant the sharded campaign bench
+/// (`campaign_demo`) gates on.
+pub fn wide_matrix_work(n: usize, seeds: &[u64], work: u64) -> CampaignSpec {
+    CampaignSpec::new()
+        .app(chord_app(n, 3, 2, work))
+        .case(FaultCase::net_only("clean", Clean, NetworkConfig::default()).lossless())
+        .case(FaultCase::net_only("reorder", Reorder, NetworkConfig::jittery(1, 50)).lossless())
+        .seeds(seeds.iter().copied())
 }
 
 /// The full standard matrix: all five example apps × the standard fault

@@ -7,12 +7,30 @@
 //! outcomes are re-sorted by spec index afterwards. The report is
 //! therefore byte-identical for any thread count (see
 //! `tests/campaign.rs::report_is_thread_count_invariant`).
+//!
+//! ## Sharded cells
+//!
+//! With `FIXD_SHARDS` (or an explicit shard count) above 1, each cell
+//! *executes* on a [`ShardedWorld`] and is then *supervised* by replaying
+//! the captured step stream through the real [`Fixd`] loop on a serial
+//! mirror world built from the same [`crate::spec::PopulateFn`]. The
+//! Scroll, the Time Machine, the monitors and the payload ledger all see
+//! exactly the step sequence the serial driver would have produced, so
+//! the report is byte-identical to serial execution at any shard count —
+//! `tests/campaign.rs` and the golden fixture pin this. Cells whose
+//! supervision detects a fault (the serial run stops mid-stream) or
+//! whose step budget is exhausted fall back to the canonical serial
+//! path, keeping the equivalence unconditional.
+//!
+//! Worker threads are budgeted against the shard fan-out
+//! ([`fixd_core::knobs::worker_budget`]): `threads × shards` never
+//! exceeds the configured thread budget.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fixd_core::{Fixd, FixdConfig};
-use fixd_runtime::WorldConfig;
+use fixd_runtime::{ShardedWorld, World, WorldConfig};
 
 use crate::report::{CampaignReport, CellOutcome};
 use crate::spec::{CampaignSpec, Cell};
@@ -40,15 +58,33 @@ pub fn default_threads() -> usize {
     })
 }
 
-/// Run the whole matrix with [`default_threads`] workers.
-pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
-    run_campaign_with_threads(spec, default_threads())
+/// Shards each cell executes on: the `FIXD_SHARDS` knob via
+/// [`FixdConfig`] (the config's default is the knob's source of truth),
+/// else 1 (inline serial execution).
+pub fn default_shards() -> usize {
+    FixdConfig::default().shards.max(1)
 }
 
-/// Run the whole matrix with an explicit worker count.
+/// Run the whole matrix with [`default_threads`] workers and
+/// [`default_shards`] shards per cell.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_sharded(spec, default_threads(), default_shards())
+}
+
+/// Run the whole matrix with an explicit worker count (shards per cell
+/// still follow [`default_shards`], i.e. `FIXD_SHARDS`).
 pub fn run_campaign_with_threads(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    run_campaign_sharded(spec, threads, default_shards())
+}
+
+/// Run the whole matrix with explicit worker and per-cell shard counts.
+///
+/// `threads` is a *budget*: with `shards` worker threads inside every
+/// cell, the outer pool is cut to `threads / shards` so the product
+/// never oversubscribes the requested parallelism.
+pub fn run_campaign_sharded(spec: &CampaignSpec, threads: usize, shards: usize) -> CampaignReport {
     let cells = spec.cells();
-    let threads = threads.clamp(1, cells.len().max(1));
+    let threads = fixd_core::knobs::worker_budget(threads, shards).clamp(1, cells.len().max(1));
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(cells.len()));
     std::thread::scope(|scope| {
@@ -58,7 +94,7 @@ pub fn run_campaign_with_threads(spec: &CampaignSpec, threads: usize) -> Campaig
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    local.push((i, run_cell(spec, cell)));
+                    local.push((i, run_cell_sharded(spec, cell, shards)));
                 }
                 collected
                     .lock()
@@ -125,6 +161,144 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellOutcome {
         fingerprint: world.global_snapshot().fingerprint(),
         metrics: check.metrics,
     }
+}
+
+/// Execute one cell on a [`ShardedWorld`] with `shards` workers, then
+/// supervise the captured step stream on a serial mirror.
+///
+/// `shards <= 1` runs the cell inline via [`run_cell`] — the serial path
+/// *is* the specification. Above 1:
+///
+/// 1. the cell's processes populate a sharded world (same
+///    [`crate::spec::PopulateFn`], so identical pids/topology);
+/// 2. the sharded executor runs to quiescence, capturing every step
+///    record plus the acting process's post-state and vector clock;
+/// 3. a serial mirror world replays that stream under the **real**
+///    [`Fixd::supervise`] loop — Scroll entries, Time Machine
+///    checkpoints and monitor evaluations are produced by the same code
+///    the serial driver runs, over the same observable world;
+/// 4. network and payload figures come from the sharded executor (whose
+///    ledger compensates for serial-only clones), supervision figures
+///    from the replay, and the fingerprint from the sharded world's
+///    global snapshot.
+///
+/// Two outcomes force the canonical serial path instead: a step-budget
+/// overrun (the sharded run may cut a window differently than a serial
+/// step cap) and a detected fault (the serial run stops mid-stream, so
+/// quiescent sharded state is not the state to report).
+pub fn run_cell_sharded(spec: &CampaignSpec, cell: &Cell, shards: usize) -> CellOutcome {
+    run_cell_sharded_timed(spec, cell, shards).0
+}
+
+/// Wall-clock decomposition of one cell run, for the campaign benchmark
+/// (`campaign_demo`). On hosts with fewer cores than shards the wall
+/// clock cannot exhibit a parallel speedup, so the bench gates on the
+/// modelled figure `exec_secs + supervise_secs` — the run's own measured
+/// per-shard busy time combined as a perfectly-scheduled parallel
+/// machine would (the same convention as `BENCH_shard.json`).
+#[derive(Clone, Copy, Debug)]
+pub struct CellTiming {
+    /// The execution phase: for sharded cells, the shard critical path
+    /// plus the serial coordinator time from
+    /// [`fixd_runtime::ShardTiming`]; for serial cells, the full
+    /// measured wall clock (execution and supervision are one loop).
+    pub exec_secs: f64,
+    /// Measured replay-supervision time — serial in both modes, so it
+    /// is counted at face value on top of the modelled parallel phase.
+    /// Zero for serial cells (already inside `exec_secs`).
+    pub supervise_secs: f64,
+    /// The cell ran (or fell back to) the canonical serial path.
+    pub serial: bool,
+}
+
+/// [`run_cell_sharded`] plus the cell's [`CellTiming`].
+pub fn run_cell_sharded_timed(
+    spec: &CampaignSpec,
+    cell: &Cell,
+    shards: usize,
+) -> (CellOutcome, CellTiming) {
+    let serial_timed = || {
+        let t0 = std::time::Instant::now();
+        let out = run_cell(spec, cell);
+        let timing = CellTiming {
+            exec_secs: t0.elapsed().as_secs_f64(),
+            supervise_secs: 0.0,
+            serial: true,
+        };
+        (out, timing)
+    };
+    if shards <= 1 {
+        return serial_timed();
+    }
+    let app = &spec.apps[cell.app];
+    let case = &spec.cases[cell.case];
+    let mut cfg = WorldConfig::seeded(cell.seed);
+    cfg.net = case.net.clone();
+    let mut sw = ShardedWorld::new(cfg.clone(), shards);
+    let mut mirror = World::new(cfg);
+    {
+        // One populate call spawns into both worlds: external resources
+        // the closure creates (e.g. a `SharedDisk`) are shared between
+        // executor and mirror, as they would be within one serial world.
+        let mut host = fixd_runtime::DualHost::new(&mut sw, &mut mirror);
+        (app.populate)(&mut host, cell.seed);
+    }
+    let n = sw.num_procs();
+    sw.set_fault_plan((case.plan)(n, cell.seed));
+    let (rep, stream) = sw.run_supervised(spec.max_steps);
+    if !rep.quiescent {
+        return serial_timed();
+    }
+    let t = sw.timing();
+    let exec_secs = (t.coordinator + t.critical).as_secs_f64();
+    let t_sup = std::time::Instant::now();
+    mirror.begin_replay(stream);
+    let mut fixd = Fixd::new(n, FixdConfig::seeded(cell.seed));
+    for m in (app.monitors)() {
+        fixd = fixd.monitor(m);
+    }
+    let out = fixd.supervise(&mut mirror, spec.max_steps);
+    if out.fault.is_some() {
+        return serial_timed();
+    }
+    let check = (app.check)(&mirror, case, out.fault.as_ref());
+    let supervise_secs = t_sup.elapsed().as_secs_f64();
+    let net = sw.stats();
+    let sup = fixd.stats();
+    // Payload accounting *after* replay supervision: the supervision-side
+    // clones (peeked kinds, Scroll entries, Time Machine delivery log)
+    // land on this thread and belong to the cell, exactly as they do on
+    // the serial path.
+    let pay = sw.payload_stats();
+    let outcome = CellOutcome {
+        app: app.name.to_string(),
+        case: case.name.to_string(),
+        pathology: case.pathology,
+        also: case.also.to_vec(),
+        seed: cell.seed,
+        steps: out.steps,
+        end_time: mirror.now(),
+        quiescent: out.quiescent,
+        violation: None,
+        check_failure: check.failure,
+        delivered: net.delivered,
+        dropped: net.dropped,
+        duplicated: net.duplicated,
+        corrupted: net.corrupted,
+        scroll_entries: sup.scroll_entries as u64,
+        checkpoints: sup.checkpoints as u64,
+        checkpoint_bytes: sup.checkpoint_bytes as u64,
+        payload_copied: pay.copied,
+        payload_aliased: pay.aliased,
+        fingerprint: sw.global_snapshot().fingerprint(),
+        metrics: check.metrics,
+    };
+    let timing = CellTiming {
+        exec_secs,
+        supervise_secs,
+        serial: false,
+    };
+    (outcome, timing)
 }
 
 #[cfg(test)]

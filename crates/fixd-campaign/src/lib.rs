@@ -33,9 +33,13 @@ pub mod report;
 pub mod spec;
 
 pub use apps::{
-    kvstore_app, kvstore_buggy_app, kvstore_ck_app, pipeline_app, standard_cases, standard_matrix,
-    standard_pathologies, token_ring_app, two_phase_commit_app, wal_counter_app,
+    chord_app, kvstore_app, kvstore_buggy_app, kvstore_ck_app, pipeline_app, standard_cases,
+    standard_matrix, standard_pathologies, token_ring_app, two_phase_commit_app, wal_counter_app,
+    wide_matrix, wide_matrix_work,
 };
-pub use driver::{default_threads, run_campaign, run_campaign_with_threads, run_cell, THREADS_ENV};
+pub use driver::{
+    default_shards, default_threads, run_campaign, run_campaign_sharded, run_campaign_with_threads,
+    run_cell, run_cell_sharded, run_cell_sharded_timed, CellTiming, THREADS_ENV,
+};
 pub use report::{CampaignReport, CellOutcome};
-pub use spec::{AppSpec, CampaignSpec, Cell, CellCheck, FaultCase, Pathology};
+pub use spec::{AppSpec, CampaignSpec, Cell, CellCheck, FaultCase, Pathology, PopulateFn};

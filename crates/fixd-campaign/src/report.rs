@@ -347,4 +347,76 @@ mod tests {
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
     }
+
+    /// Strict inverse of [`json_string`], for round-trip testing only:
+    /// panics on anything a conforming decoder would reject.
+    fn json_unstring(s: &str) -> String {
+        let inner = s
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .expect("quoted");
+        let mut out = String::new();
+        let mut it = inner.chars();
+        while let Some(c) = it.next() {
+            assert!((c as u32) >= 0x20, "raw control char leaked: {c:?}");
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match it.next().expect("dangling escape") {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).map(|_| it.next().expect("short \\u")).collect();
+                    let v = u32::from_str_radix(&code, 16).expect("hex escape");
+                    out.push(char::from_u32(v).expect("scalar value"));
+                }
+                e => panic!("unknown escape \\{e}"),
+            }
+        }
+        out
+    }
+
+    /// Satellite regression: app/case names (and failure strings) with
+    /// quotes, backslashes, newlines, and raw control characters must
+    /// encode to valid JSON and decode back byte-for-byte.
+    #[test]
+    fn json_string_round_trips_adversarial_names() {
+        for raw in [
+            "plain",
+            "",
+            "quo\"te",
+            "back\\slash",
+            "new\nline and\ttab\r",
+            "\u{1}\u{1f}\u{7f}",
+            "emoji 🦀 ünïcode",
+            "pre-escaped-looking a\\\"b\\nc",
+            "{\"json\": [\"inside\"]}",
+        ] {
+            let enc = json_string(raw);
+            assert_eq!(json_unstring(&enc), raw, "round-trip broke for {raw:?}");
+        }
+    }
+
+    /// A report whose names need escaping renders an artifact with no
+    /// raw control characters and with every name recoverable.
+    #[test]
+    fn report_with_hostile_names_renders_and_round_trips() {
+        let mut c = outcome(0);
+        c.app = "app\"x\\y".into();
+        c.case = "case\nz\t{".into();
+        c.check_failure = Some("fail \"reason\"\n".into());
+        c.metrics = vec![("k\"ey".into(), 7)];
+        let r = CampaignReport::from_cells(vec![(0, c)]);
+        let j = r.to_json();
+        assert!(j.contains(&json_string("app\"x\\y")));
+        assert!(j.contains(&json_string("case\nz\t{")));
+        assert!(j.contains(&json_string("fail \"reason\"\n")));
+        assert!(j.contains(&json_string("k\"ey")));
+        // Only the structural newlines survive unescaped.
+        assert!(!j.chars().any(|ch| (ch as u32) < 0x20 && ch != '\n'));
+    }
 }

@@ -72,6 +72,20 @@ pub fn shards_from_env() -> Option<usize> {
     env_count(SHARDS_ENV)
 }
 
+/// Budget outer worker threads against per-task fan-out.
+///
+/// When every unit of work spins up `fanout` threads of its own (a
+/// sharded campaign cell runs `FIXD_SHARDS` shard workers), running the
+/// full `threads` workers oversubscribes the machine by a factor of
+/// `fanout`: `FIXD_CAMPAIGN_THREADS × FIXD_SHARDS` threads contend for
+/// `FIXD_CAMPAIGN_THREADS` cores. The fix is to spend the thread budget
+/// on the *product*: at most `threads / fanout` outer workers, never
+/// fewer than one (a fan-out wider than the budget still makes
+/// progress, one cell at a time).
+pub fn worker_budget(threads: usize, fanout: usize) -> usize {
+    (threads / fanout.max(1)).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +114,20 @@ mod tests {
         assert_eq!(parse_count("+8"), Err(CountParseError::Invalid));
         assert_eq!(parse_count("eight"), Err(CountParseError::Invalid));
         assert_eq!(parse_count("8 shards"), Err(CountParseError::Invalid));
+    }
+
+    #[test]
+    fn worker_budget_spends_the_product_not_the_factor() {
+        // 8 workers × 4 shards would be 32 threads; the budget caps the
+        // outer pool so the product stays within the 8-thread budget.
+        assert_eq!(worker_budget(8, 4), 2);
+        assert_eq!(worker_budget(8, 1), 8);
+        assert_eq!(worker_budget(8, 8), 1);
+        // Fan-out wider than the budget: still one worker, never zero.
+        assert_eq!(worker_budget(2, 16), 1);
+        assert_eq!(worker_budget(1, 1), 1);
+        // Degenerate zero fan-out is treated as serial, not a panic.
+        assert_eq!(worker_budget(8, 0), 8);
     }
 
     #[test]

@@ -29,7 +29,8 @@
 
 use std::sync::Arc;
 
-use fixd_runtime::{Context, Message, Pid, Program, TimerId, World, WorldConfig};
+use fixd_runtime::wire::fnv_mix;
+use fixd_runtime::{Context, Message, Pid, ProcHost, Program, TimerId, World, WorldConfig};
 
 /// Route this lookup: `[key u64, origin u32, hops u8]`.
 pub const LOOKUP_REQ: u16 = 1;
@@ -172,8 +173,28 @@ pub struct ChordNode {
     stabilize_left: u32,
     /// Lookups left to issue.
     lookups_left: u32,
+    /// Deterministic compute iterations burned per delivered message
+    /// (models per-hop application work: hash checks, verification).
+    /// Zero by default; the sharded campaign bench turns this up to
+    /// make wide cells handler-heavy.
+    work: u64,
+    /// Accumulator the burned work folds into (part of the snapshot, so
+    /// the work is real state the compiler cannot elide).
+    work_acc: u64,
     /// Completed-lookup stats.
     pub stats: LookupStats,
+}
+
+/// The per-delivery compute burn: `iters` FNV rounds over the payload.
+fn burn(iters: u64, payload: &[u8], acc: u64) -> u64 {
+    let mut h = acc ^ 0x9E37_79B9_7F4A_7C15;
+    for i in 0..iters {
+        h = fnv_mix(h, i);
+        for &b in payload {
+            h = fnv_mix(h, u64::from(b));
+        }
+    }
+    h
 }
 
 impl ChordNode {
@@ -187,8 +208,17 @@ impl ChordNode {
             fingers: Vec::new(),
             stabilize_left: stabilize_rounds,
             lookups_left: lookups,
+            work: 0,
+            work_acc: 0,
             stats: LookupStats::default(),
         }
+    }
+
+    /// Burn `iters` deterministic compute iterations per delivered
+    /// message (builder style).
+    pub fn with_work(mut self, iters: u64) -> Self {
+        self.work = iters;
+        self
     }
 
     /// Route `key`: the next hop and whether that hop is the owner.
@@ -250,6 +280,9 @@ impl Program for ChordNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        if self.work > 0 {
+            self.work_acc = burn(self.work, &msg.payload, self.work_acc);
+        }
         match msg.tag {
             LOOKUP_REQ => {
                 let (key, origin, hops) = decode_lookup(&msg.payload);
@@ -321,6 +354,7 @@ impl Program for ChordNode {
         b.extend_from_slice(&self.stats.ok.to_le_bytes());
         b.extend_from_slice(&self.stats.bad.to_le_bytes());
         b.extend_from_slice(&self.stats.hops.to_le_bytes());
+        b.extend_from_slice(&self.work_acc.to_le_bytes());
         b
     }
 
@@ -334,6 +368,7 @@ impl Program for ChordNode {
         self.stats.ok = u64::from_le_bytes(b[24..32].try_into().unwrap());
         self.stats.bad = u64::from_le_bytes(b[32..40].try_into().unwrap());
         self.stats.hops = u64::from_le_bytes(b[40..48].try_into().unwrap());
+        self.work_acc = u64::from_le_bytes(b[48..56].try_into().unwrap());
         // Fingers are derived state: rebuild from the oracle.
         self.fingers = self.ring.fingers_for(self.id);
     }
@@ -347,6 +382,8 @@ impl Program for ChordNode {
             fingers: self.fingers.clone(),
             stabilize_left: self.stabilize_left,
             lookups_left: self.lookups_left,
+            work: self.work,
+            work_acc: self.work_acc,
             stats: self.stats,
         })
     }
@@ -376,17 +413,36 @@ pub fn chord_factory(
 /// A dense world of `n` Chord members (pids `0..n`), for tests: every
 /// node runs `stabilize_rounds` rounds and issues `lookups` lookups.
 pub fn chord_world(n: usize, seed: u64, stabilize_rounds: u32, lookups: u32) -> World {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    chord_populate(&mut w, n, stabilize_rounds, lookups);
+    w
+}
+
+/// Populate any [`ProcHost`] with a dense `n`-member Chord ring
+/// (shard-capable entry point for the campaign driver). Members are
+/// spawned eagerly so the topology is identical on serial and sharded
+/// hosts without lazy-materialization bookkeeping.
+pub fn chord_populate(host: &mut dyn ProcHost, n: usize, stabilize_rounds: u32, lookups: u32) {
+    chord_populate_work(host, n, stabilize_rounds, lookups, 0);
+}
+
+/// [`chord_populate`] with a per-delivery compute burn (see
+/// [`ChordNode::with_work`]) — the handler-heavy regime the sharded
+/// campaign bench measures.
+pub fn chord_populate_work(
+    host: &mut dyn ProcHost,
+    n: usize,
+    stabilize_rounds: u32,
+    lookups: u32,
+    work: u64,
+) {
     let members: Vec<Pid> = (0..n as u32).map(Pid).collect();
     let ring = Arc::new(ChordRing::new(&members));
-    let mut w = World::new(WorldConfig::seeded(seed));
     for _ in 0..n {
-        w.add_process(Box::new(ChordNode::new(
-            Arc::clone(&ring),
-            stabilize_rounds,
-            lookups,
-        )));
+        host.spawn(Box::new(
+            ChordNode::new(Arc::clone(&ring), stabilize_rounds, lookups).with_work(work),
+        ));
     }
-    w
 }
 
 #[cfg(test)]

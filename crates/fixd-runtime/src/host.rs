@@ -1,0 +1,138 @@
+//! [`ProcHost`] — the world-construction surface shared by the serial
+//! [`World`] and the [`ShardedWorld`].
+//!
+//! Application factories (the campaign example apps, scenario builders)
+//! populate a world by adding processes. Writing them against
+//! `&mut dyn ProcHost` instead of a concrete world type means one
+//! factory builds *both* executors — which is what lets the campaign
+//! driver run any cell on a sharded world while the serial golden path
+//! constructs the byte-identical mirror from the same closure.
+
+use std::sync::Arc;
+
+use crate::program::Program;
+use crate::shard::ShardedWorld;
+use crate::world::World;
+use crate::Pid;
+
+/// A process factory shareable across shard tables and host kinds.
+pub type SharedProcFactory = Arc<dyn Fn(Pid) -> Box<dyn Program> + Send + Sync>;
+
+/// Anything processes can be added to before a run starts.
+pub trait ProcHost {
+    /// Add one eager process; pids are dense and assigned in call order
+    /// (identical across host kinds).
+    fn spawn(&mut self, program: Box<dyn Program>) -> Pid;
+
+    /// Add `count` lazily materialized processes (see
+    /// [`World::add_lazy_processes`]). Returns the pid range added.
+    fn spawn_lazy(&mut self, count: usize, factory: SharedProcFactory) -> std::ops::Range<u32>;
+}
+
+impl ProcHost for World {
+    fn spawn(&mut self, program: Box<dyn Program>) -> Pid {
+        self.add_process(program)
+    }
+
+    fn spawn_lazy(&mut self, count: usize, factory: SharedProcFactory) -> std::ops::Range<u32> {
+        self.add_lazy_processes(count, move |pid| factory(pid))
+    }
+}
+
+impl ProcHost for ShardedWorld {
+    fn spawn(&mut self, program: Box<dyn Program>) -> Pid {
+        self.add_process(program)
+    }
+
+    fn spawn_lazy(&mut self, count: usize, factory: SharedProcFactory) -> std::ops::Range<u32> {
+        self.add_lazy_processes(count, move |pid| factory(pid))
+    }
+}
+
+/// Populates a sharded executor and its serial mirror from **one**
+/// populate call.
+///
+/// The campaign driver replays a sharded execution on a serial mirror
+/// world; both worlds need the cell's processes. Calling the populate
+/// closure twice would mint *independent* copies of any external
+/// resource the closure creates (a [`crate::SharedDisk`], an oracle) —
+/// the mirror would then read a resource the execution never touched.
+/// `DualHost` spawns the program into the executor and a
+/// [`Program::clone_program`] copy into the mirror: faithful state,
+/// shared handles, exactly as if one serial world had run the cell.
+pub struct DualHost<'a> {
+    exec: &'a mut ShardedWorld,
+    mirror: &'a mut World,
+}
+
+impl<'a> DualHost<'a> {
+    /// Pair an executor with its mirror.
+    pub fn new(exec: &'a mut ShardedWorld, mirror: &'a mut World) -> Self {
+        Self { exec, mirror }
+    }
+}
+
+impl ProcHost for DualHost<'_> {
+    fn spawn(&mut self, program: Box<dyn Program>) -> Pid {
+        let copy = program.clone_program();
+        let pid = self.exec.add_process(program);
+        let mpid = self.mirror.add_process(copy);
+        assert_eq!(pid, mpid, "executor and mirror pid streams diverged");
+        pid
+    }
+
+    fn spawn_lazy(&mut self, count: usize, factory: SharedProcFactory) -> std::ops::Range<u32> {
+        let f = Arc::clone(&factory);
+        let r = self.exec.add_lazy_processes(count, move |pid| f(pid));
+        let m = self
+            .mirror
+            .add_lazy_processes(count, move |pid| factory(pid));
+        assert_eq!(r, m, "executor and mirror pid ranges diverged");
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use crate::{Context, Message, TimerId};
+
+    struct Echo;
+    impl Program for Echo {
+        fn on_start(&mut self, _ctx: &mut Context) {}
+        fn on_message(&mut self, _ctx: &mut Context, _msg: &Message) {}
+        fn on_timer(&mut self, _ctx: &mut Context, _t: TimerId) {}
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _bytes: &[u8]) {}
+        fn clone_program(&self) -> Box<dyn Program> {
+            Box::new(Echo)
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn populate(host: &mut dyn ProcHost) -> (Pid, std::ops::Range<u32>) {
+        let p = host.spawn(Box::new(Echo));
+        let r = host.spawn_lazy(3, Arc::new(|_pid| Box::new(Echo) as Box<dyn Program>));
+        (p, r)
+    }
+
+    #[test]
+    fn pids_assigned_identically_on_both_hosts() {
+        let mut w = World::new(WorldConfig::seeded(1));
+        let mut sw = ShardedWorld::new(WorldConfig::seeded(1), 4);
+        let (p1, r1) = populate(&mut w);
+        let (p2, r2) = populate(&mut sw);
+        assert_eq!(p1, p2);
+        assert_eq!(r1, r2);
+        assert_eq!(w.num_procs(), sw.num_procs());
+        assert_eq!(w.num_procs(), 4);
+    }
+}

@@ -58,6 +58,7 @@ pub mod disk;
 pub mod event;
 pub mod fault;
 pub mod harness;
+pub mod host;
 pub mod network;
 pub mod payload;
 mod procs;
@@ -80,7 +81,8 @@ pub use event::{
 pub use fault::{Fault, FaultPlan};
 pub use fixd_store::{PageStats, PageStore, PagedImage, SnapshotImage, StoreStats};
 pub use harness::SoloHarness;
-pub use network::{DeliveryPolicy, NetStats, NetworkConfig, Partition};
+pub use host::{DualHost, ProcHost, SharedProcFactory};
+pub use network::{DeliveryPolicy, LinkPolicy, NetStats, NetworkConfig, Partition};
 pub use payload::{Payload, PayloadStats};
 pub use program::{Context, Program};
 pub use rng::DetRng;
@@ -88,7 +90,8 @@ pub use shard::{ShardObserver, ShardTiming, ShardedWorld};
 pub use topology::Topology;
 pub use trace::{SharedStepRecord, StepRecord, Trace};
 pub use world::{
-    GlobalSnapshot, ProcCheckpoint, ProcFactory, ProcStatus, RunReport, World, WorldConfig,
+    GlobalSnapshot, ProcCheckpoint, ProcFactory, ProcStatus, ReplayStep, RunReport, World,
+    WorldConfig,
 };
 
 /// Virtual time, in abstract "nanoseconds". Purely logical; never tied to

@@ -26,6 +26,34 @@ impl Default for DeliveryPolicy {
     }
 }
 
+impl DeliveryPolicy {
+    /// The smallest delay this policy can ever assign to a message.
+    /// Sharded execution uses this as the conservative lookahead bound:
+    /// no send planned under this policy can arrive sooner.
+    pub fn min_latency(&self) -> VTime {
+        match self {
+            DeliveryPolicy::Fifo { latency } => *latency,
+            DeliveryPolicy::RandomDelay { min, .. } => *min,
+        }
+    }
+}
+
+/// A per-link delivery-policy override. `None` endpoints are wildcards,
+/// so `{src: None, dst: Some(p)}` overrides every message *into* `p`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkPolicy {
+    pub src: Option<Pid>,
+    pub dst: Option<Pid>,
+    pub policy: DeliveryPolicy,
+}
+
+impl LinkPolicy {
+    /// Does this override apply to a `src → dst` message?
+    pub fn matches(&self, src: Pid, dst: Pid) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
 /// A static partition of processes into connectivity groups. Messages
 /// between different groups are dropped. `group_of[pid] == group id`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,6 +107,10 @@ pub struct NetworkConfig {
     pub dup_prob: f64,
     /// Probability one payload byte is flipped in transit.
     pub corrupt_prob: f64,
+    /// Per-link delivery-policy overrides; first match wins, falling
+    /// back to [`NetworkConfig::policy`]. Loss/dup/corruption
+    /// probabilities stay global.
+    pub links: Vec<LinkPolicy>,
 }
 
 impl Default for NetworkConfig {
@@ -88,6 +120,7 @@ impl Default for NetworkConfig {
             drop_prob: 0.0,
             dup_prob: 0.0,
             corrupt_prob: 0.0,
+            links: Vec::new(),
         }
     }
 }
@@ -124,6 +157,22 @@ impl NetworkConfig {
             corrupt_prob,
             ..Self::default()
         }
+    }
+
+    /// Add a per-link delivery-policy override (builder style). `None`
+    /// endpoints are wildcards; the first matching link wins.
+    pub fn with_link(mut self, src: Option<Pid>, dst: Option<Pid>, policy: DeliveryPolicy) -> Self {
+        self.links.push(LinkPolicy { src, dst, policy });
+        self
+    }
+
+    /// The delivery policy governing a `src → dst` message: the first
+    /// matching link override, else the global default.
+    pub fn policy_for(&self, src: Pid, dst: Pid) -> &DeliveryPolicy {
+        self.links
+            .iter()
+            .find(|l| l.matches(src, dst))
+            .map_or(&self.policy, |l| &l.policy)
     }
 }
 
@@ -167,9 +216,36 @@ pub struct NetStats {
 impl NetworkConfig {
     /// Decide the fate of one message sent at `now`: zero, one, or two
     /// delivery outcomes (two when duplicated). Deterministic given the
-    /// RNG stream state.
+    /// RNG stream state. Uses the global delivery policy; see
+    /// [`NetworkConfig::plan_for`] for the link-aware variant.
     pub fn plan(
         &self,
+        now: VTime,
+        payload: &[u8],
+        connected: bool,
+        rng: &mut DetRng,
+    ) -> Vec<DeliveryOutcome> {
+        self.plan_with(&self.policy, now, payload, connected, rng)
+    }
+
+    /// Like [`NetworkConfig::plan`], but latency comes from the
+    /// per-link policy for `src → dst`. With no link overrides this
+    /// draws exactly the same RNG stream as `plan`.
+    pub fn plan_for(
+        &self,
+        src: Pid,
+        dst: Pid,
+        now: VTime,
+        payload: &[u8],
+        connected: bool,
+        rng: &mut DetRng,
+    ) -> Vec<DeliveryOutcome> {
+        self.plan_with(self.policy_for(src, dst), now, payload, connected, rng)
+    }
+
+    fn plan_with(
+        &self,
+        policy: &DeliveryPolicy,
         now: VTime,
         payload: &[u8],
         connected: bool,
@@ -192,7 +268,7 @@ impl NetworkConfig {
         };
         let mut out = Vec::with_capacity(copies);
         for _ in 0..copies {
-            let delay = match self.policy {
+            let delay = match *policy {
                 DeliveryPolicy::Fifo { latency } => latency,
                 DeliveryPolicy::RandomDelay { min, max } => {
                     if max > min {
@@ -306,6 +382,83 @@ mod tests {
                 assert_eq!(diff, 1);
             }
             other => panic!("expected corrupted delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_policy_first_match_wins_with_wildcards() {
+        let cfg = NetworkConfig::default()
+            .with_link(
+                Some(Pid(0)),
+                Some(Pid(1)),
+                DeliveryPolicy::Fifo { latency: 2 },
+            )
+            .with_link(None, Some(Pid(1)), DeliveryPolicy::Fifo { latency: 5 })
+            .with_link(
+                Some(Pid(3)),
+                None,
+                DeliveryPolicy::RandomDelay { min: 1, max: 4 },
+            );
+        assert_eq!(
+            cfg.policy_for(Pid(0), Pid(1)),
+            &DeliveryPolicy::Fifo { latency: 2 }
+        );
+        assert_eq!(
+            cfg.policy_for(Pid(2), Pid(1)),
+            &DeliveryPolicy::Fifo { latency: 5 }
+        );
+        assert_eq!(
+            cfg.policy_for(Pid(3), Pid(0)),
+            &DeliveryPolicy::RandomDelay { min: 1, max: 4 }
+        );
+        // No match → the global default.
+        assert_eq!(cfg.policy_for(Pid(2), Pid(0)), &cfg.policy);
+        assert_eq!(cfg.policy_for(Pid(2), Pid(0)).min_latency(), 10);
+    }
+
+    #[test]
+    fn plan_for_uses_link_latency() {
+        let cfg = NetworkConfig::default().with_link(
+            Some(Pid(0)),
+            Some(Pid(1)),
+            DeliveryPolicy::Fifo { latency: 3 },
+        );
+        let mut rng = DetRng::derive(1, 0);
+        let out = cfg.plan_for(Pid(0), Pid(1), 100, b"x", true, &mut rng);
+        assert_eq!(
+            out,
+            vec![DeliveryOutcome::Deliver {
+                at: 103,
+                corrupted_payload: None
+            }]
+        );
+        let out = cfg.plan_for(Pid(1), Pid(0), 100, b"x", true, &mut rng);
+        assert_eq!(
+            out,
+            vec![DeliveryOutcome::Deliver {
+                at: 110,
+                corrupted_payload: None
+            }]
+        );
+    }
+
+    #[test]
+    fn plan_for_matches_plan_rng_stream_without_links() {
+        // Same seed, same draws: link-aware planning must not perturb
+        // the RNG stream when no overrides exist.
+        let cfg = NetworkConfig {
+            drop_prob: 0.2,
+            dup_prob: 0.3,
+            corrupt_prob: 0.2,
+            policy: DeliveryPolicy::RandomDelay { min: 2, max: 9 },
+            ..NetworkConfig::default()
+        };
+        let mut a = DetRng::derive(7, 3);
+        let mut b = DetRng::derive(7, 3);
+        for i in 0..200u64 {
+            let via_plan = cfg.plan(i, b"abcdef", i % 5 != 0, &mut a);
+            let via_link = cfg.plan_for(Pid(0), Pid(1), i, b"abcdef", i % 5 != 0, &mut b);
+            assert_eq!(via_plan, via_link, "diverged at send {i}");
         }
     }
 

@@ -76,6 +76,16 @@ impl PayloadStats {
             aliased: self.aliased.wrapping_sub(earlier.aliased),
         }
     }
+
+    /// Component-wise sum — folds per-worker-thread deltas into one
+    /// figure (a sharded world's handler work runs on scoped threads
+    /// whose thread-local counters die with them).
+    pub fn plus(self, other: PayloadStats) -> PayloadStats {
+        PayloadStats {
+            copied: self.copied.wrapping_add(other.copied),
+            aliased: self.aliased.wrapping_add(other.aliased),
+        }
+    }
 }
 
 /// Current values of this thread's payload counters. Counters are

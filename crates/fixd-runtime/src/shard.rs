@@ -38,11 +38,11 @@ use std::time::Duration;
 use crate::clock::VectorClock;
 use crate::event::{Effects, Event, EventKind, SharedMessage};
 use crate::fault::FaultPlan;
-use crate::network::{DeliveryPolicy, NetStats, Partition};
+use crate::network::{NetStats, Partition};
 use crate::procs::{ProcFactory, ProcTable};
 use crate::program::Context;
 use crate::trace::{SharedStepRecord, StepRecord, Trace};
-use crate::world::{NetSide, ProcStatus, RunReport, WorldConfig};
+use crate::world::{NetSide, ProcStatus, ReplayStep, RunReport, WorldConfig};
 use crate::{Pid, VTime};
 
 /// Receives each emitted step record (with the target process's vector
@@ -162,6 +162,9 @@ struct PendingStep {
     effects: Effects,
     /// The pid's clock after the step (captured only while observing).
     vc_after: Option<VectorClock>,
+    /// Post-handler program snapshot (captured only while a supervised
+    /// run is recording a replay stream).
+    post_state: Option<Vec<u8>>,
 }
 
 struct Shard {
@@ -213,12 +216,13 @@ impl Shard {
         wend: VTime,
         n: usize,
         start_time: VTime,
-        observing: bool,
+        mode: RunMode,
         obs: Option<&mut O>,
     ) {
         let t0 = thread_cpu_now();
         self.drain_sink(obs);
         self.prov_next = 0;
+        let observing = mode.observing;
         while let Some(head) = self.queue.peek() {
             if head.at >= wend {
                 break;
@@ -239,7 +243,7 @@ impl Shard {
                         wend,
                         n,
                         start_time,
-                        observing,
+                        mode,
                     );
                 }
                 EventKind::Start { pid } => {
@@ -253,13 +257,19 @@ impl Shard {
                         wend,
                         n,
                         start_time,
-                        observing,
+                        mode,
                     );
                 }
                 EventKind::Deliver { msg } => {
                     if self.table.status_of(msg.dst) == ProcStatus::Crashed {
                         // Surface as an observable drop (same shard, so
                         // the clock capture here is position-exact).
+                        // The serial `next_valid` materializes this
+                        // conversion with a counted message clone; the
+                        // shard moves the handle instead, so mirror the
+                        // aliasing count to keep payload accounting
+                        // byte-equal between executors.
+                        crate::payload::note_aliased(msg.payload.len());
                         let vc_after = observing.then(|| self.table.vc_of(msg.dst).clone());
                         self.out.push(PendingStep {
                             at: ev.at,
@@ -267,6 +277,7 @@ impl Shard {
                             kind: EventKind::Drop { msg },
                             effects: Effects::default(),
                             vc_after,
+                            post_state: None,
                         });
                     } else {
                         self.exec(
@@ -276,7 +287,7 @@ impl Shard {
                             wend,
                             n,
                             start_time,
-                            observing,
+                            mode,
                         );
                     }
                 }
@@ -293,6 +304,7 @@ impl Shard {
                         kind: EventKind::Crash { pid },
                         effects: Effects::default(),
                         vc_after,
+                        post_state: None,
                     });
                 }
                 other => unreachable!("event kind never queued on a shard: {other:?}"),
@@ -315,8 +327,9 @@ impl Shard {
         wend: VTime,
         n: usize,
         start_time: VTime,
-        observing: bool,
+        mode: RunMode,
     ) {
+        let observing = mode.observing;
         let pid = kind.pid().expect("executable events target a pid");
         // Virtual "now" as the serial world would see it: monotonic,
         // floored at the configured start time.
@@ -330,6 +343,16 @@ impl Shard {
             e.vc.merge(&msg.vc);
             e.lamport = e.lamport.max(msg.meta.lamport) + 1;
             e.delivered += 1;
+            if mode.supervised {
+                // A supervised serial run checkpoints the receiver
+                // before every delivery and stamps the new checkpoint
+                // index into its meta template (which flows into every
+                // message it subsequently sends). The index equals the
+                // delivery ordinal — index 0 is the init checkpoint —
+                // so the executor can stamp it without the Time
+                // Machine being present.
+                e.meta_template.ckpt_index = e.delivered;
+            }
         }
         let effects = {
             let e = self.table.ent_mut(pid);
@@ -376,12 +399,20 @@ impl Shard {
             self.table.set_status(pid, ProcStatus::Crashed);
         }
         let vc_after = observing.then(|| self.table.vc_of(pid).clone());
+        let post_state = mode.capturing.then(|| {
+            self.table
+                .ent(pid)
+                .expect("exec materialized the pid")
+                .program
+                .snapshot()
+        });
         self.out.push(PendingStep {
             at,
             key,
             kind,
             effects,
             vc_after,
+            post_state,
         });
     }
 }
@@ -409,8 +440,12 @@ pub struct ShardTiming {
 pub struct ShardedWorld {
     cfg: WorldConfig,
     n: usize,
-    /// Window length `L`: the network's minimum delivery latency.
-    window: VTime,
+    /// Lower bound on delivery latency across the default policy *and
+    /// every link override* — the floor any window can shrink to, and
+    /// the bound used past a pending partition flip (which may revive
+    /// a currently-dead fast link). The actual per-window lookahead is
+    /// recomputed each window by [`ShardedWorld::window_end`].
+    lat_all: VTime,
     shards: Vec<Shard>,
     /// Fault-plan partition flips, minted at seal: `(at, seq, next)`,
     /// sorted by `(at, seq)` — coordinator-owned events.
@@ -428,14 +463,29 @@ pub struct ShardedWorld {
     serial: Duration,
     critical: Duration,
     event_batch: Vec<crate::world::QueuedEvent>,
+    /// Mirror supervised-serial message stamping during execution (see
+    /// [`Shard::exec`]); enabled by [`ShardedWorld::run_supervised`].
+    supervised: bool,
+    /// When present, the barrier appends every committed step here as a
+    /// [`ReplayStep`] for mirror-world supervision.
+    capture: Option<Vec<ReplayStep>>,
+    /// Thread-local payload counters at construction (coordinator
+    /// thread baseline).
+    payload_base: crate::payload::PayloadStats,
+    /// Payload deltas folded in from finished worker threads.
+    payload_accum: crate::payload::PayloadStats,
 }
 
-/// Minimum delivery latency of a policy — the window length.
-fn min_latency(policy: &DeliveryPolicy) -> VTime {
-    match policy {
-        DeliveryPolicy::Fifo { latency } => *latency,
-        DeliveryPolicy::RandomDelay { min, .. } => *min,
-    }
+/// Flags threaded through one run call into the shard workers.
+#[derive(Clone, Copy)]
+struct RunMode {
+    /// Capture per-step vector clocks (observers or replay capture).
+    observing: bool,
+    /// Capture post-handler program snapshots for a replay stream.
+    capturing: bool,
+    /// Stamp checkpoint ordinals into receiver meta templates, exactly
+    /// as a supervised serial run's Time Machine would.
+    supervised: bool,
 }
 
 struct NoObserver;
@@ -450,9 +500,12 @@ impl ShardedWorld {
     /// was made in.
     pub fn new(cfg: WorldConfig, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
-        let window = min_latency(&cfg.net.policy);
+        let mut lat_all = cfg.net.policy.min_latency();
+        for l in &cfg.net.links {
+            lat_all = lat_all.min(l.policy.min_latency());
+        }
         assert!(
-            window >= 1,
+            lat_all >= 1,
             "sharded execution requires a minimum network delivery latency of at least 1 \
              virtual tick (got 0): a zero-latency send could influence its own window"
         );
@@ -467,7 +520,7 @@ impl ShardedWorld {
         Self {
             partition: Partition::none(0),
             now: cfg.start_time,
-            window,
+            lat_all,
             cfg,
             n: 0,
             shards: workers,
@@ -483,7 +536,48 @@ impl ShardedWorld {
             serial: Duration::ZERO,
             critical: Duration::ZERO,
             event_batch: Vec::new(),
+            supervised: false,
+            capture: None,
+            payload_base: crate::payload::stats(),
+            payload_accum: crate::payload::PayloadStats::default(),
         }
+    }
+
+    /// End of the conservative window starting at `tmin`, recomputed
+    /// **per window** from the live per-edge delivery policies:
+    ///
+    /// * a link whose endpoints are currently partitioned apart, or
+    ///   whose source is crashed, cannot deliver this window — its
+    ///   (possibly small) latency does not narrow the window;
+    /// * wildcard links always count (any pid may send over them);
+    /// * a pending fault-plan partition flip at `tp` may revive a dead
+    ///   fast link, so the window never extends past `tp + lat_all`.
+    ///
+    /// Recomputing per window is what keeps the bound fresh across
+    /// every mid-run mutation of delivery timing (partition flips,
+    /// crashes): a bound pinned at construction would be unsound the
+    /// moment a heal exposed a faster live link.
+    fn window_end(&self, tmin: VTime) -> VTime {
+        let mut lat_now = self.cfg.net.policy.min_latency();
+        for l in &self.cfg.net.links {
+            let live = match (l.src, l.dst) {
+                (Some(s), Some(d)) => {
+                    self.partition.connected(s, d)
+                        && self.shards[self.owner(s)].table.status_of(s) != ProcStatus::Crashed
+                }
+                _ => true,
+            };
+            if live {
+                lat_now = lat_now.min(l.policy.min_latency());
+            }
+        }
+        let mut wend = tmin.saturating_add(lat_now);
+        if let Some((tp, _, _)) = self.partition_pending.front() {
+            // tp >= tmin (tmin is the global queue minimum) and
+            // lat_all >= 1, so the window still advances.
+            wend = wend.min(tp.saturating_add(self.lat_all));
+        }
+        wend
     }
 
     #[inline]
@@ -616,6 +710,30 @@ impl ShardedWorld {
         self.run_observed::<NoObserver>(max_steps, &mut [])
     }
 
+    /// Run like [`ShardedWorld::run_to_quiescence`], but in
+    /// **supervised mode**: receiver meta templates are stamped with
+    /// checkpoint ordinals exactly as a supervised serial run's Time
+    /// Machine would (so sent message bytes match), and every committed
+    /// step is captured as a [`ReplayStep`]. Feed the returned stream
+    /// to [`crate::World::begin_replay`] on a mirror world and the real
+    /// supervision loop — Scroll, Time Machine, monitors — runs against
+    /// it unchanged, producing byte-identical results to serial
+    /// supervised execution.
+    ///
+    /// Must be the world's first and only run call (stamping has to
+    /// cover every delivery from the start).
+    pub fn run_supervised(&mut self, max_steps: u64) -> (RunReport, Vec<ReplayStep>) {
+        assert!(
+            !self.sealed,
+            "supervised capture must cover the run from its first event"
+        );
+        self.supervised = true;
+        self.capture = Some(Vec::new());
+        let report = self.run_observed::<NoObserver>(max_steps, &mut []);
+        let stream = self.capture.take().unwrap_or_default();
+        (report, stream)
+    }
+
     /// [`ShardedWorld::run_to_quiescence`] with per-shard observers
     /// (e.g. scroll recorders): `observers[s]` receives, on shard `s`'s
     /// worker thread, every committed record whose pid shard `s` owns.
@@ -630,7 +748,12 @@ impl ShardedWorld {
             "observer count must equal shard count"
         );
         self.seal();
-        let observing = !observers.is_empty();
+        let has_obs = !observers.is_empty();
+        let mode = RunMode {
+            observing: has_obs || self.capture.is_some(),
+            capturing: self.capture.is_some(),
+            supervised: self.supervised,
+        };
         let d0 = self.stats.delivered;
         let x0 = self.stats.dropped;
         let s0 = self.steps;
@@ -638,10 +761,10 @@ impl ShardedWorld {
             let Some(tmin) = self.min_pending() else {
                 break;
             };
-            let wend = tmin.saturating_add(self.window);
-            self.run_window(wend, observing, observers);
+            let wend = self.window_end(tmin);
+            self.run_window(wend, mode, observers);
             let t0 = thread_cpu_now();
-            self.barrier_replay(wend, observing);
+            self.barrier_replay(wend, mode.observing, has_obs);
             self.serial += thread_cpu_now().saturating_sub(t0);
         }
         for (sh, obs) in self.shards.iter_mut().zip(observers.iter_mut()) {
@@ -658,20 +781,36 @@ impl ShardedWorld {
 
     /// Parallel phase: every shard executes its window concurrently
     /// (inline when there is a single shard — no thread overhead).
-    fn run_window<O: ShardObserver>(&mut self, wend: VTime, observing: bool, observers: &mut [O]) {
+    fn run_window<O: ShardObserver>(&mut self, wend: VTime, mode: RunMode, observers: &mut [O]) {
         let n = self.n;
         let start_time = self.cfg.start_time;
         if self.shards.len() == 1 {
+            // Inline: handler payload traffic lands on the coordinator
+            // thread's counters, already covered by `payload_base`.
             let obs = observers.first_mut();
-            self.shards[0].run_window(wend, n, start_time, observing, obs);
+            self.shards[0].run_window(wend, n, start_time, mode, obs);
         } else {
-            std::thread::scope(|scope| {
+            let deltas: Vec<crate::payload::PayloadStats> = std::thread::scope(|scope| {
                 let mut obs_iter = observers.iter_mut();
+                let mut handles = Vec::with_capacity(self.shards.len());
                 for sh in self.shards.iter_mut() {
                     let obs = obs_iter.next();
-                    scope.spawn(move || sh.run_window(wend, n, start_time, observing, obs));
+                    handles.push(scope.spawn(move || {
+                        sh.run_window(wend, n, start_time, mode, obs);
+                        // Scoped worker threads are fresh, so their
+                        // thread-local payload counters *are* this
+                        // window's delta for this shard.
+                        crate::payload::stats()
+                    }));
                 }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
             });
+            for d in deltas {
+                self.payload_accum = self.payload_accum.plus(d);
+            }
         }
         self.critical += self
             .shards
@@ -685,7 +824,7 @@ impl ShardedWorld {
     /// `(at, seq)`, replaying all globally ordered effects — exec-seq
     /// minting, routing (network RNG draws, partitions, stats), timer
     /// scheduling, trace/crash records — in the serial world's order.
-    fn barrier_replay(&mut self, wend: VTime, observing: bool) {
+    fn barrier_replay(&mut self, wend: VTime, observing: bool, has_obs: bool) {
         let shard_count = self.shards.len();
         let mut outs: Vec<std::iter::Peekable<std::vec::IntoIter<PendingStep>>> = self
             .shards
@@ -767,7 +906,14 @@ impl ShardedWorld {
                         effects: Effects::default(),
                     });
                     self.trace.push(Arc::clone(&record));
-                    if observing {
+                    if let Some(cap) = self.capture.as_mut() {
+                        cap.push(ReplayStep {
+                            record: Arc::clone(&record),
+                            vc_after: None,
+                            post_state: None,
+                        });
+                    }
+                    if has_obs {
                         let owner = dst.idx() % shard_count;
                         let vc = vc_at
                             .get(&dst.0)
@@ -785,17 +931,26 @@ impl ShardedWorld {
                     let k = self.exec_seq;
                     self.exec_seq += 1;
                     self.steps += 1;
-                    self.trace.push(Arc::new(StepRecord {
+                    let record = Arc::new(StepRecord {
                         event: Event {
                             seq: k,
                             at: at_eff,
                             kind: EventKind::PartitionChange { partition },
                         },
                         effects: Effects::default(),
-                    }));
+                    });
+                    self.trace.push(Arc::clone(&record));
+                    if let Some(cap) = self.capture.as_mut() {
+                        cap.push(ReplayStep {
+                            record,
+                            vc_after: None,
+                            post_state: None,
+                        });
+                    }
                 }
                 Src::Shard(s) => {
-                    let ps = outs[s].next().expect("peeked step exists");
+                    let mut ps = outs[s].next().expect("peeked step exists");
+                    let post_state = ps.post_state.take();
                     let pid = ps.kind.pid().expect("shard steps target a pid");
                     let k = self.exec_seq;
                     self.exec_seq += 1;
@@ -890,7 +1045,16 @@ impl ShardedWorld {
                     if observing {
                         if let Some(vc) = ps.vc_after {
                             vc_at.insert(pid.0, vc.clone());
-                            self.shards[s].sink.push((record, vc));
+                            if let Some(cap) = self.capture.as_mut() {
+                                cap.push(ReplayStep {
+                                    record: Arc::clone(&record),
+                                    vc_after: Some(vc.clone()),
+                                    post_state,
+                                });
+                            }
+                            if has_obs {
+                                self.shards[s].sink.push((record, vc));
+                            }
                         }
                     }
                 }
@@ -920,6 +1084,17 @@ impl ShardedWorld {
     /// Network counters (byte-equal to the serial run's).
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Payload bytes copied/aliased on behalf of this world since its
+    /// construction: the coordinator thread's delta plus the folded-in
+    /// deltas of every finished worker thread. With the serial world's
+    /// counted-clone compensation in the shard workers, the figure is
+    /// byte-equal to [`crate::World::payload_stats`] for the same run.
+    pub fn payload_stats(&self) -> crate::payload::PayloadStats {
+        crate::payload::stats()
+            .since(self.payload_base)
+            .plus(self.payload_accum)
     }
 
     /// The committed trace, in serial order.

@@ -148,6 +148,23 @@ pub struct RunReport {
     pub quiescent: bool,
 }
 
+/// One captured step of a sharded run, in coordinator merge order:
+/// everything a serial mirror [`World`] needs to re-present the step to
+/// supervision drivers (Scroll, Time Machine, monitors) byte-exactly —
+/// the sealed record plus the acting process's post-step clock and
+/// program snapshot.
+#[derive(Clone, Debug)]
+pub struct ReplayStep {
+    /// The sealed record the mirror's `step` returns verbatim.
+    pub record: SharedStepRecord,
+    /// Post-step vector clock of the acting process (`None` for steps
+    /// with no acting process, e.g. partition changes).
+    pub vc_after: Option<VectorClock>,
+    /// Post-handler [`Program::snapshot`] of the acting process;
+    /// `None` for non-handler steps (drops, crashes, partition changes).
+    pub post_state: Option<Vec<u8>>,
+}
+
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct QueuedEvent {
     pub(crate) at: VTime,
@@ -194,6 +211,10 @@ pub struct World {
     trace: Trace,
     stats: NetStats,
     sealed: bool,
+    /// When set, `peek`/`step` present this captured stream instead of
+    /// simulating: each step restores the recorded post-state rather
+    /// than running handlers. See [`World::begin_replay`].
+    replay: Option<std::collections::VecDeque<ReplayStep>>,
     /// Thread-local payload counter values at construction — the
     /// baseline [`World::payload_stats`] diffs against.
     payload_base: crate::payload::PayloadStats,
@@ -217,6 +238,7 @@ impl Clone for World {
             trace: self.trace.clone(),
             stats: self.stats,
             sealed: self.sealed,
+            replay: self.replay.clone(),
             payload_base: self.payload_base,
         }
     }
@@ -246,8 +268,73 @@ impl World {
             trace,
             stats: NetStats::default(),
             sealed: false,
+            replay: None,
             payload_base: crate::payload::stats(),
         }
+    }
+
+    /// Switch this (never-stepped) world into **replay mode**: `peek`
+    /// and `step` present the captured stream in order, and each step
+    /// restores the recorded post-state instead of running handlers.
+    ///
+    /// This is how a sharded campaign cell gets byte-exact supervision:
+    /// the [`crate::ShardedWorld`] executes and captures, then the real
+    /// supervision loop (Scroll, Time Machine, monitors) runs unchanged
+    /// against a mirror world replaying the capture — same events, same
+    /// clocks, same per-step program states as the serial run.
+    pub fn begin_replay(&mut self, steps: Vec<ReplayStep>) {
+        assert!(
+            !self.sealed,
+            "replay must begin before the world starts simulating"
+        );
+        self.replay = Some(steps.into());
+    }
+
+    /// In replay mode, consume one captured step: restore the acting
+    /// process's recorded post-state and clock, maintain the counters
+    /// the serial step loop would have, and return the sealed record.
+    fn step_replayed(&mut self) -> Option<SharedStepRecord> {
+        let s = self.replay.as_mut().expect("replay mode").pop_front()?;
+        let rec = s.record;
+        self.now = self.now.max(rec.event.at);
+        self.exec_seq = rec.event.seq + 1;
+        match &rec.event.kind {
+            EventKind::Start { pid } | EventKind::TimerFire { pid, .. } => {
+                let e = self.procs.ent_mut(*pid);
+                if let Some(st) = &s.post_state {
+                    e.program.restore(st);
+                }
+                if let Some(vc) = s.vc_after {
+                    e.vc = vc;
+                }
+            }
+            EventKind::Deliver { msg } => {
+                let pid = msg.dst;
+                {
+                    let e = self.procs.ent_mut(pid);
+                    e.lamport = e.lamport.max(msg.meta.lamport) + 1;
+                    e.delivered += 1;
+                    if let Some(st) = &s.post_state {
+                        e.program.restore(st);
+                    }
+                    if let Some(vc) = s.vc_after {
+                        e.vc = vc;
+                    }
+                }
+                self.stats.delivered += 1;
+            }
+            EventKind::Drop { .. } => {
+                self.stats.dropped += 1;
+            }
+            EventKind::Crash { pid } => {
+                self.procs.set_status(*pid, ProcStatus::Crashed);
+            }
+            EventKind::Restart { .. } => {}
+            EventKind::PartitionChange { partition } => {
+                self.partition = partition.clone();
+            }
+        }
+        Some(rec)
     }
 
     /// Add a process. Must be called before the first `peek`/`step`.
@@ -407,6 +494,16 @@ impl World {
     /// The next event that will execute, without executing it. Idempotent:
     /// repeated peeks return the same event until `step` consumes it.
     pub fn peek(&mut self) -> Option<Event> {
+        if let Some(rp) = &self.replay {
+            // One counted kind-clone per peeked step, exactly like the
+            // staged-event clone below — payload accounting stays
+            // identical between serial and replayed supervision.
+            return rp.front().map(|s| Event {
+                seq: s.record.event.seq,
+                at: s.record.event.at,
+                kind: s.record.event.kind.clone(),
+            });
+        }
         self.seal();
         let qe = self.next_valid()?;
         let ev = Event {
@@ -427,6 +524,9 @@ impl World {
     /// step → apply-effects → route → trace cycle performs no deep clone
     /// of the event, its message, or its effects.
     pub fn step(&mut self) -> Option<SharedStepRecord> {
+        if self.replay.is_some() {
+            return self.step_replayed();
+        }
         self.seal();
         let qe = self.next_valid()?;
         self.now = self.now.max(qe.at);
@@ -1024,9 +1124,14 @@ impl NetSide<'_> {
             self.stats.corrupted += 1;
         }
         let connected = self.partition.connected(msg.src, msg.dst);
-        let outcomes = self
-            .net
-            .plan(self.now, &msg.payload, connected, self.net_rng);
+        let outcomes = self.net.plan_for(
+            msg.src,
+            msg.dst,
+            self.now,
+            &msg.payload,
+            connected,
+            self.net_rng,
+        );
         let mut first = true;
         for outcome in outcomes {
             match outcome {

@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 
 use fixd_runtime::{
-    Context, FaultPlan, Message, NetworkConfig, Pid, Program, ShardedWorld, TimerId, World,
-    WorldConfig,
+    Context, DeliveryPolicy, FaultPlan, Message, NetworkConfig, Partition, Pid, Program,
+    ShardedWorld, TimerId, World, WorldConfig,
 };
 
 /// Gossip-ish program: payload- and RNG-dependent fan-out, timers on
@@ -287,6 +287,130 @@ fn dormant_crash_fault_matches_serial() {
 }
 
 // ---------------------------------------------------------------------
+// Per-edge lookahead: heterogeneous link latencies and mid-run
+// delivery-timing changes.
+// ---------------------------------------------------------------------
+
+/// Pid 0 pings pid 1 on a timer cadence; pid 1 replies to every ping.
+/// Deterministic (no RNG), so every delivery instant is an exact
+/// function of the link latencies.
+struct Chatter {
+    rounds: u8,
+}
+
+impl Program for Chatter {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.set_timer(30);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        if ctx.pid() != Pid(0) {
+            ctx.send(msg.src, 2, vec![msg.payload[0]]);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context, _t: TimerId) {
+        ctx.send(Pid(1), 1, vec![self.rounds]);
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.set_timer(7);
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        vec![self.rounds]
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.rounds = b[0];
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Chatter {
+            rounds: self.rounds,
+        })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Regression (window staleness): a partition isolates the fast link's
+/// endpoints from t = 0, so the per-window lookahead starts at the slow
+/// default (10). The heal at t = 25 revives the 2-tick link **mid-run**
+/// — the conservative window must be recomputed from the now-live link
+/// set, or post-heal fast deliveries land inside a stale 10-wide window
+/// and the coordinator's in-window barrier assertion (`qe.at >= wend`)
+/// trips. Pinning serial equality here catches both the assert and any
+/// silent reorder.
+#[test]
+fn midrun_heal_revives_fast_link_and_shrinks_window() {
+    let net = NetworkConfig::default().with_link(
+        Some(Pid(0)),
+        Some(Pid(1)),
+        DeliveryPolicy::Fifo { latency: 2 },
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let build = |sharded: Option<usize>| {
+            let mut cfg = WorldConfig::seeded(0x57A1E);
+            cfg.net = net.clone();
+            let split = Partition::split(2, &[&[Pid(0)], &[Pid(1)]]);
+            let plan = FaultPlan::none().partition(0, split, Some(25));
+            match sharded {
+                None => {
+                    let mut w = World::new(cfg);
+                    for _ in 0..2 {
+                        w.add_process(Box::new(Chatter { rounds: 3 }));
+                    }
+                    w.set_fault_plan(plan);
+                    (Some(w), None)
+                }
+                Some(s) => {
+                    let mut w = ShardedWorld::new(cfg, s);
+                    for _ in 0..2 {
+                        w.add_process(Box::new(Chatter { rounds: 3 }));
+                    }
+                    w.set_fault_plan(plan);
+                    (None, Some(w))
+                }
+            }
+        };
+        let (Some(mut serial), _) = build(None) else {
+            unreachable!()
+        };
+        serial.run_to_quiescence(5_000);
+        let (_, Some(mut sharded)) = build(Some(shards)) else {
+            unreachable!()
+        };
+        sharded.run_to_quiescence(5_000);
+        assert_eq!(
+            sharded.trace().records(),
+            serial.trace().records(),
+            "stale window bound at shards={shards}"
+        );
+        assert_eq!(sharded.stats(), serial.stats());
+        assert_eq!(
+            sharded.global_snapshot().fingerprint(),
+            serial.global_snapshot().fingerprint()
+        );
+        // The post-heal pings actually crossed the fast link.
+        assert!(sharded.stats().delivered >= 4, "shards={shards}");
+    }
+}
+
+/// A fast wildcard link (any → pid 0) must narrow the window for every
+/// sender, and a crashed fast-link source must widen it back — the
+/// per-edge bound follows liveness, not just topology.
+#[test]
+fn crashed_fast_source_widens_window_soundly() {
+    let mut net = NetworkConfig::jittery(5, 20);
+    net = net.with_link(Some(Pid(2)), None, DeliveryPolicy::Fifo { latency: 1 });
+    let mut sc = gossip(0xFA57, 5, net);
+    sc.faults = FaultPlan::none().crash(Pid(2), 40);
+    assert_equivalent(&sc);
+}
+
+// ---------------------------------------------------------------------
 // Clock-merge edge cases across the shard boundary.
 // ---------------------------------------------------------------------
 
@@ -394,6 +518,52 @@ proptest! {
         if crash {
             sc.faults = FaultPlan::none().crash(Pid(1), crash_at);
         }
+        assert_equivalent(&sc);
+    }
+
+    /// Heterogeneous per-link latencies (concrete and wildcard edges)
+    /// crossed with crash/partition fault plans: the per-edge
+    /// conservative window must stay byte-equal to serial at every
+    /// shard count.
+    #[test]
+    fn heterogeneous_links_match_serial(
+        seed in 0u64..10_000,
+        n in 3usize..7,
+        fanout in 1u8..6,
+        la in 1u64..12,
+        lb in 1u64..12,
+        src in 0u32..6,
+        dst in 0u32..6,
+        wild_src in any::<bool>(),
+        fault in 0u8..3,
+        fault_at in 1u64..120,
+        heal in any::<bool>(),
+    ) {
+        let mut net = NetworkConfig::jittery(2, 25);
+        net = net.with_link(
+            Some(Pid(src % n as u32)),
+            Some(Pid(dst % n as u32)),
+            DeliveryPolicy::Fifo { latency: la },
+        );
+        net = net.with_link(
+            if wild_src { None } else { Some(Pid((src + 1) % n as u32)) },
+            None,
+            DeliveryPolicy::RandomDelay { min: lb, max: lb + 10 },
+        );
+        let mut sc = gossip(seed, n, net);
+        sc.faults = match fault {
+            0 => FaultPlan::none(),
+            1 => FaultPlan::none().crash(Pid(src % n as u32), fault_at),
+            _ => {
+                let left: Vec<Pid> = (0..n as u32 / 2).map(Pid).collect();
+                let right: Vec<Pid> = (n as u32 / 2..n as u32).map(Pid).collect();
+                FaultPlan::none().partition(
+                    fault_at,
+                    Partition::split(n, &[&left, &right]),
+                    heal.then(|| fault_at + 30),
+                )
+            }
+        };
         assert_equivalent(&sc);
     }
 }

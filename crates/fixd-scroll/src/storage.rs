@@ -621,6 +621,78 @@ mod tests {
         assert_eq!(s.total_entries(), cut + 1);
     }
 
+    /// Boundary pin: truncating exactly at the sealed/resident boundary
+    /// (`n == spilled_entry_count`) must take the fast path — drop the
+    /// resident tail, touch no sealed segment, unspill nothing.
+    #[test]
+    fn truncate_exactly_at_sealed_boundary_keeps_segments_spilled() {
+        let disk = SharedDisk::new();
+        let mut s = ScrollStore::with_spill(1, SpillConfig::new(disk, 300));
+        for i in 0..50 {
+            s.append(deliver_entry(0, i, vec![i as u8; 16]));
+        }
+        let spilled_n = s.spilled_entry_count(Pid(0));
+        let segs = s.spilled[0].len();
+        assert!(spilled_n > 0 && segs > 1, "need a multi-segment prefix");
+        assert!(!s.per_pid[0].is_empty(), "need a resident tail to drop");
+        s.truncate(Pid(0), spilled_n);
+        assert_eq!(s.scroll(Pid(0)).len(), spilled_n);
+        assert_eq!(s.total_entries(), spilled_n);
+        assert!(s.per_pid[0].is_empty(), "resident tail dropped entirely");
+        assert_eq!(s.spilled[0].len(), segs, "sealed segments untouched");
+        assert_eq!(s.resident_bytes(), 0);
+        // Appends resume dense at local_seq == spilled_n.
+        s.append(deliver_entry(0, spilled_n as u64, vec![1; 4]));
+        assert_eq!(s.total_entries(), spilled_n + 1);
+    }
+
+    /// Boundary pin: truncating to an *interior* segment boundary
+    /// unspills exactly the kept prefix — the `full.len() >= n` break
+    /// fires on equality, reading no segment past the cut.
+    #[test]
+    fn truncate_at_interior_segment_boundary_unspills_exactly() {
+        let disk = SharedDisk::new();
+        let mut s = ScrollStore::with_spill(1, SpillConfig::new(disk, 300));
+        for i in 0..50 {
+            s.append(deliver_entry(0, i, vec![i as u8; 16]));
+        }
+        assert!(s.spilled[0].len() > 1, "need at least two sealed segments");
+        let first = s.spilled[0][0].entries;
+        s.truncate(Pid(0), first);
+        assert_eq!(s.scroll(Pid(0)).len(), first);
+        assert_eq!(s.total_entries(), first);
+        // Un-spilling re-seals when over threshold; either way the
+        // resident bound holds.
+        assert!(s.resident_bytes() < 300);
+        s.append(deliver_entry(0, first as u64, vec![1; 4]));
+        assert_eq!(s.total_entries(), first + 1);
+    }
+
+    /// Boundary pin: truncating a *fully spilled* scroll (empty resident
+    /// tail) to zero clears every sealed segment and restarts the scroll
+    /// dense from local_seq 0.
+    #[test]
+    fn truncate_fully_spilled_prefix_to_zero() {
+        let disk = SharedDisk::new();
+        let mut s = ScrollStore::with_spill(1, SpillConfig::new(disk, 200));
+        for i in 0..30 {
+            s.append(deliver_entry(0, i, vec![7; 16]));
+        }
+        // Seal the tail too, so everything lives in sealed segments.
+        s.seal(Pid(0));
+        assert!(s.per_pid[0].is_empty());
+        assert_eq!(s.spilled_entry_count(Pid(0)), 30);
+        s.truncate(Pid(0), 0);
+        assert_eq!(s.total_entries(), 0);
+        assert!(s.scroll(Pid(0)).is_empty());
+        assert!(s.spilled[0].is_empty(), "sealed segments cleared");
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.spilled_bytes(), 0);
+        // The scroll restarts dense from zero.
+        s.append(deliver_entry(0, 0, vec![2; 4]));
+        assert_eq!(s.scroll(Pid(0)).len(), 1);
+    }
+
     #[test]
     fn identical_segments_are_stored_once_on_disk() {
         // Two stores sharing one disk spill identical prefixes: the

@@ -85,6 +85,45 @@ fn report_is_thread_count_invariant() {
     );
 }
 
+/// Tentpole acceptance: the campaign report is byte-identical whether
+/// cells execute serially or on a sharded world, at every shard count.
+/// Sharded execution captures the step stream and replays it under the
+/// real supervision loop, so the Scroll/Time Machine/monitor figures
+/// (and the JSON down to the last byte) cannot drift from serial.
+#[test]
+fn report_is_shard_count_invariant() {
+    use fixd::campaign::run_campaign_sharded;
+    let spec = standard_matrix(&[7, 8]);
+    let serial = run_campaign_sharded(&spec, 2, 1);
+    for shards in [2usize, 4, 8] {
+        let sharded = run_campaign_sharded(&spec, 8, shards);
+        assert_eq!(
+            serial.to_json(),
+            sharded.to_json(),
+            "report diverged at shards={shards}"
+        );
+    }
+}
+
+/// The wide (Chord) matrix — the regime sharded campaigns target — is
+/// shard-count invariant too, including under reordering jitter.
+#[test]
+fn wide_matrix_is_shard_count_invariant() {
+    use fixd::campaign::{run_campaign_sharded, wide_matrix};
+    let spec = wide_matrix(16, &[0, 1]);
+    let serial = run_campaign_sharded(&spec, 1, 1);
+    assert_eq!(serial.check_failures(), 0);
+    assert_eq!(serial.violations(), 0);
+    for shards in [2usize, 4, 8] {
+        let sharded = run_campaign_sharded(&spec, 8, shards);
+        assert_eq!(
+            serial.to_json(),
+            sharded.to_json(),
+            "wide report diverged at shards={shards}"
+        );
+    }
+}
+
 /// Crash campaign: under arbitrary single-process crash timing — every
 /// victim crossed with seed-spread crash times up to t = 138, spanning
 /// the whole ring run — FixD supervision never panics, mutual exclusion
@@ -124,7 +163,7 @@ fn lossy_dup_campaign_kvstore_v2() {
             policy: DeliveryPolicy::RandomDelay { min: 1, max: 50 },
             drop_prob: 0.1,
             dup_prob: 0.2,
-            corrupt_prob: 0.0,
+            ..NetworkConfig::default()
         },
     )
     .also(&[Pathology::Loss, Pathology::Reorder])];
