@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fixd_examples::chord::{chord_factory, ChordNode, ChordRing};
-use fixd_runtime::{Pid, World, WorldConfig};
+use fixd_runtime::{clock::INLINE_PAIRS, EventKind, Pid, World, WorldConfig};
 
 /// Live (allocated − freed) heap bytes, maintained by [`Counting`].
 static LIVE: AtomicUsize = AtomicUsize::new(0);
@@ -95,6 +95,22 @@ const MAX_SLOWDOWN: f64 = 2.0;
 /// Gate: marginal heap bytes per added (idle) process.
 const MAX_IDLE_BYTES_PER_PROC: f64 = 64.0;
 
+/// Labels for the per-delivery clock-sparsity histogram: the nonzero
+/// component count (`nnz`) of every delivered message's vector clock.
+/// The first [`INLINE_PAIRS`] buckets are the allocation-free inline
+/// cases; everything past them spilled to a heap vector.
+const NNZ_LABELS: &[&str] = &["1", "2", "3", "4", "5-8", "9-16", "17-32", "33+"];
+
+fn nnz_bucket(nnz: usize) -> usize {
+    match nnz {
+        0..=4 => nnz.saturating_sub(1),
+        5..=8 => 4,
+        9..=16 => 5,
+        17..=32 => 6,
+        _ => 7,
+    }
+}
+
 struct RunResult {
     steps: u64,
     secs: f64,
@@ -106,7 +122,10 @@ struct RunResult {
 /// Build a width-`width` world with the 768-member Chord ring active
 /// and every other process dormant, run it to quiescence with the
 /// deterministic churn schedule, and report steps, time, and memory.
-fn run_once(width: usize, seed: u64) -> RunResult {
+/// When `nnz_hist` is given, tally each delivered message's clock nnz
+/// (the event stream is width-invariant, so one tallied run describes
+/// every width).
+fn run_once(width: usize, seed: u64, mut nnz_hist: Option<&mut [u64]>) -> RunResult {
     let members: Vec<Pid> = (0..MEMBERS as u32).map(Pid).collect();
     let ring = Arc::new(ChordRing::new(&members));
 
@@ -129,6 +148,11 @@ fn run_once(width: usize, seed: u64) -> RunResult {
     let mut steps = 0u64;
     while let Some(rec) = w.step() {
         black_box(&rec);
+        if let Some(hist) = nnz_hist.as_deref_mut() {
+            if let EventKind::Deliver { msg } = &rec.event.kind {
+                hist[nnz_bucket(msg.vc.nnz())] += 1;
+            }
+        }
         steps += 1;
         if steps == CRASH_AT {
             for &v in &victims {
@@ -181,15 +205,17 @@ struct WidthResult {
 }
 
 fn main() {
-    // Warm-up (page in code + allocator arenas) — not measured.
-    black_box(run_once(1_000, 1));
+    // Warm-up (page in code + allocator arenas) — not measured; it
+    // doubles as the clock-sparsity census run.
+    let mut nnz_hist = vec![0u64; NNZ_LABELS.len()];
+    black_box(run_once(1_000, 1, Some(&mut nnz_hist)));
 
     let mut results: Vec<WidthResult> = Vec::new();
     for &width in WIDTHS {
         let mut rates: Vec<f64> = Vec::new();
         let mut last = None;
         for round in 0..ROUNDS {
-            let r = run_once(width, 100 + round as u64);
+            let r = run_once(width, 100 + round as u64, None);
             rates.push(r.steps as f64 / r.secs);
             last = Some(r);
         }
@@ -263,6 +289,20 @@ fn main() {
         a.width, b.width
     );
 
+    let deliveries: u64 = nnz_hist.iter().sum();
+    let inline_hits: u64 = nnz_hist[..INLINE_PAIRS].iter().sum();
+    let inline_pct = 100.0 * inline_hits as f64 / deliveries.max(1) as f64;
+    let hist_line = NNZ_LABELS
+        .iter()
+        .zip(&nnz_hist)
+        .map(|(l, n)| format!("{l}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "clock nnz per delivery: {hist_line}\n\
+         inline (≤{INLINE_PAIRS} pairs) covers {inline_pct:.1}% of deliveries"
+    );
+
     let mut json = String::from("{\n  \"bench\": \"scale\",\n");
     json.push_str(&format!(
         "  \"members\": {MEMBERS},\n  \"steps\": {},\n  \"rounds\": {ROUNDS},\n",
@@ -283,6 +323,16 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"clock_nnz\": {{{}}},\n  \"inline_pairs\": {INLINE_PAIRS},\n  \
+         \"inline_clock_pct\": {inline_pct:.1},\n",
+        NNZ_LABELS
+            .iter()
+            .zip(&nnz_hist)
+            .map(|(l, n)| format!("\"{l}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str(&format!(
         "  \"slowdown_1e3_to_1e5\": {slowdown:.3},\n  \"max_slowdown\": {MAX_SLOWDOWN},\n  \
          \"idle_bytes_per_proc\": {idle_bytes_per_proc:.2},\n  \

@@ -25,7 +25,10 @@
 use std::hint::black_box;
 
 use fixd_runtime::wire::fnv_mix;
-use fixd_runtime::{Context, Message, Pid, Program, ShardedWorld, TimerId, World, WorldConfig};
+use fixd_runtime::{
+    clock::INLINE_PAIRS, Context, EventKind, Message, Pid, Program, ShardedWorld, TimerId, World,
+    WorldConfig,
+};
 
 /// Eager processes — every one of them active the whole run.
 const N: usize = 256;
@@ -155,14 +158,27 @@ fn main() {
     // The serial reference: identical workload on the plain World — the
     // sharded executor's fingerprints are checked against each other,
     // and its step count against the serial run.
-    let serial_steps = {
+    // The serial pass doubles as a clock-sparsity census (the sharded
+    // runs execute the identical event sequence): how many delivered
+    // messages' vector clocks still fit the inline representation.
+    let (serial_steps, nnz_inline, nnz_total, nnz_max) = {
         let mut w = World::new(WorldConfig::seeded(0x5AAD));
         for _ in 0..N {
             w.add_process(Box::new(Churn { acc: 0, seen: 0 }));
         }
-        let report = w.run_to_quiescence(10_000_000);
-        assert!(report.quiescent);
-        report.steps
+        let (mut steps, mut inline, mut total, mut max_nnz) = (0u64, 0u64, 0u64, 0usize);
+        while let Some(rec) = w.step() {
+            if let EventKind::Deliver { msg } = &rec.event.kind {
+                let n = msg.vc.nnz();
+                total += 1;
+                if n <= INLINE_PAIRS {
+                    inline += 1;
+                }
+                max_nnz = max_nnz.max(n);
+            }
+            steps += 1;
+        }
+        (steps, inline, total, max_nnz)
     };
 
     // Warm-up — not measured.
@@ -232,6 +248,13 @@ fn main() {
     }
     println!(
         "speedup 1 → {max_shards} shards ({gate_mode}): {speedup:.2}x (gate ≥ {MIN_SPEEDUP}x)"
+    );
+    println!(
+        "clock nnz per delivery: inline (≤{INLINE_PAIRS} pairs) covers {:.1}% of {} deliveries, \
+         max nnz {}",
+        100.0 * nnz_inline as f64 / nnz_total.max(1) as f64,
+        nnz_total,
+        nnz_max
     );
 
     let mut json = String::from("{\n  \"bench\": \"shard\",\n");

@@ -1,7 +1,7 @@
 //! Hot-loop throughput demo: measure the allocation-free
-//! `step → apply_effects → route_message → trace.push` cycle against a
-//! **modelled clone-per-step baseline** — the exact deep clones the
-//! pre-refactor `World::step` performed on every event:
+//! `step → apply_effects → route_message → trace.push` cycle against the
+//! **real clone-per-step baseline** — the pre-refactor deep clones,
+//! compiled back in behind the `clone-baseline` cargo feature:
 //!
 //! * one deep `Message` clone for the handler call
 //!   (`HandlerCall::Message(&msg.clone())`),
@@ -10,45 +10,101 @@
 //! * one deep `StepRecord` clone for the trace
 //!   (`trace.push(record.clone())`: event kind, every send, every
 //!   random, every output),
-//! * one byte copy per output for the trace's side list
-//!   (`push_output(Output { data: data.clone() })`).
 //!
-//! Both modes run the *same* deterministic workload on the *same*
-//! simulator; the baseline mode additionally performs those clones on
-//! each returned record, so the ratio isolates precisely what the
-//! refactor removed. Emits `BENCH_step.json` and **fails** (non-zero
-//! exit) if the measured speedup drops below 2x — the CI campaign job
-//! runs this, so the allocation-free property is a gate, not a claim.
+//! plus the arena turned off, so every box is a fresh allocation. Both
+//! modes run the *same* deterministic workload on the *same* simulator
+//! binary and produce value-identical traces (pinned by
+//! `fixd-runtime/tests/clone_baseline.rs`); the ratio isolates exactly
+//! what the arena + calendar-queue refactor removed.
 //!
-//! Run: `cargo run -p fixd-bench --bin step_demo --release`
+//! Two gates, both enforced here (the CI campaign job runs this, so
+//! they are gates, not claims):
+//!
+//! * **allocs/step ≤ 1** — a counting `#[global_allocator]` tallies
+//!   every allocation event after a warm-up window; the steady-state
+//!   step loop must serve messages, records, effects bodies, and draw
+//!   buffers from the [`StepArena`] pools.
+//! * **speedup ≥ 3x** — only when built `--features clone-baseline`
+//!   (the baseline clones don't exist in a normal build); without the
+//!   feature the baseline column reads `"unavailable"` and only the
+//!   allocation gate applies.
+//!
+//! Run: `cargo run -p fixd-bench --bin step_demo --release \
+//!       --features clone-baseline`
+//!
+//! [`StepArena`]: fixd_runtime::ArenaStats
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use fixd_runtime::{
-    Context, Message, Pid, Program, SharedStepRecord, TimerId, VectorClock, World, WorldConfig,
-};
+use fixd_runtime::{Context, Message, Payload, Pid, Program, TimerId, World, WorldConfig};
 
-/// Required steps/sec improvement over the modelled baseline.
-const MIN_SPEEDUP: f64 = 2.0;
-/// Processes in the gossip mesh (also the vector-clock width every
-/// modelled clone re-allocates).
+/// Allocation *events* (alloc + alloc_zeroed + realloc), maintained by
+/// [`CountingAlloc`]. Counts, not bytes: the gate is "the steady-state
+/// step loop does not call the allocator", and a count catches even a
+/// 1-byte slip that a byte-threshold would hide.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper over the system allocator. Frees are not
+/// counted — recycling is about *not allocating*, and a free in the
+/// hot loop would imply a paired allocation somewhere anyway.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; only the
+// event counter is maintained on the side.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout)
+    }
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Required steps/sec improvement over the real clone-per-step
+/// baseline (enforced only when the baseline is compiled in).
+const MIN_SPEEDUP: f64 = 3.0;
+/// Steady-state allocation budget per step (post-warm-up).
+const MAX_ALLOCS_PER_STEP: f64 = 1.0;
+/// Processes in the gossip mesh.
 const PROCS: usize = 16;
 /// Forwards each process performs before going quiet.
 const FORWARDS_PER_PROC: u64 = 6_000;
 /// Payload bytes per token (materialized once, aliased per hop).
 const PAYLOAD_BYTES: usize = 1024;
-/// Output bytes emitted per delivery (the surface the seed deep-copied
-/// twice per step: once into the record clone, once into the side list).
+/// Output bytes emitted per delivery (materialized once per process,
+/// aliased into every record via `output_shared`).
 const OUTPUT_BYTES: usize = 512;
+/// Bounded trace depth: old records evict, so their boxes cycle back
+/// through the arena instead of accumulating.
+const TRACE_CAP: usize = 256;
+/// Steps before the allocation window opens — long enough for every
+/// pool, bucket `Vec`, and clock spill to reach its steady capacity.
+const WARM_STEPS: u64 = 20_000;
 /// Timed rounds per mode; the median is reported.
 const ROUNDS: usize = 5;
 
 /// Every process forwards the received token (aliased payload — no
 /// re-materialization) to its neighbour until its forward budget is
-/// spent, emitting an output per delivery. All hot-path surfaces stay
-/// live: sends, outputs, randoms, and an occasional timer.
+/// spent, emitting a pre-materialized shared output per delivery. All
+/// hot-path surfaces stay live — sends, outputs, randoms, a timer —
+/// and none of them allocates after warm-up.
 struct Gossip {
     forwards_left: u64,
+    out: Payload,
 }
 
 impl Program for Gossip {
@@ -60,7 +116,7 @@ impl Program for Gossip {
     }
     fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
         let _ = ctx.random();
-        ctx.output(vec![msg.payload[0]; OUTPUT_BYTES]);
+        ctx.output_shared(self.out.clone());
         if self.forwards_left > 0 {
             self.forwards_left -= 1;
             let next = Pid(((ctx.pid().0 as usize + 1) % ctx.world_size()) as u32);
@@ -77,6 +133,7 @@ impl Program for Gossip {
     fn clone_program(&self) -> Box<dyn Program> {
         Box::new(Gossip {
             forwards_left: self.forwards_left,
+            out: self.out.clone(),
         })
     }
     fn as_any(&self) -> &dyn std::any::Any {
@@ -87,131 +144,60 @@ impl Program for Gossip {
     }
 }
 
-fn gossip_world(seed: u64) -> World {
-    let mut w = World::new(WorldConfig::seeded(seed));
-    for _ in 0..PROCS {
+fn gossip_world(seed: u64, clone_baseline: bool) -> World {
+    let mut cfg = WorldConfig::seeded(seed);
+    cfg.trace_cap = Some(TRACE_CAP);
+    cfg.clone_baseline = clone_baseline;
+    let mut w = World::new(cfg);
+    for p in 0..PROCS {
         w.add_process(Box::new(Gossip {
             forwards_left: FORWARDS_PER_PROC,
+            out: Payload::untracked(vec![p as u8; OUTPUT_BYTES]),
         }));
     }
     w
 }
 
-/// Deep-clone a message the way the seed's `Message::clone` did: fresh
-/// vector-clock allocation, aliased payload (post-PR-3 seed state).
-/// Returns the clone and the bytes it allocated. The seed's clock was a
-/// dense `Vec<u64>` of world width, so its clone re-allocated 8 bytes
-/// per process regardless of causal footprint — that dense rebuild is
-/// what the model reproduces here.
-fn seed_message_clone(m: &Message) -> (Message, u64) {
-    let vc_bytes = 8 * PROCS as u64;
-    let dense: Vec<(u32, u64)> = m.vc.entries().map(|(p, c)| (p.0, c)).collect();
-    let clone = Message {
-        id: m.id,
-        src: m.src,
-        dst: m.dst,
-        tag: m.tag,
-        payload: m.payload.clone(),
-        sent_at: m.sent_at,
-        vc: VectorClock::from_pairs(dense),
-        meta: m.meta,
-    };
-    (clone, vc_bytes)
-}
-
-/// Perform the per-step clones the pre-refactor hot loop performed for
-/// this record, returning the bytes they allocated (the
-/// bytes-allocated-per-step figure the baseline column reports).
-fn modelled_seed_clones(rec: &SharedStepRecord) -> u64 {
-    let mut bytes = 0u64;
-
-    // 1. `HandlerCall::Message(&msg.clone())` on deliveries.
-    if let fixd_runtime::EventKind::Deliver { msg } = &rec.event.kind {
-        let (clone, b) = seed_message_clone(msg);
-        bytes += b;
-        black_box(clone);
-    }
-
-    // 2. `route_message(msg.clone())` per send.
-    for m in &rec.effects.sends {
-        let (clone, b) = seed_message_clone(m);
-        bytes += b;
-        black_box(clone);
-    }
-
-    // 3. `trace.push(record.clone())`: event kind + full effects.
-    let kind_clone = match &rec.event.kind {
-        fixd_runtime::EventKind::Deliver { msg } => {
-            let (clone, b) = seed_message_clone(msg);
-            bytes += b;
-            Some(clone)
-        }
-        fixd_runtime::EventKind::Drop { msg } => {
-            let (clone, b) = seed_message_clone(msg);
-            bytes += b;
-            Some(clone)
-        }
-        _ => None,
-    };
-    black_box(kind_clone);
-    let sends_clone: Vec<(Message, u64)> = rec
-        .effects
-        .sends
-        .iter()
-        .map(|m| seed_message_clone(m))
-        .collect();
-    bytes += sends_clone.iter().map(|(_, b)| b).sum::<u64>();
-    black_box(sends_clone);
-    // The seed's randoms were a plain `Vec<u64>` deep-copied per clone
-    // (today they are a shared `Randoms`; `to_vec` models the old copy).
-    let randoms_clone: Vec<u64> = rec.effects.randoms.to_vec();
-    bytes += 8 * randoms_clone.len() as u64;
-    black_box(randoms_clone);
-    let timers_clone = rec.effects.timers_set.clone();
-    black_box(timers_clone);
-    // Outputs were `Vec<Vec<u8>>`: the record clone byte-copied them...
-    let outputs_clone: Vec<Vec<u8>> = rec.effects.outputs.iter().map(|o| o.to_vec()).collect();
-    bytes += outputs_clone.iter().map(|o| o.len() as u64).sum::<u64>();
-    black_box(outputs_clone);
-
-    // 4. ...and `push_output` copied each one again into the side list.
-    for o in &rec.effects.outputs {
-        let copy: Vec<u8> = o.to_vec();
-        bytes += copy.len() as u64;
-        black_box(copy);
-    }
-
-    bytes
-}
-
 struct RunResult {
     steps: u64,
     secs: f64,
+    /// Allocation events observed in the post-warm-up window, and the
+    /// number of steps that window covered.
+    steady_allocs: u64,
+    steady_steps: u64,
     payload_copied: u64,
     payload_aliased: u64,
-    modelled_bytes: u64,
+    /// Share of queue pushes that landed in the calendar ring's O(1)
+    /// near-future buckets (vs the overflow/past heap tiers).
+    ring_push_pct: f64,
 }
 
-fn run_once(seed: u64, modelled_baseline: bool) -> RunResult {
-    let mut w = gossip_world(seed);
+fn run_once(seed: u64, clone_baseline: bool) -> RunResult {
+    let mut w = gossip_world(seed, clone_baseline);
     let t0 = std::time::Instant::now();
     let mut steps = 0u64;
-    let mut modelled_bytes = 0u64;
+    let mut window_open = 0u64;
     while let Some(rec) = w.step() {
-        if modelled_baseline {
-            modelled_bytes += modelled_seed_clones(&rec);
-        }
         black_box(&rec);
         steps += 1;
+        if steps == WARM_STEPS {
+            window_open = ALLOCS.load(Ordering::Relaxed);
+        }
     }
+    let window_close = ALLOCS.load(Ordering::Relaxed);
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(steps > WARM_STEPS, "workload must outlast the warm-up");
     let pay = w.payload_stats();
+    let q = w.queue_stats();
+    let pushes = q.ring_pushes + q.overflow_pushes + q.past_pushes;
     RunResult {
         steps,
         secs,
+        steady_allocs: window_close - window_open,
+        steady_steps: steps - WARM_STEPS,
         payload_copied: pay.copied,
         payload_aliased: pay.aliased,
-        modelled_bytes,
+        ring_push_pct: 100.0 * q.ring_pushes as f64 / (pushes.max(1)) as f64,
     }
 }
 
@@ -220,58 +206,88 @@ fn median(xs: &mut [f64]) -> f64 {
     xs[xs.len() / 2]
 }
 
+#[cfg(feature = "clone-baseline")]
+const BASELINE_MODE: &str = "real";
+#[cfg(not(feature = "clone-baseline"))]
+const BASELINE_MODE: &str = "unavailable";
+
 fn main() {
     // Warm-up (page in code + allocator arenas) — not measured.
-    let warm = run_once(1, false);
+    let _ = run_once(1, false);
 
     let mut fast_rates: Vec<f64> = Vec::new();
     let mut base_rates: Vec<f64> = Vec::new();
+    let mut fast_allocs: Vec<f64> = Vec::new();
+    let mut base_allocs: Vec<f64> = Vec::new();
     let mut fast_last = None;
-    let mut base_last = None;
     for round in 0..ROUNDS {
         let seed = 100 + round as u64;
-        // Interleave the modes so drift hits both equally.
         let fast = run_once(seed, false);
-        let base = run_once(seed, true);
-        assert_eq!(fast.steps, base.steps, "same workload in both modes");
         fast_rates.push(fast.steps as f64 / fast.secs);
-        base_rates.push(base.steps as f64 / base.secs);
+        fast_allocs.push(fast.steady_allocs as f64 / fast.steady_steps as f64);
+        // Interleave the modes so drift hits both equally.
+        if cfg!(feature = "clone-baseline") {
+            let base = run_once(seed, true);
+            assert_eq!(fast.steps, base.steps, "same workload in both modes");
+            base_rates.push(base.steps as f64 / base.secs);
+            base_allocs.push(base.steady_allocs as f64 / base.steady_steps as f64);
+        }
         fast_last = Some(fast);
-        base_last = Some(base);
     }
     let fast = fast_last.expect("rounds ran");
-    let base = base_last.expect("rounds ran");
     let fast_sps = median(&mut fast_rates);
-    let base_sps = median(&mut base_rates);
-    let speedup = fast_sps / base_sps.max(1e-9);
+    let allocs_per_step = median(&mut fast_allocs);
+    let worst_allocs_per_step = fast_allocs.iter().cloned().fold(0.0f64, f64::max);
+    let (base_sps, base_aps) = if base_rates.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (median(&mut base_rates), median(&mut base_allocs))
+    };
+    let speedup = if base_sps > 0.0 {
+        fast_sps / base_sps
+    } else {
+        0.0
+    };
 
     let copied_per_step = fast.payload_copied as f64 / fast.steps as f64;
     let aliased_per_step = fast.payload_aliased as f64 / fast.steps as f64;
-    let modelled_per_step = base.modelled_bytes as f64 / base.steps as f64;
 
     println!(
-        "step loop: {} procs × {} forwards, payload {} B, output {} B → {} steps/run",
-        PROCS, FORWARDS_PER_PROC, PAYLOAD_BYTES, OUTPUT_BYTES, fast.steps
+        "step loop: {} procs × {} forwards, payload {} B, output {} B, trace cap {} → {} steps/run",
+        PROCS, FORWARDS_PER_PROC, PAYLOAD_BYTES, OUTPUT_BYTES, TRACE_CAP, fast.steps
     );
     println!(
-        "optimized:         {:>12.0} steps/sec (median of {ROUNDS})\n\
-         clone-per-step:    {:>12.0} steps/sec (modelled seed behaviour)\n\
-         speedup:           {speedup:>12.2}x (gate ≥ {MIN_SPEEDUP}x)\n\
+        "optimized:         {fast_sps:>12.0} steps/sec (median of {ROUNDS})\n\
+         steady allocs/step: {allocs_per_step:>11.4} (worst round {worst_allocs_per_step:.4}, gate ≤ {MAX_ALLOCS_PER_STEP})\n\
          payload bytes/step: copied {copied_per_step:.1}, aliased {aliased_per_step:.1}\n\
-         modelled clone bytes/step: {modelled_per_step:.1} (all removed)",
-        fast_sps, base_sps,
+         calendar queue:     {:.1}% of pushes in the O(1) ring tier",
+        fast.ring_push_pct
     );
-    let _ = warm;
+    if cfg!(feature = "clone-baseline") {
+        println!(
+            "clone-per-step:    {base_sps:>12.0} steps/sec (real baseline, {base_aps:.2} allocs/step)\n\
+             speedup:           {speedup:>12.2}x (gate ≥ {MIN_SPEEDUP}x)"
+        );
+    } else {
+        println!(
+            "clone-per-step:    unavailable (build with --features clone-baseline for the real A/B)"
+        );
+    }
 
     let bench = format!(
-        "{{\n  \"bench\": \"step\",\n  \"procs\": {PROCS},\n  \"steps\": {},\n  \"rounds\": {ROUNDS},\n  \"payload_bytes\": {PAYLOAD_BYTES},\n  \"output_bytes\": {OUTPUT_BYTES},\n  \"steps_per_sec\": {:.1},\n  \"modelled_clone_per_step_steps_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \"payload_copied_per_step\": {:.2},\n  \"payload_aliased_per_step\": {:.2},\n  \"modelled_clone_bytes_per_step\": {:.2},\n  \"min_speedup\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"step\",\n  \"procs\": {PROCS},\n  \"steps\": {},\n  \"rounds\": {ROUNDS},\n  \"payload_bytes\": {PAYLOAD_BYTES},\n  \"output_bytes\": {OUTPUT_BYTES},\n  \"trace_cap\": {TRACE_CAP},\n  \"steps_per_sec\": {:.1},\n  \"allocs_per_step\": {:.4},\n  \"worst_allocs_per_step\": {:.4},\n  \"max_allocs_per_step\": {:.1},\n  \"baseline\": \"{}\",\n  \"baseline_steps_per_sec\": {:.1},\n  \"baseline_allocs_per_step\": {:.2},\n  \"speedup\": {:.2},\n  \"payload_copied_per_step\": {:.2},\n  \"payload_aliased_per_step\": {:.2},\n  \"queue_ring_push_pct\": {:.1},\n  \"min_speedup\": {:.1}\n}}\n",
         fast.steps,
         fast_sps,
+        allocs_per_step,
+        worst_allocs_per_step,
+        MAX_ALLOCS_PER_STEP,
+        BASELINE_MODE,
         base_sps,
+        base_aps,
         speedup,
         copied_per_step,
         aliased_per_step,
-        modelled_per_step,
+        fast.ring_push_pct,
         MIN_SPEEDUP,
     );
     let path = "BENCH_step.json";
@@ -279,8 +295,15 @@ fn main() {
     println!("wrote {path}");
 
     assert!(
-        speedup >= MIN_SPEEDUP,
-        "hot-loop regression: {speedup:.2}x over the modelled clone-per-step \
-         baseline is below the required {MIN_SPEEDUP}x"
+        allocs_per_step <= MAX_ALLOCS_PER_STEP,
+        "steady-state regression: {allocs_per_step:.4} allocations per step \
+         exceeds the {MAX_ALLOCS_PER_STEP} budget"
     );
+    if cfg!(feature = "clone-baseline") {
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "hot-loop regression: {speedup:.2}x over the real clone-per-step \
+             baseline is below the required {MIN_SPEEDUP}x"
+        );
+    }
 }

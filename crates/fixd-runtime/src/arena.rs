@@ -1,0 +1,283 @@
+//! Step arena: per-world recycling pools for the hot-path allocations
+//! the step loop would otherwise hand to the global allocator once per
+//! event — `Message` boxes (`Context::send`), `StepRecord` shells (one
+//! per committed step), `Effects` bodies (send/output/timer vectors),
+//! and `randoms` draw buffers.
+//!
+//! Ownership of a hot-path box is an `Arc` shared by the queue, the
+//! trace, the scroll, checkpoints, and Time-Machine branches. The arena
+//! therefore recycles at the points where the *world* releases its
+//! reference and can observe it was the last one (`Arc::strong_count ==
+//! 1`): trace eviction (`Trace::push` returning the displaced record),
+//! TM rollback discarding an orphaned send, and explicit driver calls.
+//! If some other holder (a scroll entry, a sealed checkpoint, a live
+//! speculation branch) still aliases the box, the arena leaves it alone
+//! and the allocator frees it whenever that holder drops — recycling is
+//! an optimization, never a transfer of liveness.
+//!
+//! With a bounded trace, a steady-state step draws every box it needs
+//! from the pool and the eviction at the end of the step returns the
+//! same number, so the loop touches the allocator zero times
+//! (`step_demo` pins this with a counting `#[global_allocator]`). The
+//! `baseline` flag turns every pool off — the `clone-baseline` feature
+//! uses it for an honest allocate-per-step A/B.
+
+use std::sync::Arc;
+
+use crate::clock::VectorClock;
+use crate::event::{Effects, Event, EventKind, Message, SharedMessage};
+use crate::payload::Payload;
+use crate::trace::{SharedStepRecord, StepRecord};
+use crate::{Pid, VTime};
+
+/// Pool caps: bound worst-case arena footprint (a burst that queues
+/// thousands of in-flight messages must not pin them all forever).
+const MSG_POOL_CAP: usize = 4096;
+const REC_POOL_CAP: usize = 1024;
+const EFF_POOL_CAP: usize = 1024;
+const RAND_POOL_CAP: usize = 1024;
+
+/// Counters for the arena's effectiveness — `step_demo` reports them and
+/// the `arena_recycling` suite pins exactly-once recycling with them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Messages drawn from the pool (vs freshly allocated).
+    pub msgs_recycled: u64,
+    /// Messages allocated because the pool was empty (or baseline mode).
+    pub msgs_allocated: u64,
+    /// Step records drawn from the pool.
+    pub records_recycled: u64,
+    /// Step records freshly allocated.
+    pub records_allocated: u64,
+    /// Message shells currently resting in the pool.
+    pub msgs_pooled: usize,
+    /// Record shells currently resting in the pool.
+    pub records_pooled: usize,
+}
+
+/// The per-world (and per-shard) recycling pool. See module docs.
+pub(crate) struct StepArena {
+    msgs: Vec<Arc<Message>>,
+    records: Vec<Arc<StepRecord>>,
+    effects: Vec<Effects>,
+    randoms: Vec<Arc<Vec<u64>>>,
+    /// When set, every draw allocates and every recycle drops — the
+    /// `clone-baseline` A/B build measures the allocator's true cost.
+    baseline: bool,
+    msgs_recycled: u64,
+    msgs_allocated: u64,
+    records_recycled: u64,
+    records_allocated: u64,
+}
+
+impl StepArena {
+    pub(crate) fn new() -> Self {
+        Self {
+            msgs: Vec::new(),
+            records: Vec::new(),
+            effects: Vec::new(),
+            randoms: Vec::new(),
+            baseline: false,
+            msgs_recycled: 0,
+            msgs_allocated: 0,
+            records_recycled: 0,
+            records_allocated: 0,
+        }
+    }
+
+    /// Disable pooling (the feature-gated clone-per-step baseline).
+    pub(crate) fn set_baseline(&mut self, baseline: bool) {
+        self.baseline = baseline;
+    }
+
+    pub(crate) fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            msgs_recycled: self.msgs_recycled,
+            msgs_allocated: self.msgs_allocated,
+            records_recycled: self.records_recycled,
+            records_allocated: self.records_allocated,
+            msgs_pooled: self.msgs.len(),
+            records_pooled: self.records.len(),
+        }
+    }
+
+    // -- messages ------------------------------------------------------
+
+    /// Build a stamped message, reusing a pooled shell when one exists
+    /// (the shell's clock keeps its spilled `Vec` capacity across
+    /// reuse, so re-stamping is also allocation-free for wide clocks).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn make_message(
+        &mut self,
+        id: u64,
+        src: Pid,
+        dst: Pid,
+        tag: u16,
+        payload: Payload,
+        sent_at: VTime,
+        vc: &VectorClock,
+        meta: crate::event::MsgMeta,
+    ) -> SharedMessage {
+        if !self.baseline {
+            if let Some(mut shell) = self.msgs.pop() {
+                let m = Arc::get_mut(&mut shell).expect("pooled shells are unique");
+                m.id = id;
+                m.src = src;
+                m.dst = dst;
+                m.tag = tag;
+                m.payload = payload;
+                m.sent_at = sent_at;
+                m.vc.clone_from(vc);
+                m.meta = meta;
+                self.msgs_recycled += 1;
+                return SharedMessage::from_arc(shell);
+            }
+        }
+        self.msgs_allocated += 1;
+        SharedMessage::new(Message {
+            id,
+            src,
+            dst,
+            tag,
+            payload,
+            sent_at,
+            vc: vc.clone(),
+            meta,
+        })
+    }
+
+    /// Return a message box to the pool if this handle is the last one.
+    /// Returns whether the box was actually pooled.
+    pub(crate) fn recycle_message(&mut self, msg: SharedMessage) -> bool {
+        if self.baseline {
+            return false;
+        }
+        let mut arc = msg.into_arc();
+        let Some(m) = Arc::get_mut(&mut arc) else {
+            return false; // still aliased by a scroll/TM/checkpoint holder
+        };
+        if self.msgs.len() >= MSG_POOL_CAP {
+            return false;
+        }
+        // Release the payload bytes now (they may alias a large shared
+        // buffer); keep the clock for its capacity.
+        m.payload = Payload::empty();
+        self.msgs.push(arc);
+        true
+    }
+
+    // -- step records --------------------------------------------------
+
+    /// Seal one step into a shared record, reusing a pooled shell.
+    pub(crate) fn make_record(&mut self, event: Event, effects: Effects) -> SharedStepRecord {
+        if !self.baseline {
+            if let Some(mut shell) = self.records.pop() {
+                let r = Arc::get_mut(&mut shell).expect("pooled shells are unique");
+                r.event = event;
+                r.effects = effects;
+                self.records_recycled += 1;
+                return shell;
+            }
+        }
+        self.records_allocated += 1;
+        Arc::new(StepRecord { event, effects })
+    }
+
+    /// Dismantle an evicted record if the world holds the last
+    /// reference: its message goes back to the message pool, its
+    /// effects body to the effects pool, its shell to the record pool.
+    /// Returns whether the shell was pooled.
+    pub(crate) fn recycle_record(&mut self, rec: SharedStepRecord) -> bool {
+        if self.baseline {
+            return false;
+        }
+        let mut arc = rec;
+        let Some(r) = Arc::get_mut(&mut arc) else {
+            return false;
+        };
+        let effects = std::mem::take(&mut r.effects);
+        let kind = std::mem::replace(&mut r.event.kind, EventKind::Crash { pid: Pid(0) });
+        if let EventKind::Deliver { msg } | EventKind::Drop { msg } = kind {
+            self.recycle_message(msg);
+        }
+        self.recycle_effects(effects);
+        if self.records.len() >= REC_POOL_CAP {
+            return false;
+        }
+        self.records.push(arc);
+        true
+    }
+
+    // -- effects bodies ------------------------------------------------
+
+    /// A cleared effects body (vectors keep their capacities).
+    pub(crate) fn make_effects(&mut self) -> Effects {
+        if !self.baseline {
+            if let Some(e) = self.effects.pop() {
+                return e;
+            }
+        }
+        Effects::default()
+    }
+
+    /// Strip an effects body for reuse: recycle each send the world
+    /// still solely holds, drop payload refs, pool the vectors.
+    pub(crate) fn recycle_effects(&mut self, mut effects: Effects) {
+        if self.baseline {
+            return;
+        }
+        for msg in effects.sends.drain(..) {
+            self.recycle_message(msg);
+        }
+        effects.outputs.clear();
+        effects.timers_set.clear();
+        effects.timers_cancelled.clear();
+        effects.crashed = false;
+        if let Some(shell) = std::mem::take(&mut effects.randoms).into_shell() {
+            self.recycle_randoms(shell);
+        }
+        if self.effects.len() < EFF_POOL_CAP {
+            self.effects.push(effects);
+        }
+    }
+
+    // -- randoms draw buffers ------------------------------------------
+
+    /// A unique, cleared draw buffer for one handler run.
+    pub(crate) fn make_randoms(&mut self) -> Arc<Vec<u64>> {
+        if !self.baseline {
+            if let Some(shell) = self.randoms.pop() {
+                return shell;
+            }
+        }
+        Arc::new(Vec::new())
+    }
+
+    /// Return a draw buffer whose last reference this is.
+    pub(crate) fn recycle_randoms(&mut self, mut shell: Arc<Vec<u64>>) {
+        if self.baseline {
+            return;
+        }
+        let Some(v) = Arc::get_mut(&mut shell) else {
+            return;
+        };
+        if self.randoms.len() >= RAND_POOL_CAP {
+            return;
+        }
+        v.clear();
+        self.randoms.push(shell);
+    }
+
+    // -- sharded redistribution ----------------------------------------
+
+    /// Move up to `max` pooled message shells from `donor` into this
+    /// arena. The sharded coordinator recycles at the barrier but the
+    /// shards allocate inside their windows; donating between windows
+    /// closes that loop.
+    pub(crate) fn take_messages_from(&mut self, donor: &mut StepArena, max: usize) {
+        let room = MSG_POOL_CAP.saturating_sub(self.msgs.len()).min(max);
+        let give = donor.msgs.len().min(room);
+        let at = donor.msgs.len() - give;
+        self.msgs.extend(donor.msgs.drain(at..));
+    }
+}

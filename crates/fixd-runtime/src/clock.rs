@@ -71,6 +71,18 @@ pub enum Causality {
 /// Pairs held inline before spilling to a heap vector. Three pairs cover
 /// the overwhelmingly common case (a process that has only exchanged
 /// messages with one or two peers) without any allocation.
+///
+/// Capacity picked from measured delivery censuses (the `clock_nnz`
+/// histogram in `BENCH_scale.json` and the census line `shard_demo`
+/// prints): in the Chord workload inline ≤3 covers 14.6% of delivered
+/// clocks (a fourth pair adds only +2.8%, at +12 bytes on *every*
+/// clock — messages, pooled arena shells, records), and in the gossip
+/// workload 9.7% (max nnz 27). Busy processes' clocks spill regardless
+/// of any affordable cap, and once spilled the arena recycles their
+/// heap capacity (`clone_from` reuses the `Vec`, `merge` maxes in
+/// place), so spilling costs no steady-state allocation — the inline
+/// tier only needs to catch protocol startup and sparse edges, which
+/// three pairs do.
 pub const INLINE_PAIRS: usize = 3;
 
 /// Sparse storage: either a few inline pairs or a sorted heap vector.
@@ -93,9 +105,27 @@ enum Repr {
 /// width, so clocks from worlds of different widths compare meaningfully
 /// (the dense implementation's width-mismatch panic is gone along with
 /// the widths themselves).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct VectorClock {
     repr: Repr,
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        Self {
+            repr: self.repr.clone(),
+        }
+    }
+
+    /// Clone into an existing clock, reusing a heap-spilled target's
+    /// `Vec` capacity — the arena's message shells lean on this so a
+    /// recycled send stamps its clock without reallocating.
+    fn clone_from(&mut self, source: &Self) {
+        match (&mut self.repr, &source.repr) {
+            (Repr::Heap(dst), Repr::Heap(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl Default for VectorClock {

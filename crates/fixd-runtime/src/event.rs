@@ -113,6 +113,18 @@ impl SharedMessage {
     pub fn to_mut(&mut self) -> &mut Message {
         std::sync::Arc::make_mut(&mut self.0)
     }
+
+    /// Wrap a recycled arena shell without touching the alias counters
+    /// (this is a fresh message being born, not a handle being copied).
+    pub(crate) fn from_arc(arc: std::sync::Arc<Message>) -> Self {
+        SharedMessage(arc)
+    }
+
+    /// Unwrap for the arena's uniqueness check and pool, bypassing the
+    /// counting `Clone`.
+    pub(crate) fn into_arc(self) -> std::sync::Arc<Message> {
+        self.0
+    }
 }
 
 impl std::ops::Deref for SharedMessage {
@@ -142,7 +154,7 @@ impl From<&SharedMessage> for SharedMessage {
 /// nothing is represented as `None`, so an empty `Randoms` costs no
 /// allocation at all and the hot step loop stays allocation-free.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-pub struct Randoms(Option<std::sync::Arc<[u64]>>);
+pub struct Randoms(Option<std::sync::Arc<Vec<u64>>>);
 
 impl Randoms {
     /// The draw-free value (`const`, allocation-free).
@@ -151,7 +163,20 @@ impl Randoms {
     /// The draws as a slice.
     #[inline]
     pub fn as_slice(&self) -> &[u64] {
-        self.0.as_deref().unwrap_or(&[])
+        self.0.as_deref().map_or(&[], |v| v.as_slice())
+    }
+
+    /// Seal a draw buffer the arena handed to a [`crate::Context`]
+    /// (unique at this point; shared from here on). Empty buffers are
+    /// not sealed — the caller recycles them instead.
+    pub(crate) fn from_shell(shell: std::sync::Arc<Vec<u64>>) -> Self {
+        debug_assert!(!shell.is_empty());
+        Randoms(Some(shell))
+    }
+
+    /// Surrender the backing buffer to the arena's recycling check.
+    pub(crate) fn into_shell(self) -> Option<std::sync::Arc<Vec<u64>>> {
+        self.0
     }
 
     /// Do two handles share one allocation? (Both being empty counts:

@@ -71,6 +71,9 @@ impl SoloHarness {
         program: &mut dyn Program,
         call: impl FnOnce(&mut dyn Program, &mut Context),
     ) -> Effects {
+        // Local playback is cold path: a throwaway arena per run keeps
+        // the harness allocation behaviour identical to pre-arena code.
+        let mut arena = crate::arena::StepArena::new();
         let mut ctx = Context::new(
             self.pid,
             self.now,
@@ -81,6 +84,7 @@ impl SoloHarness {
             &mut self.next_msg_id,
             &mut self.next_timer_id,
             self.meta,
+            &mut arena,
         );
         call(program, &mut ctx);
         ctx.into_effects()

@@ -53,6 +53,8 @@
 //! assert_eq!(report.delivered, 2); // ping + pong
 //! ```
 
+mod arena;
+mod calqueue;
 pub mod clock;
 pub mod disk;
 pub mod event;
@@ -70,6 +72,8 @@ pub mod trace;
 pub mod wire;
 pub mod world;
 
+pub use arena::ArenaStats;
+pub use calqueue::CalQueueStats;
 pub use clock::{LamportClock, VectorClock};
 pub use disk::{DiskStats, SharedDisk};
 // The content-addressed state store sits below the runtime in the crate

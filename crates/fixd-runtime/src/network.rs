@@ -225,7 +225,9 @@ impl NetworkConfig {
         connected: bool,
         rng: &mut DetRng,
     ) -> Vec<DeliveryOutcome> {
-        self.plan_with(&self.policy, now, payload, connected, rng)
+        let mut out = Vec::new();
+        self.plan_with(&self.policy, now, payload, connected, rng, &mut out);
+        out
     }
 
     /// Like [`NetworkConfig::plan`], but latency comes from the
@@ -240,9 +242,30 @@ impl NetworkConfig {
         connected: bool,
         rng: &mut DetRng,
     ) -> Vec<DeliveryOutcome> {
-        self.plan_with(self.policy_for(src, dst), now, payload, connected, rng)
+        let mut out = Vec::new();
+        self.plan_for_into(src, dst, now, payload, connected, rng, &mut out);
+        out
     }
 
+    /// Like [`NetworkConfig::plan_for`], but appends the outcomes to a
+    /// caller-provided buffer instead of allocating a fresh `Vec` — the
+    /// hot route path feeds it a reusable scratch so planning a
+    /// steady-state send touches the allocator zero times.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_for_into(
+        &self,
+        src: Pid,
+        dst: Pid,
+        now: VTime,
+        payload: &[u8],
+        connected: bool,
+        rng: &mut DetRng,
+        out: &mut Vec<DeliveryOutcome>,
+    ) {
+        self.plan_with(self.policy_for(src, dst), now, payload, connected, rng, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn plan_with(
         &self,
         policy: &DeliveryPolicy,
@@ -250,23 +273,25 @@ impl NetworkConfig {
         payload: &[u8],
         connected: bool,
         rng: &mut DetRng,
-    ) -> Vec<DeliveryOutcome> {
+        out: &mut Vec<DeliveryOutcome>,
+    ) {
         if !connected {
-            return vec![DeliveryOutcome::Drop {
+            out.push(DeliveryOutcome::Drop {
                 reason: DropReason::Partitioned,
-            }];
+            });
+            return;
         }
         if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
-            return vec![DeliveryOutcome::Drop {
+            out.push(DeliveryOutcome::Drop {
                 reason: DropReason::Loss,
-            }];
+            });
+            return;
         }
         let copies = if self.dup_prob > 0.0 && rng.chance(self.dup_prob) {
             2
         } else {
             1
         };
-        let mut out = Vec::with_capacity(copies);
         for _ in 0..copies {
             let delay = match *policy {
                 DeliveryPolicy::Fifo { latency } => latency,
@@ -294,7 +319,6 @@ impl NetworkConfig {
                 corrupted_payload,
             });
         }
-        out
     }
 }
 

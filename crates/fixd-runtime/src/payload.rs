@@ -127,10 +127,15 @@ impl std::hash::Hash for Payload {
 }
 
 impl Payload {
-    /// A payload sharing no bytes with anyone (empty).
+    /// The empty payload. All empties alias one process-wide zero-length
+    /// buffer — `Arc<[u8]>` always heap-allocates its header, and the
+    /// arena's recycle path empties every returning message, so a fresh
+    /// `Arc::from(&[][..])` here would put an allocation back into the
+    /// loop the arena exists to keep allocation-free.
     pub fn empty() -> Self {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Payload {
-            buf: Arc::from(&[][..]),
+            buf: EMPTY.get_or_init(|| Arc::from(&[][..])).clone(),
             off: 0,
             len: 0,
         }

@@ -8,8 +8,9 @@
 //! Machine (via [`Program::snapshot`]/[`Program::restore`]), and explored
 //! by the Investigator (via [`Program::clone_program`]).
 
+use crate::arena::StepArena;
 use crate::clock::VectorClock;
-use crate::event::{Effects, Message, MsgMeta, SharedMessage, TimerId};
+use crate::event::{Effects, Message, MsgMeta, TimerId};
 use crate::rng::DetRng;
 use crate::{Pid, VTime};
 
@@ -87,12 +88,16 @@ pub struct Context<'a> {
     next_msg_id: &'a mut u64,
     next_timer_id: &'a mut u64,
     meta_template: MsgMeta,
+    /// The world's recycling pools: message boxes for `send`, the
+    /// effects body, and the draw buffer all come from here.
+    arena: &'a mut StepArena,
     /// Collected effects of this handler run.
     pub(crate) effects: Effects,
-    /// Draws accumulate here and are sealed into the shared
-    /// `effects.randoms` once, in [`Context::into_effects`] — a handler
-    /// that draws nothing allocates nothing.
-    randoms: Vec<u64>,
+    /// Draws accumulate here (a unique arena shell) and are sealed into
+    /// the shared `effects.randoms` once, in [`Context::into_effects`] —
+    /// a handler that draws nothing allocates nothing, and the shell of
+    /// one that does is recycled when its record is evicted.
+    randoms: std::sync::Arc<Vec<u64>>,
 }
 
 impl<'a> Context<'a> {
@@ -107,7 +112,10 @@ impl<'a> Context<'a> {
         next_msg_id: &'a mut u64,
         next_timer_id: &'a mut u64,
         meta_template: MsgMeta,
+        arena: &'a mut StepArena,
     ) -> Self {
+        let effects = arena.make_effects();
+        let randoms = arena.make_randoms();
         Self {
             pid,
             now,
@@ -118,8 +126,9 @@ impl<'a> Context<'a> {
             next_msg_id,
             next_timer_id,
             meta_template,
-            effects: Effects::default(),
-            randoms: Vec::new(),
+            arena,
+            effects,
+            randoms,
         }
     }
 
@@ -158,16 +167,17 @@ impl<'a> Context<'a> {
         *self.lamport += 1;
         let mut meta = self.meta_template;
         meta.lamport = *self.lamport;
-        self.effects.sends.push(SharedMessage::new(Message {
+        let msg = self.arena.make_message(
             id,
-            src: self.pid,
+            self.pid,
             dst,
             tag,
-            payload: payload.into(),
-            sent_at: self.now,
-            vc: self.vc.clone(),
+            payload.into(),
+            self.now,
+            self.vc,
             meta,
-        }));
+        );
+        self.effects.sends.push(msg);
     }
 
     /// Broadcast to every other process. The payload is materialized
@@ -201,15 +211,22 @@ impl<'a> Context<'a> {
     /// a nondeterministic outcome, per §3.1).
     pub fn random(&mut self) -> u64 {
         let v = self.rng.next_u64();
-        self.randoms.push(v);
+        self.record_draw(v);
         v
     }
 
     /// Draw uniformly from `[0, n)`.
     pub fn random_below(&mut self, n: u64) -> u64 {
         let v = self.rng.below(n);
-        self.randoms.push(v);
+        self.record_draw(v);
         v
+    }
+
+    #[inline]
+    fn record_draw(&mut self, v: u64) {
+        std::sync::Arc::get_mut(&mut self.randoms)
+            .expect("draw buffer is unique until sealed")
+            .push(v);
     }
 
     /// Emit an observable output (the application's "result" channel).
@@ -224,6 +241,15 @@ impl<'a> Context<'a> {
             .push(crate::payload::Payload::untracked(data));
     }
 
+    /// Emit an observable output from an existing [`Payload`] — aliased,
+    /// not copied, so a program that re-emits (part of) a received
+    /// message's bytes stays allocation-free.
+    ///
+    /// [`Payload`]: crate::payload::Payload
+    pub fn output_shared(&mut self, data: crate::payload::Payload) {
+        self.effects.outputs.push(data);
+    }
+
     /// Ask the runtime to crash this process after the handler returns
     /// (models a local fail-stop fault detected by the application).
     pub fn crash(&mut self) {
@@ -236,7 +262,13 @@ impl<'a> Context<'a> {
     }
 
     pub(crate) fn into_effects(mut self) -> Effects {
-        self.effects.randoms = self.randoms.into();
+        if self.randoms.is_empty() {
+            // No draws: hand the shell straight back to the pool and
+            // keep the allocation-free `Randoms::EMPTY`.
+            self.arena.recycle_randoms(self.randoms);
+        } else {
+            self.effects.randoms = crate::event::Randoms::from_shell(self.randoms);
+        }
         self.effects
     }
 }
@@ -251,6 +283,7 @@ mod tests {
         let mut lamport = 0u64;
         let mut next_msg = 10u64;
         let mut next_timer = 0u64;
+        let mut arena = StepArena::new();
         let mut ctx = Context::new(
             Pid(1),
             500,
@@ -265,6 +298,7 @@ mod tests {
                 spec_id: 9,
                 lamport: 0,
             },
+            &mut arena,
         );
         f(&mut ctx);
         ctx.into_effects()

@@ -32,6 +32,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use crate::arena::StepArena;
+use crate::calqueue::{CalEntry, CalQueue};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,7 +44,7 @@ use crate::fault::FaultPlan;
 use crate::network::{NetStats, Partition};
 use crate::procs::{ProcFactory, ProcTable};
 use crate::program::Context;
-use crate::trace::{SharedStepRecord, StepRecord, Trace};
+use crate::trace::{SharedStepRecord, Trace};
 use crate::world::{NetSide, ProcStatus, ReplayStep, RunReport, WorldConfig};
 use crate::{Pid, VTime};
 
@@ -129,6 +132,18 @@ impl Ord for ShardEvent {
     }
 }
 
+impl CalEntry for ShardEvent {
+    type Key = SeqKey;
+    #[inline]
+    fn cal_at(&self) -> VTime {
+        self.at
+    }
+    #[inline]
+    fn cal_key(&self) -> SeqKey {
+        self.key
+    }
+}
+
 /// A route-minted drop awaiting its merge position at the barrier.
 struct DropEvent {
     at: VTime,
@@ -169,7 +184,7 @@ struct PendingStep {
 
 struct Shard {
     table: ProcTable,
-    queue: BinaryHeap<ShardEvent>,
+    queue: CalQueue<ShardEvent>,
     cancelled: HashSet<(u32, u64)>,
     /// Provisional mint counter for the current window.
     prov_next: u64,
@@ -181,6 +196,10 @@ struct Shard {
     /// Per-pid clock value before its first touch this window — the
     /// coordinator's drop-record clock timeline seeds from these.
     win_vc0: HashMap<u32, VectorClock>,
+    /// Per-shard recycling pool. Shards allocate message boxes inside
+    /// their windows; the coordinator (which observes last references at
+    /// the barrier) donates reclaimed shells back between windows.
+    arena: StepArena,
     busy: Duration,
     busy_window: Duration,
 }
@@ -189,12 +208,13 @@ impl Shard {
     fn new(seed: u64, stride: u32, offset: u32) -> Self {
         Self {
             table: ProcTable::new(seed, stride, offset),
-            queue: BinaryHeap::new(),
+            queue: CalQueue::new(),
             cancelled: HashSet::new(),
             prov_next: 0,
             out: Vec::new(),
             sink: Vec::new(),
             win_vc0: HashMap::new(),
+            arena: StepArena::new(),
             busy: Duration::ZERO,
             busy_window: Duration::ZERO,
         }
@@ -223,10 +243,7 @@ impl Shard {
         self.drain_sink(obs);
         self.prov_next = 0;
         let observing = mode.observing;
-        while let Some(head) = self.queue.peek() {
-            if head.at >= wend {
-                break;
-            }
+        while self.queue.peek().is_some_and(|head| head.at < wend) {
             let ev = self.queue.pop().expect("peeked head exists");
             match ev.kind {
                 EventKind::TimerFire { pid, timer } => {
@@ -370,6 +387,7 @@ impl Shard {
                 &mut e.next_msg_id,
                 &mut e.next_timer_id,
                 e.meta_template,
+                &mut self.arena,
             );
             match &kind {
                 EventKind::Start { .. } => e.program.on_start(&mut ctx),
@@ -463,6 +481,9 @@ pub struct ShardedWorld {
     serial: Duration,
     critical: Duration,
     event_batch: Vec<crate::world::QueuedEvent>,
+    /// Reusable delivery-plan scratch for the barrier's routing (same
+    /// role as the serial world's).
+    plan_scratch: Vec<crate::network::DeliveryOutcome>,
     /// Mirror supervised-serial message stamping during execution (see
     /// [`Shard::exec`]); enabled by [`ShardedWorld::run_supervised`].
     supervised: bool,
@@ -474,6 +495,10 @@ pub struct ShardedWorld {
     payload_base: crate::payload::PayloadStats,
     /// Payload deltas folded in from finished worker threads.
     payload_accum: crate::payload::PayloadStats,
+    /// Coordinator recycling pool: barrier records draw from here, and
+    /// trace evictions (the point where the world sees last references)
+    /// return shells here; shards take message shells between windows.
+    arena: StepArena,
 }
 
 /// Flags threaded through one run call into the shard workers.
@@ -514,9 +539,14 @@ impl ShardedWorld {
             Some(cap) => Trace::bounded(cap),
             None => Trace::unbounded(),
         };
-        let workers = (0..shards)
+        let mut workers: Vec<Shard> = (0..shards)
             .map(|s| Shard::new(cfg.seed, shards as u32, s as u32))
             .collect();
+        for w in &mut workers {
+            w.arena.set_baseline(cfg.clone_baseline);
+        }
+        let mut arena = StepArena::new();
+        arena.set_baseline(cfg.clone_baseline);
         Self {
             partition: Partition::none(0),
             now: cfg.start_time,
@@ -536,10 +566,12 @@ impl ShardedWorld {
             serial: Duration::ZERO,
             critical: Duration::ZERO,
             event_batch: Vec::new(),
+            plan_scratch: Vec::new(),
             supervised: false,
             capture: None,
             payload_base: crate::payload::stats(),
             payload_accum: crate::payload::PayloadStats::default(),
+            arena,
         }
     }
 
@@ -691,8 +723,8 @@ impl ShardedWorld {
     fn min_pending(&self) -> Option<VTime> {
         let mut t: Option<VTime> = None;
         for sh in &self.shards {
-            if let Some(h) = sh.queue.peek() {
-                t = Some(t.map_or(h.at, |x| x.min(h.at)));
+            if let Some(at) = sh.queue.min_at() {
+                t = Some(t.map_or(at, |x| x.min(at)));
             }
         }
         if let Some((at, _, _)) = self.partition_pending.front() {
@@ -784,6 +816,16 @@ impl ShardedWorld {
     fn run_window<O: ShardObserver>(&mut self, wend: VTime, mode: RunMode, observers: &mut [O]) {
         let n = self.n;
         let start_time = self.cfg.start_time;
+        // Close the recycling loop: barrier evictions landed in the
+        // coordinator's pool, but the allocating happens in the shards'
+        // handlers — hand the reclaimed shells back before dispatch.
+        let pooled = self.arena.stats().msgs_pooled;
+        if pooled > 0 {
+            let share = (pooled / self.shards.len()).max(1);
+            for sh in &mut self.shards {
+                sh.arena.take_messages_from(&mut self.arena, share);
+            }
+        }
         if self.shards.len() == 1 {
             // Inline: handler payload traffic lands on the coordinator
             // thread's counters, already covered by `payload_base`.
@@ -897,15 +939,18 @@ impl ShardedWorld {
                     self.stats.dropped += 1;
                     self.steps += 1;
                     let dst = d.msg.dst;
-                    let record = Arc::new(StepRecord {
-                        event: Event {
+                    let effects = self.arena.make_effects();
+                    let record = self.arena.make_record(
+                        Event {
                             seq: k,
                             at: at_eff,
                             kind: EventKind::Drop { msg: d.msg },
                         },
-                        effects: Effects::default(),
-                    });
-                    self.trace.push(Arc::clone(&record));
+                        effects,
+                    );
+                    if let Some(evicted) = self.trace.push(Arc::clone(&record)) {
+                        self.arena.recycle_record(evicted);
+                    }
                     if let Some(cap) = self.capture.as_mut() {
                         cap.push(ReplayStep {
                             record: Arc::clone(&record),
@@ -931,15 +976,18 @@ impl ShardedWorld {
                     let k = self.exec_seq;
                     self.exec_seq += 1;
                     self.steps += 1;
-                    let record = Arc::new(StepRecord {
-                        event: Event {
+                    let effects = self.arena.make_effects();
+                    let record = self.arena.make_record(
+                        Event {
                             seq: k,
                             at: at_eff,
                             kind: EventKind::PartitionChange { partition },
                         },
-                        effects: Effects::default(),
-                    });
-                    self.trace.push(Arc::clone(&record));
+                        effects,
+                    );
+                    if let Some(evicted) = self.trace.push(Arc::clone(&record)) {
+                        self.arena.recycle_record(evicted);
+                    }
                     if let Some(cap) = self.capture.as_mut() {
                         cap.push(ReplayStep {
                             record,
@@ -955,22 +1003,20 @@ impl ShardedWorld {
                     let k = self.exec_seq;
                     self.exec_seq += 1;
                     // Replay effects in apply_effects order: sends
-                    // routed first, then timers minted.
+                    // routed first (through the same NetSide helper the
+                    // serial world uses), then timers minted.
                     let mut batch = std::mem::take(&mut self.event_batch);
-                    {
-                        let mut side = NetSide {
-                            faults: &self.faults,
-                            net: &self.cfg.net,
-                            partition: &self.partition,
-                            net_rng: &mut self.net_rng,
-                            stats: &mut self.stats,
-                            sched_seq: &mut self.sched_seq,
-                            now: at_eff,
-                        };
-                        for msg in &ps.effects.sends {
-                            side.route_message(msg.clone(), &mut batch);
-                        }
+                    NetSide {
+                        faults: &self.faults,
+                        net: &self.cfg.net,
+                        partition: &self.partition,
+                        net_rng: &mut self.net_rng,
+                        stats: &mut self.stats,
+                        sched_seq: &mut self.sched_seq,
+                        plan_scratch: &mut self.plan_scratch,
+                        now: at_eff,
                     }
+                    .route_sends(&ps.effects.sends, &mut batch);
                     for qe in batch.drain(..) {
                         match qe.kind {
                             EventKind::Deliver { msg } => {
@@ -1018,14 +1064,18 @@ impl ShardedWorld {
                     if ps.effects.crashed {
                         let sk = self.exec_seq;
                         self.exec_seq += 1;
-                        self.trace.push(Arc::new(StepRecord {
-                            event: Event {
+                        let side_effects = self.arena.make_effects();
+                        let side = self.arena.make_record(
+                            Event {
                                 seq: sk,
                                 at: at_eff,
                                 kind: EventKind::Crash { pid },
                             },
-                            effects: Effects::default(),
-                        }));
+                            side_effects,
+                        );
+                        if let Some(evicted) = self.trace.push(side) {
+                            self.arena.recycle_record(evicted);
+                        }
                     }
                     match &ps.kind {
                         EventKind::Deliver { .. } => self.stats.delivered += 1,
@@ -1033,15 +1083,17 @@ impl ShardedWorld {
                         _ => {}
                     }
                     self.steps += 1;
-                    let record = Arc::new(StepRecord {
-                        event: Event {
+                    let record = self.arena.make_record(
+                        Event {
                             seq: k,
                             at: at_eff,
                             kind: ps.kind,
                         },
-                        effects: ps.effects,
-                    });
-                    self.trace.push(Arc::clone(&record));
+                        ps.effects,
+                    );
+                    if let Some(evicted) = self.trace.push(Arc::clone(&record)) {
+                        self.arena.recycle_record(evicted);
+                    }
                     if observing {
                         if let Some(vc) = ps.vc_after {
                             vc_at.insert(pid.0, vc.clone());

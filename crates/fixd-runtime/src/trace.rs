@@ -55,14 +55,22 @@ impl Trace {
 
     /// Append a record (a refcount bump on the shared allocation),
     /// evicting the oldest if at capacity.
-    pub fn push(&mut self, rec: SharedStepRecord) {
-        if let Some(cap) = self.capacity {
+    /// Append a record; with a bounded trace the displaced oldest record
+    /// is handed back so the world can return its boxes to the
+    /// [`StepArena`](crate::ArenaStats) instead of the allocator.
+    pub fn push(&mut self, rec: SharedStepRecord) -> Option<SharedStepRecord> {
+        let evicted = if let Some(cap) = self.capacity {
             if self.records.len() == cap {
-                self.records.remove(0);
                 self.dropped += 1;
+                Some(self.records.remove(0))
+            } else {
+                None
             }
-        }
+        } else {
+            None
+        };
         self.records.push(rec);
+        evicted
     }
 
     /// All retained records, oldest first.

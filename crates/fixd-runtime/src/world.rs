@@ -19,17 +19,19 @@
 //! saves a checkpoint before receiving a new message", Fig. 6).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use crate::arena::{ArenaStats, StepArena};
+use crate::calqueue::{CalEntry, CalQueue};
 use crate::clock::VectorClock;
 use crate::event::{Effects, Event, EventKind, Message, MsgMeta, SharedMessage, TimerId};
 use crate::fault::FaultPlan;
-use crate::network::{DeliveryOutcome, NetStats, NetworkConfig, Partition};
+use crate::network::{DeliveryOutcome, DropReason, NetStats, NetworkConfig, Partition};
 use crate::procs::ProcTable;
 use crate::program::{Context, Program};
 use crate::rng::DetRng;
-use crate::trace::{SharedStepRecord, StepRecord, Trace};
+use crate::trace::{SharedStepRecord, Trace};
 use crate::wire;
 use crate::{Pid, VTime};
 
@@ -53,6 +55,10 @@ pub struct WorldConfig {
     pub trace_cap: Option<usize>,
     /// Virtual time at which `on_start` handlers run.
     pub start_time: VTime,
+    /// Disable the step arena so every hot-path box goes through the
+    /// global allocator (the `clone-baseline` A/B build sets this; it is
+    /// always present so configs serialize identically either way).
+    pub clone_baseline: bool,
 }
 
 impl Default for WorldConfig {
@@ -62,6 +68,7 @@ impl Default for WorldConfig {
             net: NetworkConfig::default(),
             trace_cap: None,
             start_time: 0,
+            clone_baseline: false,
         }
     }
 }
@@ -187,6 +194,18 @@ impl Ord for QueuedEvent {
     }
 }
 
+impl CalEntry for QueuedEvent {
+    type Key = u64;
+    #[inline]
+    fn cal_at(&self) -> VTime {
+        self.at
+    }
+    #[inline]
+    fn cal_key(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// The deterministic distributed-system simulator. See module docs.
 pub struct World {
     cfg: WorldConfig,
@@ -196,10 +215,13 @@ pub struct World {
     /// 10^3-process world). The serial world owns every pid: a
     /// stride-1 [`ProcTable`].
     procs: ProcTable,
-    queue: BinaryHeap<QueuedEvent>,
+    queue: CalQueue<QueuedEvent>,
     /// Reusable scratch for [`World::apply_effects`]: events of one
-    /// effects batch collect here, then extend the heap in one call.
+    /// effects batch collect here, then the queue absorbs them in one call.
     event_batch: Vec<QueuedEvent>,
+    /// Reusable scratch for [`NetSide::route_message`]: one send's
+    /// delivery plan lands here instead of a fresh `Vec` per send.
+    plan_scratch: Vec<DeliveryOutcome>,
     staged: Option<QueuedEvent>,
     cancelled_timers: HashSet<(u32, u64)>,
     partition: Partition,
@@ -218,6 +240,8 @@ pub struct World {
     /// Thread-local payload counter values at construction — the
     /// baseline [`World::payload_stats`] diffs against.
     payload_base: crate::payload::PayloadStats,
+    /// Recycling pools for the step loop's hot-path boxes.
+    arena: StepArena,
 }
 
 impl Clone for World {
@@ -227,6 +251,7 @@ impl Clone for World {
             procs: self.procs.clone(),
             queue: self.queue.clone(),
             event_batch: Vec::new(),
+            plan_scratch: Vec::new(),
             staged: self.staged.clone(),
             cancelled_timers: self.cancelled_timers.clone(),
             partition: self.partition.clone(),
@@ -240,6 +265,13 @@ impl Clone for World {
             sealed: self.sealed,
             replay: self.replay.clone(),
             payload_base: self.payload_base,
+            // Pools are never shared between worlds: the clone starts
+            // with empty pools and the same baseline setting.
+            arena: {
+                let mut a = StepArena::new();
+                a.set_baseline(self.cfg.clone_baseline);
+                a
+            },
         }
     }
 }
@@ -252,13 +284,16 @@ impl World {
             Some(cap) => Trace::bounded(cap),
             None => Trace::unbounded(),
         };
+        let mut arena = StepArena::new();
+        arena.set_baseline(cfg.clone_baseline);
         Self {
             partition: Partition::none(0),
             now: cfg.start_time,
             procs: ProcTable::new(cfg.seed, 1, 0),
             cfg,
-            queue: BinaryHeap::new(),
+            queue: CalQueue::new(),
             event_batch: Vec::new(),
+            plan_scratch: Vec::new(),
             staged: None,
             cancelled_timers: HashSet::new(),
             sched_seq: 0,
@@ -270,6 +305,7 @@ impl World {
             sealed: false,
             replay: None,
             payload_base: crate::payload::stats(),
+            arena,
         }
     }
 
@@ -552,6 +588,16 @@ impl World {
                 self.stats.delivered += 1;
                 // Borrow the staged message for the handler call; the
                 // same shared handle then moves into the record's kind.
+                // (Baseline: hand the handler its own deep copy, the
+                // seed's `HandlerCall::Message(&msg.clone())`.)
+                #[cfg(feature = "clone-baseline")]
+                let eff = if self.cfg.clone_baseline {
+                    let deep = baseline::deep_message(&msg);
+                    self.run_handler(pid, HandlerCall::Message(&deep))
+                } else {
+                    self.run_handler(pid, HandlerCall::Message(&msg))
+                };
+                #[cfg(not(feature = "clone-baseline"))]
                 let eff = self.run_handler(pid, HandlerCall::Message(&msg));
                 (EventKind::Deliver { msg }, eff)
             }
@@ -576,11 +622,19 @@ impl World {
             }
         };
 
-        let record = Arc::new(StepRecord {
-            event: Event { seq, at, kind },
-            effects,
-        });
-        self.trace.push(Arc::clone(&record));
+        let record = self.arena.make_record(Event { seq, at, kind }, effects);
+        // Baseline: the trace retains a real deep clone of the record —
+        // the seed's `trace.push(record.clone())` — instead of bumping
+        // the refcount. Record contents are value-equal either way, so
+        // fingerprints and replay are unchanged.
+        #[cfg(feature = "clone-baseline")]
+        if self.cfg.clone_baseline {
+            self.trace.push(Arc::new(baseline::deep_record(&record)));
+            return Some(record);
+        }
+        if let Some(evicted) = self.trace.push(Arc::clone(&record)) {
+            self.arena.recycle_record(evicted);
+        }
         Some(record)
     }
 
@@ -603,6 +657,7 @@ impl World {
                 &mut e.next_msg_id,
                 &mut e.next_timer_id,
                 e.meta_template,
+                &mut self.arena,
             );
             match call {
                 HandlerCall::Start => e.program.on_start(&mut ctx),
@@ -621,19 +676,33 @@ impl World {
     /// record's effects instead of copying them into a side list.
     ///
     /// All events one effects batch generates (deliveries, drops, timer
-    /// firings) collect into a reusable scratch vector and extend the
-    /// heap in a single call, instead of a `queue.push` per send — a
-    /// broadcast of N messages sifts into the heap once, not N times.
+    /// firings) collect into a reusable scratch vector and the calendar
+    /// queue absorbs them in a single call, instead of a `queue.push`
+    /// per send. The routing itself goes through
+    /// [`NetSide::route_sends`], the same helper the sharded barrier
+    /// replay uses.
     fn apply_effects(&mut self, pid: Pid, effects: Effects) -> Effects {
         let mut batch = std::mem::take(&mut self.event_batch);
-        for msg in &effects.sends {
-            self.net_side().route_message(msg.clone(), &mut batch);
-        }
+        // Baseline: route deep copies — the seed's
+        // `route_message(msg.clone())` allocated a fresh message (dense
+        // clock rebuild, copied payload bytes) per routed send.
+        #[cfg(feature = "clone-baseline")]
+        let deep_sends: Vec<SharedMessage>;
+        #[cfg(feature = "clone-baseline")]
+        let sends: &[SharedMessage] = if self.cfg.clone_baseline {
+            deep_sends = effects.sends.iter().map(baseline::deep_shared).collect();
+            &deep_sends
+        } else {
+            &effects.sends
+        };
+        #[cfg(not(feature = "clone-baseline"))]
+        let sends = &effects.sends;
+        self.net_side().route_sends(sends, &mut batch);
         for (timer, fire_at) in &effects.timers_set {
             let qe = self.make_event(*fire_at, EventKind::TimerFire { pid, timer: *timer });
             batch.push(qe);
         }
-        self.queue.extend(batch.drain(..));
+        self.queue.absorb(&mut batch);
         self.event_batch = batch;
         for t in &effects.timers_cancelled {
             self.cancelled_timers.insert((pid.0, t.0));
@@ -642,16 +711,26 @@ impl World {
             self.procs.set_status(pid, ProcStatus::Crashed);
             let seq = self.exec_seq;
             self.exec_seq += 1;
-            self.trace.push(Arc::new(StepRecord {
-                event: Event {
-                    seq,
-                    at: self.now,
-                    kind: EventKind::Crash { pid },
-                },
-                effects: Effects::default(),
-            }));
+            self.record_side_event(seq, EventKind::Crash { pid });
         }
         effects
+    }
+
+    /// Seal and trace an effect-free side record (crash/restart marks),
+    /// drawing the shell from the arena and recycling any eviction.
+    fn record_side_event(&mut self, seq: u64, kind: EventKind) {
+        let effects = self.arena.make_effects();
+        let record = self.arena.make_record(
+            Event {
+                seq,
+                at: self.now,
+                kind,
+            },
+            effects,
+        );
+        if let Some(evicted) = self.trace.push(record) {
+            self.arena.recycle_record(evicted);
+        }
     }
 
     /// Borrow the network-side state one routed send needs. The serial
@@ -666,6 +745,7 @@ impl World {
             net_rng: &mut self.net_rng,
             stats: &mut self.stats,
             sched_seq: &mut self.sched_seq,
+            plan_scratch: &mut self.plan_scratch,
             now: self.now,
         }
     }
@@ -760,6 +840,25 @@ impl World {
     /// at construction does not apply).
     pub fn reset_payload_base(&mut self) {
         self.payload_base = crate::payload::stats();
+    }
+
+    /// Step-arena counters (recycle hit rates, current pool sizes).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Calendar-queue tier-placement counters (ring vs heap tiers).
+    pub fn queue_stats(&self) -> crate::calqueue::CalQueueStats {
+        self.queue.stats()
+    }
+
+    /// Offer a message box back to the arena. Pools it (and returns
+    /// `true`) only if this handle was the last reference; callers that
+    /// discard a send no other holder aliases — e.g. the Time Machine
+    /// dropping an orphaned branch — use this so the box skips the
+    /// allocator round-trip.
+    pub fn reclaim_message(&mut self, msg: SharedMessage) -> bool {
+        self.arena.recycle_message(msg)
     }
 
     /// The runtime's own complete trace.
@@ -877,14 +976,7 @@ impl World {
         e.status = ProcStatus::Running;
         let seq = self.exec_seq;
         self.exec_seq += 1;
-        self.trace.push(Arc::new(StepRecord {
-            event: Event {
-                seq,
-                at: self.now,
-                kind: EventKind::Restart { pid: ckpt.pid },
-            },
-            effects: Effects::default(),
-        }));
+        self.record_side_event(seq, EventKind::Restart { pid: ckpt.pid });
     }
 
     /// Crash a process immediately (external fault injection). A dormant
@@ -893,14 +985,7 @@ impl World {
         self.procs.set_status(pid, ProcStatus::Crashed);
         let seq = self.exec_seq;
         self.exec_seq += 1;
-        self.trace.push(Arc::new(StepRecord {
-            event: Event {
-                seq,
-                at: self.now,
-                kind: EventKind::Crash { pid },
-            },
-            effects: Effects::default(),
-        }));
+        self.record_side_event(seq, EventKind::Crash { pid });
     }
 
     /// Mark a crashed process running again **without** restoring state
@@ -946,16 +1031,20 @@ impl World {
                 removed += 1;
             }
         }
-        let drained: Vec<QueuedEvent> = std::mem::take(&mut self.queue).into_vec();
-        let mut kept = BinaryHeap::with_capacity(drained.len());
+        let drained: Vec<QueuedEvent> = self.queue.drain_all();
         for qe in drained {
             if pred(&qe.kind) {
                 removed += 1;
+                // A purged in-flight message the queue solely held goes
+                // back to the arena rather than the allocator (the Time
+                // Machine purges orphans on every rollback).
+                if let EventKind::Deliver { msg } | EventKind::Drop { msg } = qe.kind {
+                    self.arena.recycle_message(msg);
+                }
             } else {
-                kept.push(qe);
+                self.queue.push(qe);
             }
         }
-        self.queue = kept;
         removed
     }
 
@@ -1077,6 +1166,69 @@ pub(crate) enum HandlerCall<'a> {
     Timer(TimerId),
 }
 
+/// The pre-refactor hot-loop deep clones, performed **for real** when
+/// the `clone-baseline` feature is compiled in and
+/// [`WorldConfig::clone_baseline`] is set: a dense vector-clock rebuild
+/// and payload byte copy per message clone, one clone per handler call
+/// and per routed send, and a full record clone (sends, randoms,
+/// outputs) into the trace. `step_demo` A/Bs the arena'd loop against
+/// this honest baseline end to end.
+#[cfg(feature = "clone-baseline")]
+mod baseline {
+    use super::*;
+    use crate::payload::Payload;
+    use crate::trace::StepRecord;
+
+    pub(super) fn deep_message(m: &Message) -> Message {
+        Message {
+            id: m.id,
+            src: m.src,
+            dst: m.dst,
+            tag: m.tag,
+            payload: Payload::untracked(m.payload.as_slice().to_vec()),
+            sent_at: m.sent_at,
+            vc: VectorClock::from_pairs(m.vc.entries().map(|(p, c)| (p.0, c)).collect()),
+            meta: m.meta,
+        }
+    }
+
+    pub(super) fn deep_shared(m: &SharedMessage) -> SharedMessage {
+        SharedMessage::new(deep_message(m))
+    }
+
+    pub(super) fn deep_record(rec: &StepRecord) -> StepRecord {
+        let kind = match &rec.event.kind {
+            EventKind::Deliver { msg } => EventKind::Deliver {
+                msg: deep_shared(msg),
+            },
+            EventKind::Drop { msg } => EventKind::Drop {
+                msg: deep_shared(msg),
+            },
+            other => other.clone(),
+        };
+        StepRecord {
+            event: Event {
+                seq: rec.event.seq,
+                at: rec.event.at,
+                kind,
+            },
+            effects: Effects {
+                sends: rec.effects.sends.iter().map(deep_shared).collect(),
+                timers_set: rec.effects.timers_set.clone(),
+                timers_cancelled: rec.effects.timers_cancelled.clone(),
+                randoms: rec.effects.randoms.to_vec().into(),
+                outputs: rec
+                    .effects
+                    .outputs
+                    .iter()
+                    .map(|o| Payload::untracked(o.as_slice().to_vec()))
+                    .collect(),
+                crashed: rec.effects.crashed,
+            },
+        }
+    }
+}
+
 /// The network-side state one routed send consumes: fault rules, the
 /// delivery policy, the live partition, the network RNG, counters, and
 /// the scheduling-sequence mint. Split out of [`World`] so the serial
@@ -1089,6 +1241,7 @@ pub(crate) struct NetSide<'a> {
     pub(crate) net_rng: &'a mut DetRng,
     pub(crate) stats: &'a mut NetStats,
     pub(crate) sched_seq: &'a mut u64,
+    pub(crate) plan_scratch: &'a mut Vec<DeliveryOutcome>,
     pub(crate) now: VTime,
 }
 
@@ -1100,9 +1253,20 @@ impl NetSide<'_> {
         QueuedEvent { at, seq, kind }
     }
 
+    /// Route every send of one effects batch into `batch` — the shared
+    /// front half of the take/route/absorb sequence that
+    /// `World::apply_effects` and the sharded barrier replay both
+    /// perform (each send aliases the message handle: a refcount bump,
+    /// no `Message` clone).
+    pub(crate) fn route_sends(&mut self, sends: &[SharedMessage], batch: &mut Vec<QueuedEvent>) {
+        for msg in sends {
+            self.route_message(msg.clone(), batch);
+        }
+    }
+
     /// Plan one send's deliveries/drops into `batch` (scheduling order is
-    /// identical to pushing straight into the heap: sequence numbers are
-    /// minted here, and the heap orders by `(at, seq)` regardless of
+    /// identical to pushing straight into the queue: sequence numbers are
+    /// minted here, and the queue orders by `(at, seq)` regardless of
     /// insertion order).
     pub(crate) fn route_message(&mut self, mut msg: SharedMessage, batch: &mut Vec<QueuedEvent>) {
         self.stats.sent += 1;
@@ -1124,16 +1288,27 @@ impl NetSide<'_> {
             self.stats.corrupted += 1;
         }
         let connected = self.partition.connected(msg.src, msg.dst);
-        let outcomes = self.net.plan_for(
+        self.plan_scratch.clear();
+        self.net.plan_for_into(
             msg.src,
             msg.dst,
             self.now,
             &msg.payload,
             connected,
             self.net_rng,
+            self.plan_scratch,
         );
         let mut first = true;
-        for outcome in outcomes {
+        // Consume the scratch front-to-back (sequence numbers are minted
+        // in plan order) by value — the corrupted payload moves out, it
+        // must not be cloned through the counted `Payload::clone`.
+        for i in 0..self.plan_scratch.len() {
+            let outcome = std::mem::replace(
+                &mut self.plan_scratch[i],
+                DeliveryOutcome::Drop {
+                    reason: DropReason::Loss,
+                },
+            );
             match outcome {
                 DeliveryOutcome::Deliver {
                     at,
@@ -1157,6 +1332,7 @@ impl NetSide<'_> {
                 }
             }
         }
+        self.plan_scratch.clear();
     }
 }
 

@@ -1,0 +1,90 @@
+//! The `clone-baseline` build must be *measurably slower, behaviourally
+//! identical*: with `WorldConfig::clone_baseline` set, the step loop
+//! performs the pre-refactor deep clones for real, but every record it
+//! produces — and the whole trace — is value-equal to the arena'd run.
+#![cfg(feature = "clone-baseline")]
+
+use fixd_runtime::{Context, Message, Pid, Program, TimerId, World, WorldConfig};
+
+struct Forward {
+    left: u64,
+}
+
+impl Program for Forward {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.pid() == Pid(0) {
+            ctx.send(Pid(1), 1, vec![9u8; 48]);
+            ctx.set_timer(25);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context, msg: &Message) {
+        let _ = ctx.random();
+        ctx.output(vec![msg.payload[0]; 8]);
+        if self.left > 0 {
+            self.left -= 1;
+            let other = Pid(1 - ctx.pid().0);
+            ctx.send(other, 1, msg.payload.clone());
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context, _t: TimerId) {}
+    fn snapshot(&self) -> Vec<u8> {
+        self.left.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, b: &[u8]) {
+        self.left = u64::from_le_bytes(b.try_into().unwrap());
+    }
+    fn clone_program(&self) -> Box<dyn Program> {
+        Box::new(Forward { left: self.left })
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn run(clone_baseline: bool, trace_cap: Option<usize>) -> World {
+    let mut cfg = WorldConfig::seeded(41);
+    cfg.clone_baseline = clone_baseline;
+    cfg.trace_cap = trace_cap;
+    let mut w = World::new(cfg);
+    w.add_process(Box::new(Forward { left: 50 }));
+    w.add_process(Box::new(Forward { left: 50 }));
+    w.run_to_quiescence(10_000);
+    w
+}
+
+#[test]
+fn baseline_mode_is_behaviourally_identical() {
+    // Unbounded traces: compare every record of the run by value.
+    let fast = run(false, None);
+    let base = run(true, None);
+    assert_eq!(fast.trace().len(), base.trace().len());
+    for (a, b) in fast.trace().records().iter().zip(base.trace().records()) {
+        assert_eq!(**a, **b, "baseline record diverged at seq {}", a.event.seq);
+    }
+    // The baseline really did turn the arena off.
+    let stats = base.arena_stats();
+    assert_eq!(stats.msgs_recycled, 0);
+    assert_eq!(stats.records_recycled, 0);
+}
+
+#[test]
+fn baseline_mode_allocates_where_the_arena_recycles() {
+    // Bounded traces (the recycling configuration): the arena'd run
+    // serves its steady state from the pool, the baseline allocates a
+    // fresh box per send — while still producing the same tail records.
+    let fast = run(false, Some(8));
+    let base = run(true, Some(8));
+    for (a, b) in fast.trace().records().iter().zip(base.trace().records()) {
+        assert_eq!(**a, **b, "baseline record diverged at seq {}", a.event.seq);
+    }
+    let f = fast.arena_stats();
+    let b = base.arena_stats();
+    assert!(f.msgs_recycled > 0, "bounded trace cycles the pool: {f:?}");
+    assert!(
+        f.msgs_allocated < b.msgs_allocated,
+        "arena'd run allocates fewer boxes: fast {f:?}, baseline {b:?}"
+    );
+}

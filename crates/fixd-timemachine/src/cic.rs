@@ -323,7 +323,9 @@ impl TimeMachine {
             let send_undone = sl != NO_ROLLBACK && rec.msg.meta.ckpt_index >= sl;
             let recv_undone = dl != NO_ROLLBACK && rec.dst_interval >= dl;
             if send_undone {
-                // Orphan: forget it entirely.
+                // Orphan: forget it entirely. If this log entry held the
+                // last reference, the box returns to the world's arena.
+                world.reclaim_message(rec.msg);
                 continue;
             }
             if recv_undone {
