@@ -1,0 +1,343 @@
+//! Work-stealing exploration benchmark: the frontier engine vs the
+//! serial `Explorer` on a compute-heavy guarded system, plus the
+//! content-hash dedup story and the adaptive-vs-uniform campaign seed
+//! search.
+//!
+//! Three claims, three gates:
+//!
+//! * **determinism** — at every worker count the engine must report the
+//!   serial explorer's exact state count, transition count, max depth,
+//!   and violation verdicts `(depth, end fingerprint, invariant)`.
+//!   Asserted directly; a speedup that changes the verdict is worthless.
+//! * **throughput** — 8 workers must explore ≥ 2x faster than 1
+//!   (`MIN_SPEEDUP`). On hosts with ≥ 8 cores the gate uses measured
+//!   wall-clock states/sec; on smaller hosts the wall clock cannot show
+//!   the speedup, so the gate falls back to the **modelled** rate
+//!   `serial_rate / max_share` from [`FrontierMetrics`] — the busiest
+//!   worker's share of processed nodes, i.e. the load balance the
+//!   stealing actually achieved, which preemption cannot distort. The
+//!   JSON labels which mode gated.
+//! * **adaptive ≥ uniform** — on the seeded detection sweep (the buggy
+//!   kvstore column among quiet ones), adaptive seed search must find at
+//!   least as many violations as uniform allocation of the same budget.
+//!
+//! Emits `BENCH_explore.json`; exits non-zero on gate failure (the CI
+//! bench job runs this).
+//!
+//! Run: `cargo run -p fixd-bench --bin explore_demo --release`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fixd_campaign::{
+    kvstore_app, kvstore_buggy_app, run_adaptive, run_uniform, standard_cases, AdaptiveConfig,
+    CampaignSpec,
+};
+use fixd_investigator::{
+    explore_frontier, ExploreConfig, ExploreReport, Explorer, FingerprintStore, GuardedSystem,
+    GuardedSystemBuilder, Invariant, PagedStateStore, StealQueue, TransitionSystem,
+};
+use fixd_runtime::wire::fnv_mix;
+
+/// Counter caps: the space is Π(cap+1) = 9^4 = 6561 states.
+const CAP: u8 = 8;
+const DIMS: usize = 4;
+/// Deterministic compute per generated successor — the "next-state
+/// function" cost being parallelized.
+const WORK_ITERS: u64 = 1_200;
+/// Worker counts swept; the gate compares the first and last.
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+/// Timed rounds per worker count; the median rate is reported.
+const ROUNDS: usize = 3;
+/// Gate: 8 workers must beat 1 worker by at least this factor.
+const MIN_SPEEDUP: f64 = 2.0;
+/// Seed-search budget (cells) spent by each strategy.
+const SEARCH_BUDGET: usize = 36;
+
+/// Per-successor hash burn (pure; result is only black_boxed).
+fn burn(s: &[u8; DIMS]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..WORK_ITERS {
+        h = fnv_mix(h, i);
+        for &b in s {
+            h = fnv_mix(h, u64::from(b));
+        }
+    }
+    h
+}
+
+/// The benchmark system: DIMS bounded counters, every increment paying
+/// `WORK_ITERS` of hash work, with one violating corner state at depth
+/// `DIMS * CAP` (so verdict equality is exercised, not just counts).
+fn work_grid() -> GuardedSystem<[u8; DIMS]> {
+    let mut b = GuardedSystemBuilder::new([0u8; DIMS]);
+    for i in 0..DIMS {
+        b = b.action(
+            &format!("inc{i}"),
+            move |s: &[u8; DIMS]| s[i] < CAP,
+            move |s| {
+                black_box(burn(s));
+                s[i] += 1;
+            },
+        );
+    }
+    b.build()
+}
+
+fn corner_invariant() -> Invariant<[u8; DIMS]> {
+    Invariant::new("corner", |s: &[u8; DIMS]| *s != [CAP; DIMS])
+}
+
+/// Canonical verdict set: sorted (depth, end fingerprint, invariant).
+fn verdicts(
+    r: &ExploreReport<fixd_investigator::guarded::GuardedLabel>,
+) -> Vec<(usize, u64, String)> {
+    let mut v: Vec<_> = r
+        .violations
+        .iter()
+        .map(|t| (t.depth, t.end_fingerprint, t.violation.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+struct WorkerResult {
+    workers: usize,
+    measured: f64,
+    modelled: f64,
+    max_share: f64,
+    steals: u64,
+}
+
+fn main() {
+    let sys = work_grid();
+    let cfg = ExploreConfig::default();
+
+    // Serial reference: the authority on states, transitions, and
+    // verdicts — and the 1.0-share baseline for the modelled gate.
+    let t0 = Instant::now();
+    let serial = Explorer::new(&sys, cfg.clone())
+        .invariant(corner_invariant())
+        .run();
+    let serial_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let serial_rate = serial.states as f64 / serial_secs;
+    let serial_verdicts = verdicts(&serial);
+    assert_eq!(serial.states, 9usize.pow(DIMS as u32), "space size");
+    assert_eq!(serial_verdicts.len(), 1, "one corner violation");
+
+    // Warm-up — not measured.
+    {
+        let store = FingerprintStore::new(|s: &[u8; DIMS]| sys.fingerprint(s));
+        let queue = StealQueue::new(2);
+        black_box(explore_frontier(
+            &sys,
+            &store,
+            &queue,
+            &[corner_invariant()],
+            &cfg,
+            2,
+        ));
+    }
+
+    let mut results: Vec<WorkerResult> = Vec::new();
+    for &workers in WORKER_COUNTS {
+        let mut measured: Vec<f64> = Vec::new();
+        let mut modelled: Vec<f64> = Vec::new();
+        let mut max_share = 1.0f64;
+        let mut steals = 0u64;
+        for _ in 0..ROUNDS {
+            let store = FingerprintStore::new(|s: &[u8; DIMS]| sys.fingerprint(s));
+            let queue = StealQueue::new(workers);
+            let t0 = Instant::now();
+            let (report, metrics) =
+                explore_frontier(&sys, &store, &queue, &[corner_invariant()], &cfg, workers);
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+            // Determinism gate: byte-equal semantics at every count.
+            assert_eq!(report.states, serial.states, "states at {workers} workers");
+            assert_eq!(
+                report.transitions, serial.transitions,
+                "transitions at {workers} workers"
+            );
+            assert_eq!(
+                report.max_depth_reached, serial.max_depth_reached,
+                "depth at {workers} workers"
+            );
+            assert_eq!(
+                verdicts(&report),
+                serial_verdicts,
+                "verdicts at {workers} workers"
+            );
+
+            measured.push(report.states as f64 / secs);
+            let share = metrics.max_share();
+            modelled.push(serial_rate / share.max(1e-9));
+            max_share = share;
+            steals = metrics.steals;
+        }
+        results.push(WorkerResult {
+            workers,
+            measured: median(&mut measured),
+            modelled: median(&mut modelled),
+            max_share,
+            steals,
+        });
+    }
+
+    // Content-hash dedup: the same space through the paged store — every
+    // state encoded as a 64-byte image whose pages are interned in a
+    // shared PageStore, so the visited set is content-addressed and
+    // revisits are refcount bumps.
+    let paged = PagedStateStore::with_page_size(
+        fixd_store::PageStore::new(),
+        |s: &[u8; DIMS], buf: &mut Vec<u8>| {
+            // A redundant wide encoding (counters repeated across the
+            // image) standing in for large real-world snapshots with
+            // shared regions.
+            for _ in 0..(64 / DIMS) {
+                buf.extend_from_slice(s);
+            }
+        },
+        16,
+    );
+    let queue = StealQueue::new(4);
+    let (paged_report, paged_metrics) =
+        explore_frontier(&sys, &paged, &queue, &[corner_invariant()], &cfg, 4);
+    assert_eq!(paged_report.states, serial.states, "paged states");
+    assert_eq!(
+        paged_report.transitions, serial.transitions,
+        "paged transitions"
+    );
+    let dedup = paged_metrics.dedup;
+    let pages = paged.page_stats();
+    // Every revisit of a known state must be a pure hash hit.
+    assert_eq!(dedup.misses, serial.states as u64, "one miss per state");
+
+    // Adaptive seed search vs uniform on the seeded detection sweep.
+    let mut spec = CampaignSpec::new()
+        .app(kvstore_app())
+        .app(kvstore_buggy_app());
+    for case in standard_cases() {
+        if matches!(case.name, "clean" | "reorder" | "dup") {
+            spec = spec.case(case);
+        }
+    }
+    let search_cfg = AdaptiveConfig {
+        total_budget: SEARCH_BUDGET,
+        bootstrap: 2,
+        batch: 3,
+        ..AdaptiveConfig::default()
+    };
+    let adaptive = run_adaptive(&spec, &search_cfg);
+    let uniform = run_uniform(&spec, &search_cfg);
+    let gain = adaptive.violations as i64 - uniform.violations as i64;
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let max_workers = *WORKER_COUNTS.last().unwrap();
+    let gate_mode = if cores >= max_workers {
+        "measured"
+    } else {
+        "modelled"
+    };
+    let rate = |r: &WorkerResult| {
+        if gate_mode == "measured" {
+            r.measured
+        } else {
+            r.modelled
+        }
+    };
+    let speedup = rate(&results[results.len() - 1]) / rate(&results[0]).max(1e-9);
+
+    println!(
+        "explore grid: {} states, {} transitions, {WORK_ITERS} work iters/successor, \
+         {cores} cores → gating on {gate_mode} states/sec",
+        serial.states, serial.transitions
+    );
+    println!("serial Explorer: {serial_rate:.0} states/sec");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10} {:>8}",
+        "workers", "measured st/s", "modelled st/s", "max share", "steals"
+    );
+    for r in &results {
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>10.3} {:>8}",
+            r.workers, r.measured, r.modelled, r.max_share, r.steals
+        );
+    }
+    println!(
+        "speedup 1 → {max_workers} workers ({gate_mode}): {speedup:.2}x (gate ≥ {MIN_SPEEDUP}x)"
+    );
+    println!(
+        "paged dedup: {} hits / {} misses ({:.1}% hit rate), {} live pages, {} bytes deduped",
+        dedup.hits,
+        dedup.misses,
+        100.0 * dedup.hit_rate(),
+        pages.live_pages,
+        pages.deduped_bytes
+    );
+    println!(
+        "seed search ({SEARCH_BUDGET} cells each): adaptive {} violations vs uniform {} \
+         (gain {gain:+})",
+        adaptive.violations, uniform.violations
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"explore\",\n");
+    json.push_str(&format!(
+        "  \"states\": {},\n  \"transitions\": {},\n  \"rounds\": {ROUNDS},\n  \
+         \"cores\": {cores},\n  \"gate_mode\": \"{gate_mode}\",\n  \
+         \"serial_states_per_sec\": {serial_rate:.1},\n",
+        serial.states, serial.transitions
+    ));
+    json.push_str("  \"worker_counts\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"measured_states_per_sec\": {:.1}, \
+             \"modelled_states_per_sec\": {:.1}, \"max_share\": {:.4}, \"steals\": {}}}{}\n",
+            r.workers,
+            r.measured,
+            r.modelled,
+            r.max_share,
+            r.steals,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_1_to_{max_workers}\": {speedup:.3},\n  \"min_speedup\": {MIN_SPEEDUP},\n"
+    ));
+    json.push_str(&format!(
+        "  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"live_pages\": {}, \"deduped_bytes\": {}}},\n",
+        dedup.hits,
+        dedup.misses,
+        dedup.hit_rate(),
+        pages.live_pages,
+        pages.deduped_bytes
+    ));
+    json.push_str(&format!(
+        "  \"adaptive\": {{\"budget\": {SEARCH_BUDGET}, \"adaptive_violations\": {}, \
+         \"uniform_violations\": {}, \"adaptive_gain\": {gain}}}\n}}\n",
+        adaptive.violations, uniform.violations
+    ));
+    let path = "BENCH_explore.json";
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "work-stealing regression: {max_workers} workers only {speedup:.2}x faster than 1 \
+         ({gate_mode}; gate ≥ {MIN_SPEEDUP}x)"
+    );
+    assert!(
+        adaptive.violations >= uniform.violations,
+        "adaptive seed search regression: {} violations vs uniform {} under the same \
+         {SEARCH_BUDGET}-cell budget",
+        adaptive.violations,
+        uniform.violations
+    );
+}

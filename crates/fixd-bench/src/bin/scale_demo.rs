@@ -13,6 +13,10 @@
 //!   slot. Gate: the marginal cost per added process between the two
 //!   widest worlds stays under `MAX_IDLE_BYTES_PER_PROC` (64 B),
 //!   measured by a counting global allocator.
+//! * **arena residency** (reported, not gated) — the same workload on
+//!   a sharded world at the widest width, with each shard's `StepArena`
+//!   pool footprint (`ArenaStats::resident_bytes`) broken down per
+//!   pool, so the 4096/1024/1024/1024 caps can be revisited with data.
 //!
 //! Emits `BENCH_scale.json` and exits non-zero on gate failure — the
 //! CI `scale` job runs this, so million-process worlds are a gate, not
@@ -26,7 +30,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fixd_examples::chord::{chord_factory, ChordNode, ChordRing};
-use fixd_runtime::{clock::INLINE_PAIRS, EventKind, Pid, World, WorldConfig};
+use fixd_runtime::{
+    clock::INLINE_PAIRS, ArenaStats, EventKind, Pid, ShardedWorld, World, WorldConfig,
+    EFF_POOL_CAP, MSG_POOL_CAP, RAND_POOL_CAP, REC_POOL_CAP,
+};
 
 /// Live (allocated − freed) heap bytes, maintained by [`Counting`].
 static LIVE: AtomicUsize = AtomicUsize::new(0);
@@ -111,12 +118,22 @@ fn nnz_bucket(nnz: usize) -> usize {
     }
 }
 
+/// Shards in the per-shard arena census leg at the widest world.
+const ARENA_SHARDS: usize = 8;
+/// Trace bound for the census leg: recycling only happens when the
+/// world sees last references, i.e. on trace eviction — an unbounded
+/// trace pins every shell and the pools (correctly) report ~0 resident
+/// bytes. The bounded trace is the steady-state regime the pool caps
+/// were sized for.
+const ARENA_TRACE_CAP: usize = 4096;
+
 struct RunResult {
     steps: u64,
     secs: f64,
     build_bytes: u64,
     lookups_ok: u64,
     lookups_bad: u64,
+    arena: ArenaStats,
 }
 
 /// Build a width-`width` world with the 768-member Chord ring active
@@ -187,7 +204,35 @@ fn run_once(width: usize, seed: u64, mut nnz_hist: Option<&mut [u64]>) -> RunRes
         build_bytes,
         lookups_ok,
         lookups_bad,
+        arena: w.arena_stats(),
     }
+}
+
+/// Run the same (churn-free) Chord workload on a [`ShardedWorld`] at
+/// `width` and return the coordinator's and every shard's arena
+/// counters after quiescence — the per-shard resident-bytes data that
+/// informs the pool caps (4096/1024/1024/1024) at 10^6-wide worlds.
+fn sharded_arena_census(width: usize, seed: u64) -> (ArenaStats, Vec<ArenaStats>) {
+    let members: Vec<Pid> = (0..MEMBERS as u32).map(Pid).collect();
+    let ring = Arc::new(ChordRing::new(&members));
+
+    let mut cfg = WorldConfig::seeded(seed);
+    cfg.trace_cap = Some(ARENA_TRACE_CAP);
+    let mut w = ShardedWorld::new(cfg, ARENA_SHARDS);
+    w.add_lazy_processes(
+        width,
+        chord_factory(Arc::clone(&ring), STABILIZE_ROUNDS, LOOKUPS_PER_MEMBER),
+    );
+    for &m in &members {
+        w.schedule_start(m);
+    }
+    let report = w.run_to_quiescence(10_000_000);
+    assert!(report.quiescent, "sharded census workload must drain");
+    assert!(
+        w.materialized_procs() <= MEMBERS,
+        "only members may materialize in the sharded census"
+    );
+    (w.arena_stats(), w.shard_arena_stats())
 }
 
 fn median(xs: &mut [f64]) -> f64 {
@@ -202,6 +247,25 @@ struct WidthResult {
     build_bytes: u64,
     lookups_ok: u64,
     lookups_bad: u64,
+    arena_resident: usize,
+}
+
+/// One arena's counters as a JSON object (fixed key order).
+fn arena_json(a: &ArenaStats) -> String {
+    format!(
+        "{{\"msgs_pooled\": {}, \"records_pooled\": {}, \"effects_pooled\": {}, \
+         \"randoms_pooled\": {}, \"msg_bytes\": {}, \"record_bytes\": {}, \
+         \"effect_bytes\": {}, \"random_bytes\": {}, \"resident_bytes\": {}}}",
+        a.msgs_pooled,
+        a.records_pooled,
+        a.effects_pooled,
+        a.randoms_pooled,
+        a.msg_bytes,
+        a.record_bytes,
+        a.effect_bytes,
+        a.random_bytes,
+        a.resident_bytes()
+    )
 }
 
 fn main() {
@@ -227,6 +291,7 @@ fn main() {
             build_bytes: r.build_bytes,
             lookups_ok: r.lookups_ok,
             lookups_bad: r.lookups_bad,
+            arena_resident: r.arena.resident_bytes(),
         });
     }
 
@@ -303,6 +368,40 @@ fn main() {
          inline (≤{INLINE_PAIRS} pairs) covers {inline_pct:.1}% of deliveries"
     );
 
+    // Per-shard arena census at the widest world: what the recycling
+    // pools actually pin at 10^6 processes, shard by shard — the data
+    // for revisiting the MSG/REC/EFF/RAND pool caps.
+    let widest = *WIDTHS.last().expect("widths non-empty");
+    let (coord_arena, shard_arenas) = sharded_arena_census(widest, 7);
+    let shard_resident_total: usize = shard_arenas.iter().map(ArenaStats::resident_bytes).sum();
+    let arena_total = coord_arena.resident_bytes() + shard_resident_total;
+    assert!(
+        arena_total > 0,
+        "arena pools must retain shells after a {widest}-wide run"
+    );
+    println!(
+        "arena census at width {widest} ({ARENA_SHARDS} shards, trace cap \
+         {ARENA_TRACE_CAP}, caps msg={MSG_POOL_CAP} rec={REC_POOL_CAP} \
+         eff={EFF_POOL_CAP} rand={RAND_POOL_CAP}):"
+    );
+    println!(
+        "  coordinator: {} B ({} msgs, {} records pooled)",
+        coord_arena.resident_bytes(),
+        coord_arena.msgs_pooled,
+        coord_arena.records_pooled
+    );
+    for (i, a) in shard_arenas.iter().enumerate() {
+        println!(
+            "  shard {i}: {} B (msg {} B, rec {} B, eff {} B, rand {} B)",
+            a.resident_bytes(),
+            a.msg_bytes,
+            a.record_bytes,
+            a.effect_bytes,
+            a.random_bytes
+        );
+    }
+    println!("  total resident: {arena_total} B");
+
     let mut json = String::from("{\n  \"bench\": \"scale\",\n");
     json.push_str(&format!(
         "  \"members\": {MEMBERS},\n  \"steps\": {},\n  \"rounds\": {ROUNDS},\n",
@@ -312,17 +411,39 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"processes\": {}, \"steps_per_sec\": {:.1}, \"build_bytes\": {}, \
-             \"bytes_per_proc\": {:.2}, \"lookups_ok\": {}, \"lookups_bad\": {}}}{}\n",
+             \"bytes_per_proc\": {:.2}, \"lookups_ok\": {}, \"lookups_bad\": {}, \
+             \"arena_resident_bytes\": {}}}{}\n",
             r.width,
             r.steps_per_sec,
             r.build_bytes,
             r.build_bytes as f64 / r.width as f64,
             r.lookups_ok,
             r.lookups_bad,
+            r.arena_resident,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"arena\": {{\n    \"width\": {widest},\n    \"shards\": {ARENA_SHARDS},\n    \
+         \"trace_cap\": {ARENA_TRACE_CAP},\n    \
+         \"pool_caps\": {{\"msgs\": {MSG_POOL_CAP}, \"records\": {REC_POOL_CAP}, \
+         \"effects\": {EFF_POOL_CAP}, \"randoms\": {RAND_POOL_CAP}}},\n    \
+         \"serial_resident_bytes\": {},\n    \"coordinator\": {},\n",
+        results.last().map(|r| r.arena_resident).unwrap_or_default(),
+        arena_json(&coord_arena)
+    ));
+    json.push_str("    \"per_shard\": [\n");
+    for (i, a) in shard_arenas.iter().enumerate() {
+        json.push_str(&format!(
+            "      {}{}\n",
+            arena_json(a),
+            if i + 1 < shard_arenas.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"total_resident_bytes\": {arena_total}\n  }},\n"
+    ));
     json.push_str(&format!(
         "  \"clock_nnz\": {{{}}},\n  \"inline_pairs\": {INLINE_PAIRS},\n  \
          \"inline_clock_pct\": {inline_pct:.1},\n",

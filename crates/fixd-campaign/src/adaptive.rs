@@ -1,0 +1,404 @@
+//! Adaptive seed search: spend the campaign budget where cells are
+//! interesting.
+//!
+//! Uniform matrices give every `(app, case)` family the same number of
+//! seeds, so most of the budget re-confirms quiet cells. The adaptive
+//! searcher keeps a **coverage ledger** per family — novel end-state
+//! fingerprints, violations, near-violations (failed checks and armed
+//! detection metrics), and rare-pathology interleavings — and, after a
+//! uniform bootstrap round, allocates each further seed batch to the
+//! family with the highest interest-per-run. Everything is seeded and
+//! tie-broken by family index, so for a given spec and budget the
+//! outcome (and its JSON) is byte-deterministic; [`run_uniform`] spends
+//! the identical budget round-robin with the identical per-family seed
+//! sequences, making the two directly comparable.
+
+use std::collections::HashSet;
+
+use crate::driver::run_cell;
+use crate::report::{json_string, CellOutcome};
+use crate::spec::{CampaignSpec, Cell};
+
+/// Knobs of one adaptive (or uniform) search.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Total cell runs to spend (both strategies use exactly this many,
+    /// unless fewer than one bootstrap round fits).
+    pub total_budget: usize,
+    /// Seeds every family receives up front (the exploration floor —
+    /// without it a family can starve before showing anything).
+    pub bootstrap: usize,
+    /// Seeds allocated per adaptive round to the current best family.
+    pub batch: usize,
+    /// Base of the deterministic per-family seed sequences.
+    pub seed_base: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            total_budget: 48,
+            bootstrap: 2,
+            batch: 4,
+            seed_base: 0x5EED_C0DE,
+        }
+    }
+}
+
+/// Per-family coverage ledger entry.
+#[derive(Clone, Debug)]
+pub struct FamilyLedger {
+    /// Index into the spec's app list.
+    pub app: usize,
+    /// Index into the spec's case list.
+    pub case: usize,
+    /// App column name.
+    pub app_name: String,
+    /// Case row name.
+    pub case_name: String,
+    /// Seeds spent here.
+    pub runs: u64,
+    /// Monitor violations observed.
+    pub violations: u64,
+    /// Near-violations: failed cell checks, or armed detection metrics
+    /// (`detected`/`bad`/`rejected` > 0) on runs without a violation.
+    pub near: u64,
+    /// Runs that ended in a previously unseen end-state fingerprint.
+    pub novel: u64,
+    /// Runs that produced a novel end state while stressing several
+    /// pathologies at once (the case's secondary labels are non-empty) —
+    /// the rare-interleaving signal.
+    pub rare: u64,
+    seen: HashSet<u64>,
+}
+
+impl FamilyLedger {
+    /// Interest accumulated so far (the score numerator): violations
+    /// weigh 3, near-violations 2, novel end states 1, rare
+    /// interleavings 1.
+    pub fn interest(&self) -> u64 {
+        3 * self.violations + 2 * self.near + self.novel + self.rare
+    }
+
+    fn absorb(&mut self, out: &CellOutcome, rare_case: bool) {
+        self.runs += 1;
+        let violated = out.violation.is_some();
+        if violated {
+            self.violations += 1;
+        } else {
+            let armed = out
+                .metrics
+                .iter()
+                .any(|(k, v)| *v > 0 && matches!(k.as_str(), "detected" | "bad" | "rejected"));
+            if out.check_failure.is_some() || armed {
+                self.near += 1;
+            }
+        }
+        if self.seen.insert(out.fingerprint) {
+            self.novel += 1;
+            if rare_case {
+                self.rare += 1;
+            }
+        }
+    }
+}
+
+/// What one search strategy found with its budget.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// `"adaptive"` or `"uniform"`.
+    pub strategy: String,
+    /// The configured budget.
+    pub budget: usize,
+    /// Runs actually executed (== budget unless the spec is empty).
+    pub runs: u64,
+    /// Total monitor violations found.
+    pub violations: u64,
+    /// Total near-violations.
+    pub near: u64,
+    /// Distinct end-state fingerprints across all families.
+    pub distinct_end_states: usize,
+    /// Final per-family ledgers, in spec family order.
+    pub families: Vec<FamilyLedger>,
+}
+
+impl SearchOutcome {
+    /// Deterministic JSON rendering (same discipline as the campaign
+    /// report: fixed key order, no floats that depend on timing).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"strategy\": {},\n  \"budget\": {},\n  \"runs\": {},\n  \"violations\": {},\n  \"near_violations\": {},\n  \"distinct_end_states\": {},\n  \"families\": [",
+            json_string(&self.strategy),
+            self.budget,
+            self.runs,
+            self.violations,
+            self.near,
+            self.distinct_end_states,
+        );
+        for (i, f) in self.families.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"app\": {}, \"case\": {}, \"runs\": {}, \"violations\": {}, \"near\": {}, \"novel\": {}, \"rare\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(&f.app_name),
+                json_string(&f.case_name),
+                f.runs,
+                f.violations,
+                f.near,
+                f.novel,
+                f.rare,
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// splitmix64 — the deterministic per-family seed sequence.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The `k`-th seed of family `f`: shared between strategies so runs
+/// overlap exactly where allocations overlap.
+fn family_seed(base: u64, family: usize, k: u64) -> u64 {
+    mix64(base ^ mix64(family as u64 + 1) ^ k.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5))
+}
+
+/// The supported `(app, case)` families of a spec, in stable app-major
+/// order (the adaptive tie-break order).
+fn families(spec: &CampaignSpec) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (ai, app) in spec.apps.iter().enumerate() {
+        for (ci, case) in spec.cases.iter().enumerate() {
+            if case.supported_by(app) {
+                out.push((ai, ci));
+            }
+        }
+    }
+    out
+}
+
+fn fresh_ledgers(spec: &CampaignSpec) -> Vec<FamilyLedger> {
+    families(spec)
+        .into_iter()
+        .map(|(app, case)| FamilyLedger {
+            app,
+            case,
+            app_name: spec.apps[app].name.to_string(),
+            case_name: spec.cases[case].name.to_string(),
+            runs: 0,
+            violations: 0,
+            near: 0,
+            novel: 0,
+            rare: 0,
+            seen: HashSet::new(),
+        })
+        .collect()
+}
+
+fn run_one(spec: &CampaignSpec, cfg: &AdaptiveConfig, ledger: &mut FamilyLedger, index: usize) {
+    let cell = Cell {
+        index,
+        app: ledger.app,
+        case: ledger.case,
+        seed: family_seed(
+            cfg.seed_base,
+            ledger.app * spec.cases.len() + ledger.case,
+            ledger.runs,
+        ),
+    };
+    let rare_case = !spec.cases[ledger.case].also.is_empty();
+    let out = run_cell(spec, &cell);
+    ledger.absorb(&out, rare_case);
+}
+
+fn finish(strategy: &str, cfg: &AdaptiveConfig, ledgers: Vec<FamilyLedger>) -> SearchOutcome {
+    let mut all = HashSet::new();
+    for l in &ledgers {
+        all.extend(l.seen.iter().copied());
+    }
+    SearchOutcome {
+        strategy: strategy.to_string(),
+        budget: cfg.total_budget,
+        runs: ledgers.iter().map(|l| l.runs).sum(),
+        violations: ledgers.iter().map(|l| l.violations).sum(),
+        near: ledgers.iter().map(|l| l.near).sum(),
+        distinct_end_states: all.len(),
+        families: ledgers,
+    }
+}
+
+/// Spend `cfg.total_budget` runs adaptively: a `cfg.bootstrap`-deep
+/// uniform round first, then repeated `cfg.batch`-sized allocations to
+/// the family with the highest interest-per-run (ties: lowest family
+/// index). Deterministic for a given spec + config.
+pub fn run_adaptive(spec: &CampaignSpec, cfg: &AdaptiveConfig) -> SearchOutcome {
+    let mut ledgers = fresh_ledgers(spec);
+    if ledgers.is_empty() {
+        return finish("adaptive", cfg, ledgers);
+    }
+    let mut remaining = cfg.total_budget;
+    let mut index = 0usize;
+    'bootstrap: for _ in 0..cfg.bootstrap {
+        for ledger in &mut ledgers {
+            if remaining == 0 {
+                break 'bootstrap;
+            }
+            run_one(spec, cfg, ledger, index);
+            index += 1;
+            remaining -= 1;
+        }
+    }
+    while remaining > 0 {
+        // argmax of interest/runs via cross-multiplication (exact, no
+        // floats); unvisited families rank above everything.
+        let mut best = 0usize;
+        for f in 1..ledgers.len() {
+            let (a, b) = (&ledgers[f], &ledgers[best]);
+            let better = match (a.runs, b.runs) {
+                (0, 0) => false, // keep lower index
+                (0, _) => true,
+                (_, 0) => false,
+                _ => {
+                    (a.interest() as u128) * (b.runs as u128)
+                        > (b.interest() as u128) * (a.runs as u128)
+                }
+            };
+            if better {
+                best = f;
+            }
+        }
+        for _ in 0..cfg.batch.min(remaining).max(1) {
+            run_one(spec, cfg, &mut ledgers[best], index);
+            index += 1;
+            remaining -= 1;
+        }
+    }
+    finish("adaptive", cfg, ledgers)
+}
+
+/// Spend the identical budget uniformly: round-robin over the families
+/// with the same per-family seed sequences. The comparison baseline.
+pub fn run_uniform(spec: &CampaignSpec, cfg: &AdaptiveConfig) -> SearchOutcome {
+    let mut ledgers = fresh_ledgers(spec);
+    if ledgers.is_empty() {
+        return finish("uniform", cfg, ledgers);
+    }
+    let mut remaining = cfg.total_budget;
+    let mut index = 0usize;
+    while remaining > 0 {
+        for ledger in &mut ledgers {
+            if remaining == 0 {
+                break;
+            }
+            run_one(spec, cfg, ledger, index);
+            index += 1;
+            remaining -= 1;
+        }
+    }
+    finish("uniform", cfg, ledgers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{kvstore_app, kvstore_buggy_app, standard_cases};
+
+    /// The seeded detection sweep: the buggy backup column against the
+    /// clean control and the reordering case it is vulnerable to, plus
+    /// the fixed kvstore as a quiet column soaking uniform budget.
+    fn detection_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new()
+            .app(kvstore_app())
+            .app(kvstore_buggy_app());
+        for case in standard_cases() {
+            if matches!(case.name, "clean" | "reorder" | "dup") {
+                spec = spec.case(case);
+            }
+        }
+        spec
+    }
+
+    fn cfg(budget: usize) -> AdaptiveConfig {
+        AdaptiveConfig {
+            total_budget: budget,
+            bootstrap: 2,
+            batch: 3,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_or_matches_uniform_on_detection_sweep() {
+        let spec = detection_spec();
+        let cfg = cfg(30);
+        let adaptive = run_adaptive(&spec, &cfg);
+        let uniform = run_uniform(&spec, &cfg);
+        assert_eq!(adaptive.runs, 30);
+        assert_eq!(uniform.runs, 30);
+        assert!(
+            adaptive.violations >= uniform.violations,
+            "adaptive {} < uniform {}",
+            adaptive.violations,
+            uniform.violations
+        );
+        // The budget visibly concentrated on the hot family
+        // (kvstore_buggy x reorder).
+        let hot = adaptive
+            .families
+            .iter()
+            .find(|f| f.app_name == "kvstore_buggy" && f.case_name == "reorder")
+            .expect("hot family present");
+        let hot_uniform = uniform
+            .families
+            .iter()
+            .find(|f| f.app_name == "kvstore_buggy" && f.case_name == "reorder")
+            .unwrap();
+        assert!(
+            hot.runs > hot_uniform.runs,
+            "adaptive {} runs vs uniform {} on the hot family",
+            hot.runs,
+            hot_uniform.runs
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_given_budget() {
+        let spec = detection_spec();
+        let cfg = cfg(18);
+        let a = run_adaptive(&spec, &cfg);
+        let b = run_adaptive(&spec, &cfg);
+        assert_eq!(a.to_json(), b.to_json());
+        let u1 = run_uniform(&spec, &cfg);
+        let u2 = run_uniform(&spec, &cfg);
+        assert_eq!(u1.to_json(), u2.to_json());
+    }
+
+    #[test]
+    fn budget_respected_exactly() {
+        let spec = detection_spec();
+        for budget in [1usize, 5, 13] {
+            let a = run_adaptive(&spec, &cfg(budget));
+            assert_eq!(a.runs as usize, budget, "adaptive budget {budget}");
+            let u = run_uniform(&spec, &cfg(budget));
+            assert_eq!(u.runs as usize, budget, "uniform budget {budget}");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let spec = detection_spec();
+        let out = run_adaptive(&spec, &cfg(8));
+        let json = out.to_json();
+        assert!(json.contains("\"strategy\": \"adaptive\""));
+        assert!(json.contains("\"families\": ["));
+        assert!(json.contains("\"app\": \"kvstore_buggy\""));
+    }
+}

@@ -399,6 +399,60 @@ pub fn chord_app(n: usize, stabilize_rounds: u32, lookups: u32, work: u64) -> Ap
     )
 }
 
+/// The Chord keyed-storage column: every member issues `puts` writes
+/// routed to their ring owners, replicated to the owner's successor,
+/// and read back (on ack) against the value it wrote. Safety: no bad
+/// reads, ever. Liveness (lossless cases): every write is acked, every
+/// read-after-write succeeds, and replication actually happened.
+/// Not part of [`standard_matrix`] — an extra column for seed-search
+/// sweeps and exploration targets.
+pub fn chord_kv_app(n: usize, stabilize_rounds: u32, puts: u32) -> AppSpec {
+    AppSpec::from_populate(
+        "chord_kv",
+        &[Clean, Reorder],
+        move |host, _seed| chord::chord_kv_populate(host, n, stabilize_rounds, puts),
+        Arc::new(Vec::new),
+        Arc::new(move |w, case, fault| {
+            let mut t = fixd_examples::chord::KvStats::default();
+            for i in 0..n {
+                let s = w.program::<ChordNode>(Pid(i as u32)).unwrap().kv_stats;
+                t.put_acked += s.put_acked;
+                t.get_ok += s.get_ok;
+                t.get_bad += s.get_bad;
+                t.replicas += s.replicas;
+            }
+            let metrics = vec![
+                ("put_acked".to_string(), t.put_acked),
+                ("get_ok".to_string(), t.get_ok),
+                ("bad".to_string(), t.get_bad),
+                ("replicas".to_string(), t.replicas),
+            ];
+            if let Some(f) = fault {
+                return CellCheck::fail(format!("unexpected violation: {}", f.monitor), metrics);
+            }
+            if t.get_bad != 0 {
+                return CellCheck::fail(format!("{} bad keyed reads", t.get_bad), metrics);
+            }
+            let want = n as u64 * u64::from(puts);
+            if case.lossless {
+                if t.put_acked != want || t.get_ok != want {
+                    return CellCheck::fail(
+                        format!(
+                            "incomplete kv workload: {}/{want} acked, {}/{want} read back",
+                            t.put_acked, t.get_ok
+                        ),
+                        metrics,
+                    );
+                }
+                if n > 1 && t.replicas == 0 {
+                    return CellCheck::fail("no replica writes observed", metrics);
+                }
+            }
+            CellCheck::pass(metrics)
+        }),
+    )
+}
+
 /// The wide matrix: one Chord column over clean + reorder cases. Cells
 /// are wide (many processes) and handler-heavy, which is the regime the
 /// sharded campaign driver targets.
@@ -459,6 +513,30 @@ mod tests {
             assert!(app.supports.contains(&Clean), "{} lacks clean", app.name);
         }
         assert_eq!(spec.cells().len(), spec.expected_cells());
+    }
+
+    #[test]
+    fn chord_kv_column_passes_clean_and_reorder() {
+        use crate::driver::run_cell;
+        let spec = CampaignSpec::new()
+            .app(chord_kv_app(12, 2, 2))
+            .case(FaultCase::net_only("clean", Clean, NetworkConfig::default()).lossless())
+            .case(FaultCase::net_only("reorder", Reorder, NetworkConfig::jittery(1, 50)).lossless())
+            .seeds([3, 4]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            let out = run_cell(&spec, cell);
+            assert!(out.violation.is_none(), "cell {}: {:?}", cell.index, out);
+            assert!(
+                out.check_failure.is_none(),
+                "cell {}: {:?}",
+                cell.index,
+                out
+            );
+            let bad = out.metrics.iter().find(|(k, _)| k == "bad").unwrap().1;
+            assert_eq!(bad, 0, "bad keyed reads in cell {}", cell.index);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! re-seeds pointers from the ring oracle (a rejoin), and surviving
 //! nodes' stabilize rounds absorb the transient.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fixd_runtime::wire::fnv_mix;
@@ -42,6 +43,21 @@ pub const STABILIZE: u16 = 3;
 pub const STAB_REPLY: u16 = 4;
 /// "I might be your predecessor" (src is the candidate).
 pub const NOTIFY: u16 = 5;
+/// Route a keyed write to its owner: `[key u64, val u64, origin u32, hops u8]`.
+pub const PUT_REQ: u16 = 6;
+/// Owner's write ack to the origin: `[key u64, val u64]`.
+pub const PUT_ACK: u16 = 7;
+/// Route a keyed read to its owner: `[key u64, origin u32, hops u8]`.
+pub const GET_REQ: u16 = 8;
+/// Owner's read answer to the origin: `[key u64, val u64, found u8]`.
+pub const GET_REPLY: u16 = 9;
+/// Owner → successor replica write: `[key u64, val u64]`.
+pub const REPLICATE: u16 = 10;
+
+/// First byte of a keyed-read output record (`[KV_READ_MARK, ok]`),
+/// distinct from lookup outputs (`[ok, hops]`, ok ∈ {0, 1}) so model
+/// invariants can pattern-match read outcomes.
+pub const KV_READ_MARK: u8 = 2;
 
 /// Virtual-time gap between a node's protocol rounds.
 pub const ROUND_TIME: u64 = 8;
@@ -158,6 +174,20 @@ pub struct LookupStats {
     pub hops: u64,
 }
 
+/// Per-node keyed-storage statistics (the put/get workload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Writes this origin issued that the owner acknowledged.
+    pub put_acked: u64,
+    /// Read-after-write checks that returned this origin's value.
+    pub get_ok: u64,
+    /// Reads that missed or returned a wrong value (possible only under
+    /// loss or churn — never on a lossless stable ring).
+    pub get_bad: u64,
+    /// Replica writes this node applied on behalf of its predecessor.
+    pub replicas: u64,
+}
+
 /// One Chord member.
 pub struct ChordNode {
     ring: Arc<ChordRing>,
@@ -183,6 +213,21 @@ pub struct ChordNode {
     work_acc: u64,
     /// Completed-lookup stats.
     pub stats: LookupStats,
+    /// Keyed store: the keys this node owns (plus replicas of its
+    /// predecessor's keys).
+    pub kv: BTreeMap<u64, u64>,
+    /// Writes the keyed workload still has to issue (one per round).
+    puts_left: u32,
+    /// Total writes the workload was configured with (`> 0` enables the
+    /// keyed snapshot block).
+    puts_total: u32,
+    /// Monotonic write counter — keys are derived from `(pid, seq)`, so
+    /// origins never race on the same key.
+    put_seq: u32,
+    /// What this origin wrote (key → value), for read-after-write checks.
+    expected: BTreeMap<u64, u64>,
+    /// Keyed-workload stats.
+    pub kv_stats: KvStats,
 }
 
 /// The per-delivery compute burn: `iters` FNV rounds over the payload.
@@ -211,6 +256,12 @@ impl ChordNode {
             work: 0,
             work_acc: 0,
             stats: LookupStats::default(),
+            kv: BTreeMap::new(),
+            puts_left: 0,
+            puts_total: 0,
+            put_seq: 0,
+            expected: BTreeMap::new(),
+            kv_stats: KvStats::default(),
         }
     }
 
@@ -218,6 +269,15 @@ impl ChordNode {
     /// message (builder style).
     pub fn with_work(mut self, iters: u64) -> Self {
         self.work = iters;
+        self
+    }
+
+    /// Enable the keyed-storage workload: issue `puts` writes (one per
+    /// protocol round), each followed — on ack — by a read-after-write
+    /// check against the value this origin wrote (builder style).
+    pub fn with_kv_workload(mut self, puts: u32) -> Self {
+        self.puts_left = puts;
+        self.puts_total = puts;
         self
     }
 
@@ -239,6 +299,98 @@ impl ChordNode {
             }
         }
         (best.map_or(self.succ, |(_, p)| p), false)
+    }
+
+    /// Does this node own `key` on the oracle ring?
+    fn owns(&self, key: u64) -> bool {
+        self.ring.successor_of(key).0 == self.id
+    }
+
+    /// Store a write locally and replicate it to our successor (the
+    /// next member clockwise — the node that inherits our keys).
+    fn store_and_replicate(&mut self, ctx: &mut Context, key: u64, val: u64) {
+        self.kv.insert(key, val);
+        if self.succ != ctx.pid() {
+            let mut buf = [0u8; 16];
+            buf[..8].copy_from_slice(&key.to_le_bytes());
+            buf[8..].copy_from_slice(&val.to_le_bytes());
+            ctx.send(self.succ, REPLICATE, buf.to_vec());
+        }
+    }
+
+    /// Route a write toward its owner; the owner stores, replicates,
+    /// and acks the origin. Self-owned keys are handled locally (no
+    /// self-send).
+    fn route_put(&mut self, ctx: &mut Context, key: u64, val: u64, origin: Pid, hops: u8) {
+        if hops >= MAX_HOPS {
+            return;
+        }
+        if self.owns(key) {
+            self.store_and_replicate(ctx, key, val);
+            if origin == ctx.pid() {
+                self.put_acked(ctx, key);
+            } else {
+                let mut buf = [0u8; 16];
+                buf[..8].copy_from_slice(&key.to_le_bytes());
+                buf[8..].copy_from_slice(&val.to_le_bytes());
+                ctx.send(origin, PUT_ACK, buf.to_vec());
+            }
+        } else {
+            let (hop, _) = self.next_hop(key);
+            let mut buf = [0u8; 21];
+            buf[..8].copy_from_slice(&key.to_le_bytes());
+            buf[8..16].copy_from_slice(&val.to_le_bytes());
+            buf[16..20].copy_from_slice(&origin.0.to_le_bytes());
+            buf[20] = hops + 1;
+            ctx.send(hop, PUT_REQ, buf.to_vec());
+        }
+    }
+
+    /// The origin saw its write acknowledged: immediately issue the
+    /// read-after-write check for that key.
+    fn put_acked(&mut self, ctx: &mut Context, key: u64) {
+        self.kv_stats.put_acked += 1;
+        self.route_get(ctx, key, ctx.pid(), 0);
+    }
+
+    /// Route a read toward its owner; the owner answers the origin.
+    fn route_get(&mut self, ctx: &mut Context, key: u64, origin: Pid, hops: u8) {
+        if hops >= MAX_HOPS {
+            return;
+        }
+        if self.owns(key) {
+            let (val, found) = match self.kv.get(&key) {
+                Some(&v) => (v, 1u8),
+                None => (0, 0),
+            };
+            if origin == ctx.pid() {
+                self.got_reply(ctx, key, val, found);
+            } else {
+                let mut buf = [0u8; 17];
+                buf[..8].copy_from_slice(&key.to_le_bytes());
+                buf[8..16].copy_from_slice(&val.to_le_bytes());
+                buf[16] = found;
+                ctx.send(origin, GET_REPLY, buf.to_vec());
+            }
+        } else {
+            let (hop, _) = self.next_hop(key);
+            let mut buf = [0u8; 13];
+            buf[..8].copy_from_slice(&key.to_le_bytes());
+            buf[8..12].copy_from_slice(&origin.0.to_le_bytes());
+            buf[12] = hops + 1;
+            ctx.send(hop, GET_REQ, buf.to_vec());
+        }
+    }
+
+    /// Judge a read answer against what this origin wrote.
+    fn got_reply(&mut self, ctx: &mut Context, key: u64, val: u64, found: u8) {
+        let ok = found == 1 && self.expected.get(&key) == Some(&val);
+        if ok {
+            self.kv_stats.get_ok += 1;
+        } else {
+            self.kv_stats.get_bad += 1;
+        }
+        ctx.output(vec![KV_READ_MARK, u8::from(ok)]);
     }
 
     fn forward_lookup(&mut self, ctx: &mut Context, key: u64, origin: Pid, hops: u8) {
@@ -322,6 +474,31 @@ impl Program for ChordNode {
                     self.pred = Some(msg.src);
                 }
             }
+            PUT_REQ => {
+                let key = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+                let val = u64::from_le_bytes(msg.payload[8..16].try_into().unwrap());
+                let origin = Pid(u32::from_le_bytes(msg.payload[16..20].try_into().unwrap()));
+                self.route_put(ctx, key, val, origin, msg.payload[20]);
+            }
+            PUT_ACK => {
+                let key = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+                self.put_acked(ctx, key);
+            }
+            GET_REQ => {
+                let (key, origin, hops) = decode_lookup(&msg.payload);
+                self.route_get(ctx, key, origin, hops);
+            }
+            GET_REPLY => {
+                let key = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+                let val = u64::from_le_bytes(msg.payload[8..16].try_into().unwrap());
+                self.got_reply(ctx, key, val, msg.payload[16]);
+            }
+            REPLICATE => {
+                let key = u64::from_le_bytes(msg.payload[..8].try_into().unwrap());
+                let val = u64::from_le_bytes(msg.payload[8..16].try_into().unwrap());
+                self.kv.insert(key, val);
+                self.kv_stats.replicas += 1;
+            }
             _ => {}
         }
     }
@@ -339,6 +516,19 @@ impl Program for ChordNode {
             self.forward_lookup(ctx, key, ctx.pid(), 0);
             more |= self.lookups_left > 0;
         }
+        if self.puts_left > 0 {
+            self.puts_left -= 1;
+            let seq = self.put_seq;
+            self.put_seq += 1;
+            // Keys are derived from (pid, seq) so origins never write
+            // the same key; the value binds both so a wrong answer
+            // cannot masquerade as right.
+            let key = ring_hash((u64::from(ctx.pid().0) + 1) << 20 | u64::from(seq));
+            let val = ring_hash(key ^ 0xBEE5_u64);
+            self.expected.insert(key, val);
+            self.route_put(ctx, key, val, ctx.pid(), 0);
+            more |= self.puts_left > 0;
+        }
         if more {
             ctx.set_timer(ROUND_TIME);
         }
@@ -355,6 +545,25 @@ impl Program for ChordNode {
         b.extend_from_slice(&self.stats.bad.to_le_bytes());
         b.extend_from_slice(&self.stats.hops.to_le_bytes());
         b.extend_from_slice(&self.work_acc.to_le_bytes());
+        // The keyed-storage block is appended only when the workload is
+        // enabled, so pure-lookup nodes keep the legacy 56-byte layout
+        // (scale benches and goldens fingerprint these snapshots).
+        if self.puts_total > 0 {
+            b.extend_from_slice(&self.puts_total.to_le_bytes());
+            b.extend_from_slice(&self.puts_left.to_le_bytes());
+            b.extend_from_slice(&self.put_seq.to_le_bytes());
+            b.extend_from_slice(&self.kv_stats.put_acked.to_le_bytes());
+            b.extend_from_slice(&self.kv_stats.get_ok.to_le_bytes());
+            b.extend_from_slice(&self.kv_stats.get_bad.to_le_bytes());
+            b.extend_from_slice(&self.kv_stats.replicas.to_le_bytes());
+            for map in [&self.expected, &self.kv] {
+                b.extend_from_slice(&(map.len() as u32).to_le_bytes());
+                for (&k, &v) in map {
+                    b.extend_from_slice(&k.to_le_bytes());
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
         b
     }
 
@@ -369,6 +578,43 @@ impl Program for ChordNode {
         self.stats.bad = u64::from_le_bytes(b[32..40].try_into().unwrap());
         self.stats.hops = u64::from_le_bytes(b[40..48].try_into().unwrap());
         self.work_acc = u64::from_le_bytes(b[48..56].try_into().unwrap());
+        if b.len() > 56 {
+            let mut at = 56;
+            let u32_at = |at: &mut usize| {
+                let v = u32::from_le_bytes(b[*at..*at + 4].try_into().unwrap());
+                *at += 4;
+                v
+            };
+            let u64_at = |at: &mut usize| {
+                let v = u64::from_le_bytes(b[*at..*at + 8].try_into().unwrap());
+                *at += 8;
+                v
+            };
+            self.puts_total = u32_at(&mut at);
+            self.puts_left = u32_at(&mut at);
+            self.put_seq = u32_at(&mut at);
+            self.kv_stats.put_acked = u64_at(&mut at);
+            self.kv_stats.get_ok = u64_at(&mut at);
+            self.kv_stats.get_bad = u64_at(&mut at);
+            self.kv_stats.replicas = u64_at(&mut at);
+            self.expected.clear();
+            self.kv.clear();
+            for map in [&mut self.expected, &mut self.kv] {
+                let len = u32_at(&mut at);
+                for _ in 0..len {
+                    let k = u64_at(&mut at);
+                    let v = u64_at(&mut at);
+                    map.insert(k, v);
+                }
+            }
+        } else {
+            self.puts_total = 0;
+            self.puts_left = 0;
+            self.put_seq = 0;
+            self.kv_stats = KvStats::default();
+            self.expected.clear();
+            self.kv.clear();
+        }
         // Fingers are derived state: rebuild from the oracle.
         self.fingers = self.ring.fingers_for(self.id);
     }
@@ -385,6 +631,12 @@ impl Program for ChordNode {
             work: self.work,
             work_acc: self.work_acc,
             stats: self.stats,
+            kv: self.kv.clone(),
+            puts_left: self.puts_left,
+            puts_total: self.puts_total,
+            put_seq: self.put_seq,
+            expected: self.expected.clone(),
+            kv_stats: self.kv_stats,
         })
     }
 
@@ -443,6 +695,28 @@ pub fn chord_populate_work(
             ChordNode::new(Arc::clone(&ring), stabilize_rounds, lookups).with_work(work),
         ));
     }
+}
+
+/// Populate any [`ProcHost`] with a dense `n`-member ring running the
+/// keyed-storage workload: every node issues `puts` writes (routed to
+/// their ring owners, replicated to the owner's successor) and — on
+/// each ack — a read-after-write check against the value it wrote.
+pub fn chord_kv_populate(host: &mut dyn ProcHost, n: usize, stabilize_rounds: u32, puts: u32) {
+    let members: Vec<Pid> = (0..n as u32).map(Pid).collect();
+    let ring = Arc::new(ChordRing::new(&members));
+    for _ in 0..n {
+        host.spawn(Box::new(
+            ChordNode::new(Arc::clone(&ring), stabilize_rounds, 0).with_kv_workload(puts),
+        ));
+    }
+}
+
+/// A dense keyed-storage world of `n` members, for tests and the model
+/// checker.
+pub fn chord_kv_world(n: usize, seed: u64, stabilize_rounds: u32, puts: u32) -> World {
+    let mut w = World::new(WorldConfig::seeded(seed));
+    chord_kv_populate(&mut w, n, stabilize_rounds, puts);
+    w
 }
 
 #[cfg(test)]
@@ -543,6 +817,113 @@ mod tests {
             t.ok,
             t.bad
         );
+    }
+
+    fn total_kv_stats(w: &World, n: usize) -> KvStats {
+        let mut t = KvStats::default();
+        for i in 0..n {
+            let s = w.program::<ChordNode>(Pid(i as u32)).unwrap().kv_stats;
+            t.put_acked += s.put_acked;
+            t.get_ok += s.get_ok;
+            t.get_bad += s.get_bad;
+            t.replicas += s.replicas;
+        }
+        t
+    }
+
+    #[test]
+    fn kv_puts_gets_and_replication_check_out() {
+        let n = 16;
+        let puts = 3u32;
+        let mut w = chord_kv_world(n, 0xD0_17, 2, puts);
+        drain(&mut w);
+        let t = total_kv_stats(&w, n);
+        let want = n as u64 * u64::from(puts);
+        assert_eq!(t.put_acked, want, "every write must be acked");
+        assert_eq!(t.get_ok, want, "every read-after-write must succeed");
+        assert_eq!(t.get_bad, 0, "no bad reads on a stable lossless ring");
+        assert!(t.replicas > 0, "owners must replicate to successors");
+
+        // Replication oracle: every key an owner holds must also sit on
+        // its successor, byte-for-byte.
+        let members: Vec<Pid> = (0..n as u32).map(Pid).collect();
+        let ring = ChordRing::new(&members);
+        for &p in &members {
+            let node = w.program::<ChordNode>(p).unwrap();
+            let id = ring.id_of(p);
+            let succ = ring.successor_of(id.wrapping_add(1)).1;
+            let succ_kv = &w.program::<ChordNode>(succ).unwrap().kv;
+            for (&k, &v) in &node.kv {
+                if ring.successor_of(k).1 == p {
+                    assert_eq!(
+                        succ_kv.get(&k),
+                        Some(&v),
+                        "key {k:#x} owned by {p:?} missing on successor {succ:?}"
+                    );
+                }
+            }
+        }
+        // Store oracle: every written key lives at its ring owner with
+        // the origin's value.
+        for &p in &members {
+            let node = w.program::<ChordNode>(p).unwrap();
+            for (&k, &v) in &node.expected {
+                let owner = ring.successor_of(k).1;
+                assert_eq!(
+                    w.program::<ChordNode>(owner).unwrap().kv.get(&k),
+                    Some(&v),
+                    "write {k:#x} from {p:?} not at owner {owner:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kv_workload_is_deterministic() {
+        let run = |seed| {
+            let mut w = chord_kv_world(8, seed, 1, 2);
+            let steps = drain(&mut w);
+            (steps, total_kv_stats(&w, 8))
+        };
+        assert_eq!(run(11), run(11), "kv worlds must be deterministic");
+    }
+
+    #[test]
+    fn legacy_snapshot_layout_unchanged_without_kv() {
+        let ring = Arc::new(ChordRing::new(&[Pid(0), Pid(1), Pid(2)]));
+        let plain = ChordNode::new(Arc::clone(&ring), 3, 4);
+        assert_eq!(
+            plain.snapshot().len(),
+            56,
+            "pure-lookup snapshot must keep the legacy layout"
+        );
+        let keyed = ChordNode::new(ring, 3, 0).with_kv_workload(2);
+        assert!(keyed.snapshot().len() > 56);
+    }
+
+    #[test]
+    fn kv_snapshot_roundtrip() {
+        let ring = Arc::new(ChordRing::new(&[Pid(0), Pid(1), Pid(2)]));
+        let mut a = ChordNode::new(Arc::clone(&ring), 1, 0).with_kv_workload(4);
+        a.id = ring.id_of(Pid(1));
+        a.succ = Pid(2);
+        a.puts_left = 1;
+        a.put_seq = 3;
+        a.kv.insert(7, 70);
+        a.kv.insert(9, 90);
+        a.expected.insert(7, 70);
+        a.kv_stats = KvStats {
+            put_acked: 3,
+            get_ok: 2,
+            get_bad: 1,
+            replicas: 5,
+        };
+        let mut b = ChordNode::new(ring, 0, 0);
+        b.restore(&a.snapshot());
+        assert_eq!(b.snapshot(), a.snapshot());
+        assert_eq!(b.kv_stats, a.kv_stats);
+        assert_eq!(b.kv, a.kv);
+        assert_eq!(b.expected, a.expected);
     }
 
     #[test]

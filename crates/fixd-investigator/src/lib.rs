@@ -10,7 +10,8 @@
 //!
 //! Architecture mirrors Fig. 7:
 //!
-//! * **back-end engine** ([`explorer`], [`search`], [`parallel`]) — a
+//! * **back-end engine** ([`explorer`], [`search`], [`frontier`],
+//!   [`parallel`]) — a
 //!   guarded-command state-space explorer that "performs the actual state
 //!   transitions, keeps track of the visited execution paths (calculating
 //!   the reachability graph), and verifies that no user-specified
@@ -34,6 +35,7 @@
 pub mod checker;
 pub mod envmodel;
 pub mod explorer;
+pub mod frontier;
 pub mod guarded;
 pub mod invariant;
 pub mod parallel;
@@ -45,6 +47,10 @@ pub mod worldmodel;
 pub use checker::ModelD;
 pub use envmodel::NetModel;
 pub use explorer::{ExploreConfig, ExploreReport, Explorer, SearchOrder};
+pub use frontier::{
+    explore_frontier, DedupStats, FingerprintStore, FrontierMetrics, PagedStateStore, StateStore,
+    StealQueue, TransitionProvider, WorkQueue,
+};
 pub use guarded::{Action, GuardedSystem, GuardedSystemBuilder};
 pub use invariant::Invariant;
 pub use system::TransitionSystem;

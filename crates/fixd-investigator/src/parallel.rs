@@ -1,70 +1,27 @@
-//! Parallel breadth-first exploration.
+//! Parallel exploration — the [`crate::frontier`] engine behind the
+//! original layer-BFS entry point.
 //!
 //! The paper's motivating constraint is memory/time blow-up past 5–10
-//! processes (§2.1). Parallel frontier expansion does not change the
-//! asymptotics but buys a near-linear constant factor on multicore hosts:
-//! each BFS layer is split across worker threads; the visited set and
-//! parent map are sharded by fingerprint to keep lock contention low
-//! (idiom per the workspace's hpc-parallel guides: share-nothing chunks,
-//! short critical sections, no allocation inside the lock).
+//! processes (§2.1). Earlier revisions split each BFS layer across
+//! worker threads behind a global barrier; this wrapper now drives the
+//! work-stealing frontier engine instead, so deep or skewed frontiers
+//! keep every core busy with no per-layer synchronization.
 //!
-//! The reachable state *set* (and hence the verdict) is deterministic;
-//! which specific trail is attached to a violation may vary run-to-run
-//! because first-writer-wins on the parent map.
-
-use std::collections::HashMap;
-
-use parking_lot::Mutex;
+//! Everything the report contains is deterministic regardless of the
+//! worker count: the reachable state set, the verdict, the transition
+//! count, and — unlike the old first-writer-wins parent map — every
+//! violation trail, which is resolved to the canonical minimum
+//! `(depth, parent key, label index)` path by the engine's relaxation
+//! rule.
 
 use crate::explorer::{ExploreConfig, ExploreReport};
+use crate::frontier::{explore_frontier, FingerprintStore, StealQueue};
 use crate::invariant::Invariant;
 use crate::system::TransitionSystem;
-use crate::trail::Trail;
 
-const SHARDS: usize = 64;
-
-struct Sharded<V> {
-    shards: Vec<Mutex<HashMap<u64, V>>>,
-}
-
-impl<V> Sharded<V> {
-    fn new() -> Self {
-        Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-        }
-    }
-
-    #[inline]
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
-        &self.shards[(key % SHARDS as u64) as usize]
-    }
-
-    /// Insert if absent; returns true if this call claimed the key.
-    fn claim(&self, key: u64, value: V) -> bool {
-        let mut m = self.shard(key).lock();
-        if let std::collections::hash_map::Entry::Vacant(e) = m.entry(key) {
-            e.insert(value);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn get_cloned(&self, key: u64) -> Option<V>
-    where
-        V: Clone,
-    {
-        self.shard(key).lock().get(&key).cloned()
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|m| m.lock().len()).sum()
-    }
-}
-
-/// Explore `sys` with `threads` workers (BFS order only). Limits from
+/// Explore `sys` with `threads` workers (BFS-equivalent). Limits from
 /// `cfg` apply (`order` and `use_reduction` are ignored — parallel
-/// exploration is plain BFS).
+/// exploration is unreduced and BFS-equivalent).
 pub fn explore_parallel<T>(
     sys: &T,
     invariants: &[Invariant<T::State>],
@@ -73,149 +30,11 @@ pub fn explore_parallel<T>(
 ) -> ExploreReport<T::Label>
 where
     T: TransitionSystem,
-    T::Label: Sync + Send,
-    T::State: Sync,
 {
-    assert!(threads > 0, "need at least one worker");
-    let init = sys.initial();
-    let root_fp = sys.fingerprint(&init);
-    let visited: Sharded<()> = Sharded::new();
-    let parents: Sharded<(u64, T::Label)> = Sharded::new();
-    visited.claim(root_fp, ());
-
-    let mut report = ExploreReport {
-        states: 1,
-        transitions: 0,
-        max_depth_reached: 0,
-        violations: Vec::new(),
-        deadlocks: Vec::new(),
-        truncated: false,
-    };
-
-    let mut violation_ends: Vec<(u64, String)> = Vec::new();
-    let mut deadlock_ends: Vec<u64> = Vec::new();
-    if let Some(inv) = invariants.iter().find(|i| !i.holds(&init)) {
-        violation_ends.push((root_fp, inv.name.clone()));
-    }
-
-    let mut layer: Vec<(T::State, u64)> = vec![(init, root_fp)];
-    let mut depth = 0usize;
-
-    while !layer.is_empty() {
-        if depth >= cfg.max_depth {
-            report.truncated = true;
-            break;
-        }
-        if violation_ends.len() >= cfg.max_violations
-            || (cfg.stop_at_first_violation && !violation_ends.is_empty())
-        {
-            report.truncated = true;
-            break;
-        }
-        if visited.len() >= cfg.max_states {
-            report.truncated = true;
-            break;
-        }
-        let chunk_size = layer.len().div_ceil(threads);
-        let results: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in layer.chunks(chunk_size.max(1)) {
-                let visited = &visited;
-                let parents = &parents;
-                handles.push(scope.spawn(move || {
-                    let mut out = WorkerOut::<T> {
-                        next: Vec::new(),
-                        transitions: 0,
-                        violations: Vec::new(),
-                        deadlocks: Vec::new(),
-                    };
-                    for (state, fp) in chunk {
-                        let enabled = sys.enabled(state);
-                        if enabled.is_empty() {
-                            if cfg.detect_deadlocks && !sys.is_expected_terminal(state) {
-                                out.deadlocks.push(*fp);
-                            }
-                            continue;
-                        }
-                        for l in enabled {
-                            let next = sys.apply(state, &l);
-                            out.transitions += 1;
-                            let nfp = sys.fingerprint(&next);
-                            if !visited.claim(nfp, ()) {
-                                continue;
-                            }
-                            parents.claim(nfp, (*fp, l));
-                            let bad = invariants
-                                .iter()
-                                .find(|i| !i.holds(&next))
-                                .map(|i| i.name.clone());
-                            match bad {
-                                Some(name) => out.violations.push((nfp, name)),
-                                None => out.next.push((next, nfp)),
-                            }
-                        }
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-
-        let mut next_layer = Vec::new();
-        for mut r in results {
-            report.transitions += r.transitions;
-            violation_ends.append(&mut r.violations);
-            deadlock_ends.extend(r.deadlocks);
-            next_layer.append(&mut r.next);
-        }
-        depth += 1;
-        if !next_layer.is_empty() {
-            report.max_depth_reached = depth;
-        }
-        layer = next_layer;
-    }
-
-    report.states = visited.len();
-    let reconstruct = |end: u64, violation: &str| -> Trail<T::Label> {
-        let mut labels = Vec::new();
-        let mut at = end;
-        while at != root_fp {
-            match parents.get_cloned(at) {
-                Some((prev, l)) => {
-                    labels.push(l);
-                    at = prev;
-                }
-                None => break,
-            }
-        }
-        labels.reverse();
-        Trail {
-            depth: labels.len(),
-            labels,
-            violation: violation.to_string(),
-            end_fingerprint: end,
-        }
-    };
-    report.violations = violation_ends
-        .into_iter()
-        .take(cfg.max_violations)
-        .map(|(fp, name)| reconstruct(fp, &name))
-        .collect();
-    report.deadlocks = deadlock_ends
-        .into_iter()
-        .map(|fp| reconstruct(fp, "deadlock"))
-        .collect();
+    let store = FingerprintStore::new(|s: &T::State| sys.fingerprint(s));
+    let queue = StealQueue::new(threads);
+    let (report, _metrics) = explore_frontier(sys, &store, &queue, invariants, cfg, threads);
     report
-}
-
-struct WorkerOut<T: TransitionSystem> {
-    next: Vec<(T::State, u64)>,
-    transitions: u64,
-    violations: Vec<(u64, String)>,
-    deadlocks: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -272,7 +91,81 @@ mod tests {
         };
         let par = explore_parallel(&sys, &[], &cfg, 4);
         assert!(par.truncated);
-        // A layer may overshoot slightly, but not unboundedly.
+        // Workers in flight may overshoot slightly, but not unboundedly.
         assert!(par.states < 500, "states={}", par.states);
+    }
+
+    /// Regression for the old first-writer-wins parent map: the grid
+    /// corner has binom(12; 4,4,4) = 34650 shortest paths, so any
+    /// schedule dependence in parent resolution shows up here. The trail
+    /// must be byte-identical at every worker count and across repeated
+    /// runs (the canonical minimum (depth, parent key, label index)
+    /// chain), shortest (depth 12), and feasible.
+    #[test]
+    fn violation_trails_deterministic_across_worker_counts() {
+        let sys = grid(4);
+        let make_inv = || Invariant::new("corner", |s: &[u8; 3]| *s != [4, 4, 4]);
+        let mut seen: Option<Vec<String>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            for round in 0..3 {
+                let par = explore_parallel(&sys, &[make_inv()], &ExploreConfig::default(), threads);
+                assert_eq!(par.violations.len(), 1);
+                assert_eq!(par.violations[0].depth, 12);
+                let got: Vec<String> = par.violations[0]
+                    .labels
+                    .iter()
+                    .map(|l| l.name.clone())
+                    .collect();
+                match &seen {
+                    None => {
+                        // The trail must actually reach the corner.
+                        let guided = Explorer::new(&sys, ExploreConfig::default())
+                            .invariant(make_inv())
+                            .run_guided(&par.violations[0].labels);
+                        assert!(guided.stuck_at.is_none(), "trail infeasible");
+                        assert!(!guided.violations.is_empty());
+                        seen = Some(got);
+                    }
+                    Some(prev) => assert_eq!(
+                        prev, &got,
+                        "canonical min trail (threads={threads}, round={round})"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Deadlock trails are canonical too.
+    #[test]
+    fn deadlock_reports_deterministic() {
+        let sys = GuardedSystemBuilder::new((0u8, 0u8))
+            .action("a-take-r1", |s: &(u8, u8)| s.0 == 0, |s| s.0 = 1)
+            .action(
+                "a-take-r2",
+                |s: &(u8, u8)| s.0 == 1 && s.1 != 2,
+                |s| s.0 = 3,
+            )
+            .action("b-take-r2", |s: &(u8, u8)| s.1 == 0, |s| s.1 = 2)
+            .action(
+                "b-take-r1",
+                |s: &(u8, u8)| s.1 == 2 && s.0 != 1 && s.0 != 3,
+                |s| s.1 = 3,
+            )
+            .expected_terminal(|s| s.0 == 3 || s.1 == 3)
+            .build();
+        let mut seen: Option<Vec<Vec<String>>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let par = explore_parallel(&sys, &[], &ExploreConfig::default(), threads);
+            assert!(!par.deadlocks.is_empty());
+            let got: Vec<Vec<String>> = par
+                .deadlocks
+                .iter()
+                .map(|t| t.labels.iter().map(|l| l.name.clone()).collect())
+                .collect();
+            match &seen {
+                None => seen = Some(got),
+                Some(prev) => assert_eq!(prev, &got, "threads={threads}"),
+            }
+        }
     }
 }

@@ -32,10 +32,11 @@ use crate::{Pid, VTime};
 
 /// Pool caps: bound worst-case arena footprint (a burst that queues
 /// thousands of in-flight messages must not pin them all forever).
-const MSG_POOL_CAP: usize = 4096;
-const REC_POOL_CAP: usize = 1024;
-const EFF_POOL_CAP: usize = 1024;
-const RAND_POOL_CAP: usize = 1024;
+/// Public so benchmarks can report resident bytes against the caps.
+pub const MSG_POOL_CAP: usize = 4096;
+pub const REC_POOL_CAP: usize = 1024;
+pub const EFF_POOL_CAP: usize = 1024;
+pub const RAND_POOL_CAP: usize = 1024;
 
 /// Counters for the arena's effectiveness — `step_demo` reports them and
 /// the `arena_recycling` suite pins exactly-once recycling with them.
@@ -53,6 +54,32 @@ pub struct ArenaStats {
     pub msgs_pooled: usize,
     /// Record shells currently resting in the pool.
     pub records_pooled: usize,
+    /// Effects bodies currently resting in the pool.
+    pub effects_pooled: usize,
+    /// Randoms draw buffers currently resting in the pool.
+    pub randoms_pooled: usize,
+    /// Estimated heap bytes pinned by pooled message shells (`Arc`
+    /// header + shell + retained spilled-clock capacity; payloads are
+    /// released on recycle).
+    pub msg_bytes: usize,
+    /// Estimated heap bytes pinned by pooled record shells (effects are
+    /// stripped out on recycle, so this is header + shell).
+    pub record_bytes: usize,
+    /// Estimated heap bytes pinned by pooled effects bodies (the
+    /// retained vector capacities — the whole point of pooling them).
+    pub effect_bytes: usize,
+    /// Estimated heap bytes pinned by pooled randoms buffers.
+    pub random_bytes: usize,
+}
+
+impl ArenaStats {
+    /// Total estimated resident footprint of the pools, in bytes — the
+    /// price this arena pays for its allocation-free steady state. The
+    /// per-pool fields say which cap (message/record/effects/randoms)
+    /// the bytes sit under.
+    pub fn resident_bytes(&self) -> usize {
+        self.msg_bytes + self.record_bytes + self.effect_bytes + self.random_bytes
+    }
 }
 
 /// The per-world (and per-shard) recycling pool. See module docs.
@@ -91,6 +118,40 @@ impl StepArena {
     }
 
     pub(crate) fn stats(&self) -> ArenaStats {
+        // `Arc<T>`'s heap block: strong + weak counts ahead of the value.
+        const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
+        let msg_bytes = self
+            .msgs
+            .iter()
+            .map(|m| ARC_HEADER + std::mem::size_of::<Message>() + m.vc.heap_bytes())
+            .sum::<usize>()
+            + self.msgs.capacity() * std::mem::size_of::<Arc<Message>>();
+        let record_bytes = self.records.len() * (ARC_HEADER + std::mem::size_of::<StepRecord>())
+            + self.records.capacity() * std::mem::size_of::<Arc<StepRecord>>();
+        let effect_bytes = self
+            .effects
+            .iter()
+            .map(|e| {
+                // The body itself sits inline in the pool vector (counted
+                // under its capacity below); only retained vector
+                // capacities are extra.
+                e.sends.capacity() * std::mem::size_of::<SharedMessage>()
+                    + e.timers_set.capacity() * std::mem::size_of::<(crate::TimerId, VTime)>()
+                    + e.timers_cancelled.capacity() * std::mem::size_of::<crate::TimerId>()
+                    + e.outputs.capacity() * std::mem::size_of::<Payload>()
+            })
+            .sum::<usize>()
+            + self.effects.capacity() * std::mem::size_of::<Effects>();
+        let random_bytes = self
+            .randoms
+            .iter()
+            .map(|r| {
+                ARC_HEADER
+                    + std::mem::size_of::<Vec<u64>>()
+                    + r.capacity() * std::mem::size_of::<u64>()
+            })
+            .sum::<usize>()
+            + self.randoms.capacity() * std::mem::size_of::<Arc<Vec<u64>>>();
         ArenaStats {
             msgs_recycled: self.msgs_recycled,
             msgs_allocated: self.msgs_allocated,
@@ -98,6 +159,12 @@ impl StepArena {
             records_allocated: self.records_allocated,
             msgs_pooled: self.msgs.len(),
             records_pooled: self.records.len(),
+            effects_pooled: self.effects.len(),
+            randoms_pooled: self.randoms.len(),
+            msg_bytes,
+            record_bytes,
+            effect_bytes,
+            random_bytes,
         }
     }
 

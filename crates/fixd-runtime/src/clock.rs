@@ -210,6 +210,16 @@ impl VectorClock {
         ClockIter { vc: self, i: 0 }
     }
 
+    /// Heap bytes this clock retains beyond its inline footprint — the
+    /// spilled vector's capacity (arena shells keep it across reuse, so
+    /// it counts toward pool resident bytes).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Heap(v) => v.capacity() * std::mem::size_of::<(u32, u64)>(),
+        }
+    }
+
     /// Number of nonzero components (the clock's causal footprint).
     #[inline]
     pub fn nnz(&self) -> usize {

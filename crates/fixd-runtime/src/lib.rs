@@ -72,7 +72,7 @@ pub mod trace;
 pub mod wire;
 pub mod world;
 
-pub use arena::ArenaStats;
+pub use arena::{ArenaStats, EFF_POOL_CAP, MSG_POOL_CAP, RAND_POOL_CAP, REC_POOL_CAP};
 pub use calqueue::CalQueueStats;
 pub use clock::{LamportClock, VectorClock};
 pub use disk::{DiskStats, SharedDisk};

@@ -1226,4 +1226,16 @@ impl ShardedWorld {
             coordinator: self.serial,
         }
     }
+
+    /// The coordinator arena's recycling counters and resident
+    /// footprint (barrier records and reclaimed shells pool here).
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Per-shard arena counters and resident footprints, in shard
+    /// order — the data for sizing the pool caps at scale.
+    pub fn shard_arena_stats(&self) -> Vec<crate::arena::ArenaStats> {
+        self.shards.iter().map(|s| s.arena.stats()).collect()
+    }
 }
